@@ -1,0 +1,256 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Wall-clock numbers measure the simulator itself; the
+// reproduced result of each experiment is reported as a custom metric
+// (sim_Mmatches/s = matches per SIMULATED second, the paper's y-axis).
+package simtmp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"simtmp"
+)
+
+// BenchmarkCPUListMatcher is the §II-C CPU reference: the list-based
+// matcher measured in real host wall-clock. The paper reports ~30M
+// matches/s for short queues and <5M past 512 entries.
+func BenchmarkCPUListMatcher(b *testing.B) {
+	for _, n := range []int{16, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			msgs, reqs := simtmp.FullyMatchingWorkload(n, int64(n))
+			l := simtmp.NewListMatcher()
+			b.ResetTimer()
+			matched := 0
+			for i := 0; i < b.N; i++ {
+				res, err := l.Match(msgs, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matched = res.Assignment.Matched()
+			}
+			b.ReportMetric(float64(matched*b.N)/b.Elapsed().Seconds()/1e6, "Mmatches/s")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: single-CTA MPI-compliant
+// matrix matching per architecture and queue length.
+func BenchmarkFigure4(b *testing.B) {
+	for _, a := range simtmp.Architectures() {
+		for _, n := range []int{256, 1024} {
+			a := a
+			b.Run(fmt.Sprintf("%s/len=%d", a.Generation, n), func(b *testing.B) {
+				msgs, reqs := simtmp.FullyMatchingWorkload(n, int64(n))
+				m := simtmp.NewMatrixMatcher(simtmp.MatrixConfig{Arch: a})
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					res, err := m.Match(msgs, reqs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = res.Rate()
+				}
+				b.ReportMetric(rate/1e6, "sim_Mmatches/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: rank-partitioned matching on
+// Pascal across queue counts.
+func BenchmarkFigure5(b *testing.B) {
+	for _, q := range []int{1, 4, 16, 32} {
+		q := q
+		b.Run(fmt.Sprintf("queues=%d", q), func(b *testing.B) {
+			msgs, reqs := simtmp.GenerateWorkload(simtmp.WorkloadConfig{N: 2048, Peers: 64, Tags: 32, Seed: 2})
+			p := simtmp.NewPartitionedMatcher(simtmp.PartitionedConfig{Queues: q, MaxCTAs: 2})
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res, err := p.Match(msgs, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = res.Rate()
+			}
+			b.ReportMetric(rate/1e6, "sim_Mmatches/s")
+		})
+	}
+}
+
+// BenchmarkFigure6b regenerates Figure 6b: hash-table matching per
+// architecture and CTA count.
+func BenchmarkFigure6b(b *testing.B) {
+	for _, a := range simtmp.Architectures() {
+		for _, ctas := range []int{1, 32} {
+			a, ctas := a, ctas
+			b.Run(fmt.Sprintf("%s/ctas=%d", a.Generation, ctas), func(b *testing.B) {
+				msgs, reqs := simtmp.UniqueTupleWorkload(1024, 6)
+				h, err := simtmp.NewHashMatcher(simtmp.HashConfig{Arch: a, CTAs: ctas})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					res, err := h.Match(msgs, reqs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = res.Rate()
+				}
+				b.ReportMetric(rate/1e6, "sim_Mmatches/s")
+			})
+		}
+	}
+}
+
+// BenchmarkTableI regenerates the Table I application analysis
+// (generation + queue reconstruction of all ten proxy apps).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.TableI(1)
+		if len(rows) != 10 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 queue-depth analysis.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.Figure2(1)
+		if len(rows) != 10 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure6a regenerates the Figure 6a tuple-uniqueness
+// analysis.
+func BenchmarkFigure6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.Figure6a(1)
+		if len(rows) != 10 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the six-row relaxation summary.
+func BenchmarkTableII(b *testing.B) {
+	var rows []struct{}
+	_ = rows
+	for i := 0; i < b.N; i++ {
+		out := simtmp.TableII()
+		if len(out) != 6 {
+			b.Fatalf("got %d rows", len(out))
+		}
+		if i == b.N-1 {
+			b.ReportMetric(out[5].RateM, "hash_sim_Mmatches/s")
+			b.ReportMetric(out[1].RateM, "matrix_sim_Mmatches/s")
+		}
+	}
+}
+
+// BenchmarkAblationCompaction regenerates the §VI-B compaction cost.
+func BenchmarkAblationCompaction(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.AblationCompaction()
+		pct = rows[len(rows)-1].OverheadPct
+	}
+	b.ReportMetric(pct, "overhead_%")
+}
+
+// BenchmarkAblationMatchFraction regenerates the §VI-B match-fraction
+// scaling.
+func BenchmarkAblationMatchFraction(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range simtmp.AblationFraction() {
+			if r.Fraction == 0.5 {
+				rel = r.RelToFull
+			}
+		}
+	}
+	b.ReportMetric(rel, "rate_at_50%_matched")
+}
+
+// BenchmarkOrderSensitivity regenerates the §V-B ordered-vs-reversed
+// receive queue experiment.
+func BenchmarkOrderSensitivity(b *testing.B) {
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.OrderSensitivity()
+		slow = rows[0].Slowdown
+	}
+	b.ReportMetric(slow, "reversed_slowdown_x")
+}
+
+// BenchmarkHashAblation regenerates the hash-function × collision
+// policy study (§VI-C future work).
+func BenchmarkHashAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.HashAblation()
+		if len(rows) != 6 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkSIMTEngine measures the raw simulator throughput (host
+// wall-clock per simulated match) — the cost of the reproduction
+// itself, not a paper result.
+func BenchmarkSIMTEngine(b *testing.B) {
+	msgs, reqs := simtmp.FullyMatchingWorkload(1024, 9)
+	m := simtmp.NewMatrixMatcher(simtmp.MatrixConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(msgs, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(1024*b.N)/b.Elapsed().Seconds()/1e6, "host_Mmatches/s")
+}
+
+// BenchmarkApplicability regenerates the per-application engine
+// applicability matrix (the quantified §VI feasibility discussion).
+func BenchmarkApplicability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.Applicability(1)
+		if len(rows) != 10 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationWildcardHash regenerates the wildcard-in-hash-table
+// cost study.
+func BenchmarkAblationWildcardHash(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.AblationWildcardHash()
+		rel = rows[len(rows)-1].RelToNone
+	}
+	b.ReportMetric(rel, "rate_at_25%_wildcards")
+}
+
+// BenchmarkMessageSizes regenerates the end-to-end message-size sweep
+// (eager/rendezvous protocol crossover).
+func BenchmarkMessageSizes(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.MessageSizes()
+		bw = rows[len(rows)-1].EffectiveGBs
+	}
+	b.ReportMetric(bw, "GB/s_at_1MB")
+}
+
+// BenchmarkStreaming regenerates the sustained-load dynamics study.
+func BenchmarkStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := simtmp.Streaming()
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments runs the complete reproduction — every table,
+// figure and ablation of the paper — and prints one consolidated
+// report (the source of EXPERIMENTS.md's measured columns).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"simtmp"
+)
+
+func main() {
+	w := os.Stdout
+	fmt.Fprintln(w, "Reproduction report: Klenk et al., IPDPS 2017")
+	fmt.Fprintln(w, "=============================================")
+	fmt.Fprintln(w)
+
+	simtmp.PrintTableI(w, simtmp.TableI(1))
+	fmt.Fprintln(w)
+	simtmp.PrintFigure2(w, simtmp.Figure2(1))
+	fmt.Fprintln(w)
+	simtmp.PrintFigure6a(w, simtmp.Figure6a(1))
+	fmt.Fprintln(w)
+	simtmp.PrintAppSizes(w, simtmp.AppSizes(1))
+	fmt.Fprintln(w)
+	simtmp.PrintCPUReference(w, simtmp.CPUReference())
+	fmt.Fprintln(w)
+	fig4 := simtmp.Figure4()
+	simtmp.PrintFigure4(w, fig4)
+	fmt.Fprintln(w)
+	simtmp.ChartFigure4(w, fig4)
+	fmt.Fprintln(w)
+	fig5 := simtmp.Figure5()
+	simtmp.PrintFigure5(w, fig5)
+	fmt.Fprintln(w)
+	simtmp.ChartFigure5(w, fig5)
+	overK, overM := simtmp.Figure5Speedups()
+	fmt.Fprintf(w, "average Pascal speedup: %.2fx over K80 (paper: 2.12x), %.2fx over M40 (paper: 1.56x)\n\n", overK, overM)
+	fig6b := simtmp.Figure6b()
+	simtmp.PrintFigure6b(w, fig6b)
+	fmt.Fprintln(w)
+	simtmp.ChartFigure6b(w, fig6b)
+	fmt.Fprintln(w)
+	tab2 := simtmp.TableII()
+	simtmp.PrintTableII(w, tab2)
+	fmt.Fprintln(w)
+	simtmp.ChartTableII(w, tab2)
+	fmt.Fprintln(w)
+	simtmp.PrintApplicability(w, simtmp.Applicability(1))
+	fmt.Fprintln(w)
+	simtmp.PrintStreaming(w, simtmp.Streaming())
+	fmt.Fprintln(w)
+	simtmp.PrintMessageSizes(w, simtmp.MessageSizes())
+	fmt.Fprintln(w)
+	simtmp.PrintSMSweep(w, simtmp.SMSweep())
+	fmt.Fprintln(w)
+	simtmp.PrintEndpoints(w, simtmp.Endpoints())
+	fmt.Fprintln(w)
+	simtmp.PrintCommParallel(w, simtmp.CommParallel())
+	fmt.Fprintln(w)
+	simtmp.PrintAblations(w)
+}

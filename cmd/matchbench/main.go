@@ -1,0 +1,162 @@
+// Command matchbench regenerates the paper's matching-rate figures and
+// tables on the simulated GPUs: Figure 4 (MPI-compliant matrix),
+// Figure 5 (rank-partitioned), Figure 6b (hash table), Table II (the
+// relaxation summary), the ablation and extension studies, and the CPU
+// matcher reference measured in real wall-clock. Pass -csv for
+// machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simtmp"
+)
+
+// section is one runnable experiment.
+type section struct {
+	flagName string
+	help     string
+	run      func(w io.Writer, csv bool)
+}
+
+func main() {
+	csvOut := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	all := flag.Bool("all", false, "run everything")
+
+	sections := []section{
+		{"fig4", "Figure 4: single-CTA matrix matching rate", func(w io.Writer, csv bool) {
+			rows := simtmp.Figure4()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintFigure4(w, rows)
+		}},
+		{"fig5", "Figure 5: rank-partitioned matching rate", func(w io.Writer, csv bool) {
+			rows := simtmp.Figure5()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintFigure5(w, rows)
+			overK, overM := simtmp.Figure5Speedups()
+			fmt.Fprintf(w, "average Pascal speedup: %.2fx over K80 (paper: 2.12x), %.2fx over M40 (paper: 1.56x)\n", overK, overM)
+		}},
+		{"fig6b", "Figure 6b: hash-table matching rate", func(w io.Writer, csv bool) {
+			rows := simtmp.Figure6b()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintFigure6b(w, rows)
+		}},
+		{"table2", "Table II: relaxation summary", func(w io.Writer, csv bool) {
+			rows := simtmp.TableII()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintTableII(w, rows)
+		}},
+		{"cpu", "CPU matchers: list baseline vs hash bins (host wall-clock)", func(w io.Writer, csv bool) {
+			rows := simtmp.CPUReference()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintCPUReference(w, rows)
+		}},
+		{"applicability", "per-application engine applicability matrix", func(w io.Writer, csv bool) {
+			rows := simtmp.Applicability(1)
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintApplicability(w, rows)
+		}},
+		{"stream", "sustained-load dynamics (offered vs delivered)", func(w io.Writer, csv bool) {
+			rows := simtmp.Streaming()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintStreaming(w, rows)
+		}},
+		{"msgsize", "message-size sweep (protocol + bandwidth)", func(w io.Writer, csv bool) {
+			rows := simtmp.MessageSizes()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintMessageSizes(w, rows)
+		}},
+		{"smsweep", "multi-SM scaling of the communication kernel", func(w io.Writer, csv bool) {
+			rows := simtmp.SMSweep()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintSMSweep(w, rows)
+		}},
+		{"endpoints", "CTA-endpoint scaling (the paper's motivation)", func(w io.Writer, csv bool) {
+			rows := simtmp.Endpoints()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintEndpoints(w, rows)
+		}},
+		{"commparallel", "communicator-level parallelism (§VI top level)", func(w io.Writer, csv bool) {
+			rows := simtmp.CommParallel()
+			if csv {
+				must(simtmp.WriteCSV(w, rows))
+				return
+			}
+			simtmp.PrintCommParallel(w, rows)
+		}},
+		{"ablation", "ablation studies (compaction, fraction, order, hash, wildcards, window)", func(w io.Writer, csv bool) {
+			if csv {
+				must(simtmp.WriteCSV(w, simtmp.AblationCompaction()))
+				must(simtmp.WriteCSV(w, simtmp.AblationFraction()))
+				must(simtmp.WriteCSV(w, simtmp.OrderSensitivity()))
+				must(simtmp.WriteCSV(w, simtmp.HashAblation()))
+				must(simtmp.WriteCSV(w, simtmp.AblationWildcardHash()))
+				must(simtmp.WriteCSV(w, simtmp.AblationWindow()))
+				return
+			}
+			simtmp.PrintAblations(w)
+		}},
+	}
+
+	enabled := make(map[string]*bool, len(sections))
+	for _, s := range sections {
+		enabled[s.flagName] = flag.Bool(s.flagName, false, s.help)
+	}
+	flag.Parse()
+
+	ran := false
+	for _, s := range sections {
+		if !*enabled[s.flagName] && !*all {
+			continue
+		}
+		s.run(os.Stdout, *csvOut)
+		if !*csvOut {
+			fmt.Println()
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matchbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, app := range []string{"Nekbone", "LULESH", "PARTISN"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("Table I output missing %s", app)
+		}
+	}
+}
+
+func TestRunDumpAndAnalyzeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lulesh.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-dump", path, "-app", "LULESH", "-ranks", "27"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote LULESH trace (27 ranks") {
+		t.Errorf("dump output = %q", buf.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-analyze", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "app LULESH: 27 ranks") {
+		t.Errorf("analyze output = %q", out)
+	}
+	if !strings.Contains(out, "eager fraction") {
+		t.Error("analyze output missing protocol mix")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no-op invocation succeeded")
+	}
+	if err := run([]string{"-dump", "/tmp/x", "-app", "NotAnApp"}, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-analyze", "/nonexistent/file"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+}

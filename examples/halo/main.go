@@ -1,0 +1,109 @@
+// Halo: a LULESH-style 3D nearest-neighbour halo exchange across a
+// 2×2×2 grid of simulated GPUs under the "no source wildcard"
+// relaxation — receives name their neighbours explicitly, so the
+// runtime matches with the rank-partitioned engine (§VI-A) and the
+// aggregate matching rate rises accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simtmp"
+)
+
+const (
+	nx, ny, nz = 2, 2, 2
+	gpus       = nx * ny * nz
+	iterations = 4
+	// One tag per halo direction, reused every iteration (the BSP
+	// pattern the paper's discussion endorses).
+	faces = 6
+)
+
+func rankOf(x, y, z int) int {
+	return ((z+nz)%nz*ny+(y+ny)%ny)*nx + (x+nx)%nx
+}
+
+func coords(r int) (int, int, int) { return r % nx, (r / nx) % ny, r / (nx * ny) }
+
+// neighbours returns the six face neighbours of rank r with the tag
+// identifying the direction.
+func neighbours(r int) [faces]int {
+	x, y, z := coords(r)
+	return [faces]int{
+		rankOf(x+1, y, z), rankOf(x-1, y, z),
+		rankOf(x, y+1, z), rankOf(x, y-1, z),
+		rankOf(x, y, z+1), rankOf(x, y, z-1),
+	}
+}
+
+// opposite maps a direction to the direction the peer sends back on.
+func opposite(d int) int { return d ^ 1 }
+
+func main() {
+	rt := simtmp.NewRuntime(simtmp.RuntimeConfig{
+		Level:  simtmp.NoSourceWildcard,
+		Arch:   simtmp.PascalGTX1080(),
+		GPUs:   gpus,
+		Queues: faces,
+	})
+
+	// Each GPU holds a scalar field value; every iteration it averages
+	// in the halo values received from its six face neighbours — a
+	// miniature diffusion stencil.
+	field := make([]float64, gpus)
+	for r := range field {
+		field[r] = float64(r)
+	}
+
+	for iter := 0; iter < iterations; iter++ {
+		// Pre-post all receives (the optimization LULESH itself ships
+		// with, per §VII-B), then send.
+		recvs := make([][faces]*simtmp.RecvHandle, gpus)
+		for r := 0; r < gpus; r++ {
+			for d, peer := range neighbours(r) {
+				h, err := rt.PostRecv(r, simtmp.Rank(peer), simtmp.Tag(opposite(d)), 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				recvs[r][d] = h
+			}
+		}
+		for r := 0; r < gpus; r++ {
+			payload := fmt.Sprintf("%g", field[r])
+			for d, peer := range neighbours(r) {
+				if err := rt.Send(r, peer, simtmp.Tag(d), 0, []byte(payload)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if ok, err := rt.Drain(4); err != nil {
+			log.Fatal(err)
+		} else if !ok {
+			log.Fatal("halo exchange did not complete")
+		}
+
+		next := make([]float64, gpus)
+		for r := 0; r < gpus; r++ {
+			sum := field[r]
+			for d := 0; d < faces; d++ {
+				msg, err := recvs[r][d].Message()
+				if err != nil {
+					log.Fatalf("rank %d dir %d: %v", r, d, err)
+				}
+				var v float64
+				fmt.Sscanf(string(msg.Payload), "%g", &v)
+				sum += v
+			}
+			next[r] = sum / (faces + 1)
+		}
+		field = next
+		fmt.Printf("iteration %d: field = %.3v\n", iter, field)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("\nengine: %s\n", rt.EngineName())
+	fmt.Printf("%d halo messages matched in %.2f simulated µs → %.2fM matches/s\n",
+		st.Matches, st.SimSeconds*1e6, st.Rate()/1e6)
+}

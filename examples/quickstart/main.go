@@ -1,0 +1,59 @@
+// Quickstart: two simulated GPUs exchanging messages under full MPI
+// semantics (wildcards, ordering, unexpected messages), matched on the
+// device by the paper's matrix scan/reduce algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simtmp"
+)
+
+func main() {
+	rt := simtmp.NewRuntime(simtmp.RuntimeConfig{
+		Level: simtmp.FullMPI,
+		Arch:  simtmp.PascalGTX1080(),
+		GPUs:  2,
+	})
+
+	// GPU 0 sends three messages; one arrives before its receive is
+	// posted (unexpected) — full MPI semantics absorb that.
+	for tag := simtmp.Tag(0); tag < 3; tag++ {
+		if err := rt.Send(0, 1, tag, 0, []byte(fmt.Sprintf("message-%d", tag))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// GPU 1 posts receives, one with a source wildcard.
+	recvs := make([]*simtmp.RecvHandle, 0, 3)
+	for tag := simtmp.Tag(0); tag < 2; tag++ {
+		r, err := rt.PostRecv(1, 0, tag, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recvs = append(recvs, r)
+	}
+	r, err := rt.PostRecv(1, simtmp.AnySource, simtmp.AnyTag, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recvs = append(recvs, r)
+
+	// One communication-kernel step matches everything.
+	if err := rt.Progress(); err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range recvs {
+		msg, err := r.Message()
+		if err != nil {
+			log.Fatalf("recv %d: %v", i, err)
+		}
+		fmt.Printf("recv %d matched %v payload=%q\n", i, msg.Env, msg.Payload)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("\nengine: %s\n", rt.EngineName())
+	fmt.Printf("matches: %d in %.2f simulated µs → %.2fM matches/s\n",
+		st.Matches, st.SimSeconds*1e6, st.Rate()/1e6)
+}

@@ -1,0 +1,123 @@
+// Sweep: a PARTISN-style wavefront sweep across a 1D pipeline of GPUs.
+// Each stage consumes its upstream neighbour's result before producing
+// its own — the kind of carried dependency that makes MPI's pairwise
+// ordering guarantee genuinely useful: successive waves reuse the same
+// tag, and the runtime must deliver them in order.
+//
+// The same program then runs under the Unordered contract, where tag
+// reuse across in-flight waves would be a bug — the example versions
+// the tags per wave, showing precisely the restructuring §VI-C demands
+// of applications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simtmp"
+	"simtmp/internal/mpx"
+)
+
+const (
+	stages = 6
+	waves  = 4
+)
+
+func main() {
+	fmt.Println("== ordered (full MPI): same tag for every wave ==")
+	ordered()
+	fmt.Println("\n== unordered (hash-matched): tags versioned per wave ==")
+	unordered()
+}
+
+// ordered runs the sweep under full MPI semantics: all waves use tag 0
+// and pairwise ordering keeps them straight.
+func ordered() {
+	rt := mpx.New(mpx.Config{Level: mpx.FullMPI, GPUs: stages})
+	// Launch all waves into the pipeline at once from stage 0; each
+	// stage forwards after adding its own term.
+	type slot struct{ recv *simtmp.RecvHandle }
+	pend := make([][]slot, stages)
+	for w := 0; w < waves; w++ {
+		if err := rt.Send(0, 1, 0, 0, []byte{byte(10 * (w + 1))}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for s := 1; s < stages; s++ {
+		for w := 0; w < waves; w++ {
+			r, err := rt.PostRecv(s, simtmp.Rank(s-1), 0, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pend[s] = append(pend[s], slot{recv: r})
+		}
+	}
+	// Stage by stage, waves flow with ordering preserved.
+	for s := 1; s < stages; s++ {
+		if _, err := rt.Drain(8); err != nil {
+			log.Fatal(err)
+		}
+		for w, sl := range pend[s] {
+			msg, err := sl.recv.Message()
+			if err != nil {
+				log.Fatalf("stage %d wave %d: %v", s, w, err)
+			}
+			v := msg.Payload[0] + 1 // this stage's contribution
+			if w != int(msg.Payload[0]/10)-1 && s == 1 {
+				log.Fatalf("wave order violated at stage 1: wave %d got %d", w, msg.Payload[0])
+			}
+			if s+1 < stages {
+				if err := rt.Send(s, s+1, 0, 0, []byte{v}); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				fmt.Printf("wave %d exits pipeline with value %d\n", w, v)
+			}
+		}
+	}
+	st := rt.Stats()
+	fmt.Printf("engine %s: %d matches, %.2f simulated µs\n",
+		rt.EngineName(), st.Matches, st.SimSeconds*1e6)
+}
+
+// unordered runs the same sweep hash-matched: each wave's messages
+// carry a distinct tag (the §VI-C user obligation), so dropping the
+// ordering guarantee is safe.
+func unordered() {
+	rt := mpx.New(mpx.Config{Level: mpx.Unordered, GPUs: stages})
+	values := make([][]byte, waves)
+	for w := range values {
+		values[w] = []byte{byte(10 * (w + 1))}
+	}
+	for s := 0; s+1 < stages; s++ {
+		recvs := make([]*simtmp.RecvHandle, waves)
+		for w := 0; w < waves; w++ {
+			r, err := rt.PostRecv(s+1, simtmp.Rank(s), simtmp.Tag(w), 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recvs[w] = r
+		}
+		for w := 0; w < waves; w++ {
+			if err := rt.Send(s, s+1, simtmp.Tag(w), 0, values[w]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := rt.Drain(8); err != nil {
+			log.Fatal(err)
+		}
+		for w := 0; w < waves; w++ {
+			msg, err := recvs[w].Message()
+			if err != nil {
+				log.Fatalf("stage %d wave %d: %v", s+1, w, err)
+			}
+			values[w] = []byte{msg.Payload[0] + 1}
+		}
+	}
+	for w, v := range values {
+		fmt.Printf("wave %d exits pipeline with value %d\n", w, v[0])
+	}
+	st := rt.Stats()
+	fmt.Printf("engine %s: %d matches, %.2f simulated µs\n",
+		rt.EngineName(), st.Matches, st.SimSeconds*1e6)
+}

@@ -1,0 +1,3 @@
+module simtmp
+
+go 1.22

@@ -1,0 +1,235 @@
+package apps
+
+import (
+	"testing"
+
+	"simtmp/internal/trace"
+)
+
+// TestTableICharacteristics is the Table I reproduction in test form:
+// every generated trace, re-analyzed through the queue-reconstruction
+// pipeline, must show the published per-application characteristics.
+func TestTableICharacteristics(t *testing.T) {
+	for _, m := range All() {
+		m := m
+		t.Run(m.Spec.Name, func(t *testing.T) {
+			tr := m.Generate(0, 1)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			s := trace.Analyze(tr)
+
+			// Wildcards: no app uses ANY_TAG; only MiniDFT and MiniFE
+			// use ANY_SOURCE.
+			if s.TagWildcardRecvs != 0 {
+				t.Errorf("tag wildcards = %d, want 0", s.TagWildcardRecvs)
+			}
+			wantSrcWild := m.Spec.Name == "MiniDFT" || m.Spec.Name == "MiniFE"
+			if (s.SrcWildcardRecvs > 0) != wantSrcWild {
+				t.Errorf("src wildcards = %d, want >0 = %v", s.SrcWildcardRecvs, wantSrcWild)
+			}
+
+			// Communicators: 1 everywhere except Nekbone (2), MiniDFT (7).
+			if s.Communicators != m.Spec.Comms {
+				t.Errorf("communicators = %d, want %d", s.Communicators, m.Spec.Comms)
+			}
+
+			// Peers per rank within ±40% of the spec target.
+			if mean := s.PeersPerRank.Mean; mean < 0.6*float64(m.Spec.K) || mean > 1.5*float64(m.Spec.K) {
+				t.Errorf("mean peers = %.1f, want ≈%d", mean, m.Spec.K)
+			}
+
+			// Tag budget: everything fits 16 bits (§IV).
+			if s.MaxTagBits > 16 {
+				t.Errorf("tags need %d bits, paper says ≤16", s.MaxTagBits)
+			}
+			switch m.Spec.Tags {
+			case FewTags:
+				if s.DistinctTags >= 4 {
+					t.Errorf("distinct tags = %d, want <4", s.DistinctTags)
+				}
+			case ThousandsOfTags:
+				if s.DistinctTags < 1000 {
+					t.Errorf("distinct tags = %d, want ≥1000", s.DistinctTags)
+				}
+			}
+		})
+	}
+}
+
+// TestFigure2QueueDepths pins the headline queue-depth findings: most
+// apps below 512; Nekbone mean ≈4000 / median ≈1800; MultiGrid mean
+// ≈2000 / median ≈1500; UMQ and PRQ similar.
+func TestFigure2QueueDepths(t *testing.T) {
+	within := func(got, want, tol float64) bool {
+		return got >= want*(1-tol) && got <= want*(1+tol)
+	}
+	for _, m := range All() {
+		tr := m.Generate(0, 1)
+		s := trace.Analyze(tr)
+		name := m.Spec.Name
+		switch name {
+		case "Nekbone":
+			if !within(s.UMQMax.Mean, 4000, 0.3) {
+				t.Errorf("%s UMQ mean = %.0f, want ≈4000", name, s.UMQMax.Mean)
+			}
+			if !within(s.UMQMax.Median, 1800, 0.3) {
+				t.Errorf("%s UMQ median = %.0f, want ≈1800", name, s.UMQMax.Median)
+			}
+		case "MultiGrid":
+			if !within(s.UMQMax.Mean, 2000, 0.3) {
+				t.Errorf("%s UMQ mean = %.0f, want ≈2000", name, s.UMQMax.Mean)
+			}
+			if !within(s.UMQMax.Median, 1500, 0.3) {
+				t.Errorf("%s UMQ median = %.0f, want ≈1500", name, s.UMQMax.Median)
+			}
+		default:
+			if s.UMQMax.Max >= 512 {
+				t.Errorf("%s UMQ max = %.0f, want <512", name, s.UMQMax.Max)
+			}
+		}
+		if s.PRQMax.Max > 2.2*s.UMQMax.Max+64 {
+			t.Errorf("%s PRQ max %.0f far exceeds UMQ max %.0f", name, s.PRQMax.Max, s.UMQMax.Max)
+		}
+	}
+}
+
+// TestFigure6aTupleUniqueness: hash-friendliness — apps with rich tag
+// spaces must show single-digit-percent tuple shares.
+func TestFigure6aTupleUniqueness(t *testing.T) {
+	for _, m := range All() {
+		if m.Spec.Tags == FewTags {
+			continue // few-tag apps legitimately share tuples more
+		}
+		tr := m.Generate(0, 1)
+		s := trace.Analyze(tr)
+		if s.TupleUniqueness.Mean > 0.10 {
+			t.Errorf("%s tuple uniqueness mean = %.1f%%, want single digits",
+				m.Spec.Name, 100*s.TupleUniqueness.Mean)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, err := ByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Generate(27, 7)
+	b := m.Generate(27, 7)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("HPL"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestNamesMatchesAll(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("got %d apps, want 10", len(names))
+	}
+	if names[0] != "Nekbone" || names[9] != "PARTISN" {
+		t.Errorf("order wrong: %v", names)
+	}
+}
+
+func TestHalo3DNeighborCounts(t *testing.T) {
+	m := &Model{Spec: Spec{Pattern: Halo3D}}
+	nb := m.buildNeighbors(64, nil)
+	for r, lst := range nb {
+		if len(lst) != 26 {
+			t.Fatalf("rank %d has %d neighbors, want 26 (4x4x4 periodic)", r, len(lst))
+		}
+	}
+	m6 := &Model{Spec: Spec{Pattern: Halo3D6}}
+	nb6 := m6.buildNeighbors(64, nil)
+	for r, lst := range nb6 {
+		if len(lst) != 6 {
+			t.Fatalf("rank %d has %d face neighbors, want 6", r, len(lst))
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	for _, m := range All() {
+		tr := m.Generate(0, 3)
+		// Symmetry is implied by the generator construction; check the
+		// trace instead: every send's (src,dst) pair has dst receiving
+		// at least one message from src (peers maps are symmetric in
+		// the analysis). Validate is the cheap proxy here.
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Spec.Name, err)
+		}
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct{ ranks, vol int }{
+		{64, 64}, {27, 27}, {8, 8}, {96, 96},
+	}
+	for _, c := range cases {
+		nx, ny, nz := gridDims(c.ranks)
+		if nx*ny*nz < c.ranks {
+			t.Errorf("gridDims(%d) = %dx%dx%d, volume too small", c.ranks, nx, ny, nz)
+		}
+	}
+}
+
+func TestCustomRankCount(t *testing.T) {
+	m, _ := ByName("MOCFE")
+	tr := m.Generate(8, 1)
+	if tr.Ranks != 8 {
+		t.Errorf("ranks = %d, want 8", tr.Ranks)
+	}
+	s := trace.Analyze(tr)
+	if s.Sends == 0 || s.Recvs == 0 {
+		t.Error("empty trace at custom scale")
+	}
+}
+
+func TestMessageSizesWithinSpec(t *testing.T) {
+	for _, m := range All() {
+		tr := m.Generate(0, 2)
+		lo, hi := m.Spec.MsgBytesMin, m.Spec.MsgBytesMax
+		for i, e := range tr.Events {
+			if e.Kind != trace.Send {
+				continue
+			}
+			if e.Size < lo || e.Size > hi {
+				t.Fatalf("%s event %d: size %d outside [%d,%d]", m.Spec.Name, i, e.Size, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMessageSizesSpread(t *testing.T) {
+	// The log-uniform draw must actually spread: LULESH sizes span
+	// 8KiB..64KiB, so we expect both halves of the range populated.
+	m, _ := ByName("LULESH")
+	tr := m.Generate(0, 3)
+	lo, hi := 0, 0
+	for _, e := range tr.Events {
+		if e.Kind != trace.Send {
+			continue
+		}
+		if e.Size < 20*1024 {
+			lo++
+		}
+		if e.Size > 40*1024 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("size distribution degenerate: %d small, %d large", lo, hi)
+	}
+}

@@ -1,0 +1,191 @@
+// Package arch describes the GPU architectures the paper evaluates
+// (Kepler K80, Maxwell M40, Pascal GTX1080) plus a generic host CPU
+// reference. The parameters drive both the SIMT engine limits (warp
+// size, CTA residency) and the timing model (clock rate, issue width,
+// memory latency).
+package arch
+
+import "fmt"
+
+// WarpSize is the number of lanes per warp on every NVIDIA
+// architecture the paper considers.
+const WarpSize = 32
+
+// Generation identifies a GPU hardware generation.
+type Generation int
+
+// Generations, in release order.
+const (
+	Kepler Generation = iota
+	Maxwell
+	Pascal
+	HostCPU
+)
+
+// String returns the generation name.
+func (g Generation) String() string {
+	switch g {
+	case Kepler:
+		return "Kepler"
+	case Maxwell:
+		return "Maxwell"
+	case Pascal:
+		return "Pascal"
+	case HostCPU:
+		return "CPU"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// Arch describes one processor. All GPU values are the boost-clock
+// configurations of the boards the paper used (Tesla K80 single GPU,
+// Tesla M40, GTX1080).
+type Arch struct {
+	Name       string
+	Generation Generation
+
+	SMCount    int // streaming multiprocessors
+	CoresPerSM int // CUDA cores per SM
+
+	MaxWarpsPerSM    int
+	MaxCTAsPerSM     int
+	MaxThreadsPerCTA int
+
+	SharedMemPerSM  int // bytes
+	SharedMemPerCTA int // bytes, per-CTA limit
+	RegistersPerSM  int // 32-bit registers
+
+	ClockMHz    float64 // SM boost clock
+	IssueWidth  int     // warp instructions issued per SM per cycle
+	MemLatency  int     // global memory latency in cycles
+	SMemLatency int     // shared memory latency in cycles
+}
+
+// ClockHz returns the SM clock in Hz.
+func (a *Arch) ClockHz() float64 { return a.ClockMHz * 1e6 }
+
+// MaxThreadsPerSM returns the thread residency limit of one SM.
+func (a *Arch) MaxThreadsPerSM() int { return a.MaxWarpsPerSM * WarpSize }
+
+// KeplerK80 returns the single-GPU (GK210) configuration of the Tesla
+// K80 board used in the paper (CUDA 7.0, the slowest of the three).
+func KeplerK80() *Arch {
+	return &Arch{
+		Name:             "Tesla K80 (GK210, single GPU)",
+		Generation:       Kepler,
+		SMCount:          13,
+		CoresPerSM:       192,
+		MaxWarpsPerSM:    64,
+		MaxCTAsPerSM:     16,
+		MaxThreadsPerCTA: 1024,
+		SharedMemPerSM:   112 * 1024,
+		SharedMemPerCTA:  48 * 1024,
+		RegistersPerSM:   128 * 1024,
+		ClockMHz:         875,
+		IssueWidth:       4,
+		MemLatency:       600,
+		SMemLatency:      48,
+	}
+}
+
+// MaxwellM40 returns the Tesla M40 (GM200) configuration.
+func MaxwellM40() *Arch {
+	return &Arch{
+		Name:             "Tesla M40 (GM200)",
+		Generation:       Maxwell,
+		SMCount:          24,
+		CoresPerSM:       128,
+		MaxWarpsPerSM:    64,
+		MaxCTAsPerSM:     32,
+		MaxThreadsPerCTA: 1024,
+		SharedMemPerSM:   96 * 1024,
+		SharedMemPerCTA:  48 * 1024,
+		RegistersPerSM:   64 * 1024,
+		ClockMHz:         1114,
+		IssueWidth:       4,
+		MemLatency:       400,
+		SMemLatency:      28,
+	}
+}
+
+// PascalGTX1080 returns the GTX1080 (GP104) configuration.
+func PascalGTX1080() *Arch {
+	return &Arch{
+		Name:             "GTX1080 (GP104)",
+		Generation:       Pascal,
+		SMCount:          20,
+		CoresPerSM:       128,
+		MaxWarpsPerSM:    64,
+		MaxCTAsPerSM:     32,
+		MaxThreadsPerCTA: 1024,
+		SharedMemPerSM:   96 * 1024,
+		SharedMemPerCTA:  48 * 1024,
+		RegistersPerSM:   64 * 1024,
+		ClockMHz:         1733,
+		IssueWidth:       4,
+		MemLatency:       300,
+		SMemLatency:      24,
+	}
+}
+
+// All returns the three GPU architectures in generation order. The
+// slice is freshly allocated; callers may mutate the elements.
+func All() []*Arch {
+	return []*Arch{KeplerK80(), MaxwellM40(), PascalGTX1080()}
+}
+
+// ByName returns the architecture whose generation name matches
+// (case-sensitive: "Kepler", "Maxwell", "Pascal").
+func ByName(name string) (*Arch, error) {
+	for _, a := range All() {
+		if a.Generation.String() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown architecture %q", name)
+}
+
+// KernelFootprint describes the per-CTA resource consumption of a
+// kernel, used by the occupancy calculator.
+type KernelFootprint struct {
+	ThreadsPerCTA   int
+	RegsPerThread   int
+	SharedMemPerCTA int // bytes
+}
+
+// Occupancy returns the number of CTAs of the given footprint that can
+// be resident on one SM simultaneously (NVIDIA occupancy-calculator
+// style: the minimum over the CTA, warp, register and shared-memory
+// limits). It returns at least 0; a zero means the kernel cannot launch.
+func (a *Arch) Occupancy(k KernelFootprint) int {
+	if k.ThreadsPerCTA <= 0 || k.ThreadsPerCTA > a.MaxThreadsPerCTA {
+		return 0
+	}
+	warpsPerCTA := (k.ThreadsPerCTA + WarpSize - 1) / WarpSize
+	limit := a.MaxCTAsPerSM
+	if byWarps := a.MaxWarpsPerSM / warpsPerCTA; byWarps < limit {
+		limit = byWarps
+	}
+	if k.SharedMemPerCTA > 0 {
+		if k.SharedMemPerCTA > a.SharedMemPerCTA {
+			return 0
+		}
+		if bySmem := a.SharedMemPerSM / k.SharedMemPerCTA; bySmem < limit {
+			limit = bySmem
+		}
+	}
+	if k.RegsPerThread > 0 {
+		regsPerCTA := k.RegsPerThread * k.ThreadsPerCTA
+		if regsPerCTA > a.RegistersPerSM {
+			return 0
+		}
+		if byRegs := a.RegistersPerSM / regsPerCTA; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	return limit
+}

@@ -1,0 +1,143 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerationString(t *testing.T) {
+	cases := []struct {
+		g    Generation
+		want string
+	}{
+		{Kepler, "Kepler"},
+		{Maxwell, "Maxwell"},
+		{Pascal, "Pascal"},
+		{HostCPU, "CPU"},
+		{Generation(42), "Generation(42)"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("Generation(%d).String() = %q, want %q", int(c.g), got, c.want)
+		}
+	}
+}
+
+func TestClockOrdering(t *testing.T) {
+	// The paper attributes the cross-generation speedups primarily to
+	// clock rate: Kepler < Maxwell < Pascal.
+	k, m, p := KeplerK80(), MaxwellM40(), PascalGTX1080()
+	if !(k.ClockMHz < m.ClockMHz && m.ClockMHz < p.ClockMHz) {
+		t.Fatalf("clock ordering violated: K80=%v M40=%v GTX1080=%v",
+			k.ClockMHz, m.ClockMHz, p.ClockMHz)
+	}
+}
+
+func TestClockHz(t *testing.T) {
+	p := PascalGTX1080()
+	if got, want := p.ClockHz(), 1733e6; got != want {
+		t.Errorf("ClockHz() = %v, want %v", got, want)
+	}
+}
+
+func TestMaxThreadsPerSM(t *testing.T) {
+	for _, a := range All() {
+		if got, want := a.MaxThreadsPerSM(), a.MaxWarpsPerSM*WarpSize; got != want {
+			t.Errorf("%s: MaxThreadsPerSM = %d, want %d", a.Name, got, want)
+		}
+	}
+}
+
+func TestAllReturnsThreeGenerations(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d arches, want 3", len(all))
+	}
+	want := []Generation{Kepler, Maxwell, Pascal}
+	for i, a := range all {
+		if a.Generation != want[i] {
+			t.Errorf("All()[%d].Generation = %v, want %v", i, a.Generation, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Kepler", "Maxwell", "Pascal"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if a.Generation.String() != name {
+			t.Errorf("ByName(%q).Generation = %v", name, a.Generation)
+		}
+	}
+	if _, err := ByName("Volta"); err == nil {
+		t.Error("ByName(Volta) succeeded, want error")
+	}
+}
+
+func TestOccupancyMatrixKernel(t *testing.T) {
+	// The paper states that the occupancy calculator allows the matrix
+	// matching kernel to keep 2 CTAs resident. The matrix kernel uses
+	// 1024 threads and a large shared-memory matrix.
+	fp := KernelFootprint{ThreadsPerCTA: 1024, RegsPerThread: 32, SharedMemPerCTA: 32 * 1024}
+	for _, a := range All() {
+		got := a.Occupancy(fp)
+		if got != 2 {
+			t.Errorf("%s: Occupancy(matrix kernel) = %d, want 2", a.Name, got)
+		}
+	}
+}
+
+func TestOccupancyLimits(t *testing.T) {
+	p := PascalGTX1080()
+	cases := []struct {
+		name string
+		fp   KernelFootprint
+		want int
+	}{
+		{"zero threads", KernelFootprint{}, 0},
+		{"too many threads", KernelFootprint{ThreadsPerCTA: 2048}, 0},
+		{"smem over per-CTA cap", KernelFootprint{ThreadsPerCTA: 256, SharedMemPerCTA: 64 * 1024}, 0},
+		{"regs over SM", KernelFootprint{ThreadsPerCTA: 1024, RegsPerThread: 256}, 0},
+		{"tiny kernel hits CTA cap", KernelFootprint{ThreadsPerCTA: 32}, 32},
+		{"warp limited", KernelFootprint{ThreadsPerCTA: 512}, 4},
+		{"smem limited", KernelFootprint{ThreadsPerCTA: 64, SharedMemPerCTA: 24 * 1024}, 4},
+		{"reg limited", KernelFootprint{ThreadsPerCTA: 128, RegsPerThread: 128}, 4},
+		{"odd thread count rounds to warps", KernelFootprint{ThreadsPerCTA: 33}, 32},
+	}
+	for _, c := range cases {
+		if got := p.Occupancy(c.fp); got != c.want {
+			t.Errorf("%s: Occupancy(%+v) = %d, want %d", c.name, c.fp, got, c.want)
+		}
+	}
+}
+
+func TestOccupancyNeverExceedsHardLimits(t *testing.T) {
+	f := func(threads, regs, smem uint16) bool {
+		fp := KernelFootprint{
+			ThreadsPerCTA:   int(threads)%1200 + 1,
+			RegsPerThread:   int(regs) % 300,
+			SharedMemPerCTA: int(smem) % (64 * 1024),
+		}
+		for _, a := range All() {
+			n := a.Occupancy(fp)
+			if n < 0 || n > a.MaxCTAsPerSM {
+				return false
+			}
+			if n > 0 {
+				warps := (fp.ThreadsPerCTA + WarpSize - 1) / WarpSize
+				if n*warps > a.MaxWarpsPerSM {
+					return false
+				}
+				if fp.SharedMemPerCTA > 0 && n*fp.SharedMemPerCTA > a.SharedMemPerSM {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

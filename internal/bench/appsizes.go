@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"simtmp/internal/apps"
+	"simtmp/internal/trace"
+)
+
+// AppSizeRow reports each application's payload-size profile and the
+// eager/rendezvous protocol mix it would induce (§II-B) — trace data
+// the paper's matching-only evaluation leaves unused.
+type AppSizeRow struct {
+	App         string
+	MedianBytes float64
+	MaxBytes    float64
+	EagerPct    float64
+}
+
+// AppSizes derives the per-application protocol mix.
+func AppSizes(seed int64) []AppSizeRow {
+	var out []AppSizeRow
+	for _, m := range apps.All() {
+		tr := m.Generate(0, seed)
+		s := trace.Analyze(tr)
+		out = append(out, AppSizeRow{
+			App:         m.Spec.Name,
+			MedianBytes: s.MsgBytes.Median,
+			MaxBytes:    s.MsgBytes.Max,
+			EagerPct:    100 * s.EagerFraction,
+		})
+	}
+	return out
+}
+
+// PrintAppSizes formats the protocol-mix table.
+func PrintAppSizes(w io.Writer, rows []AppSizeRow) {
+	header(w, "Application payload sizes and eager/rendezvous mix (8 KiB threshold)")
+	fmt.Fprintln(w, "app        median-bytes  max-bytes   eager")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.0f  %9.0f  %5.1f%%\n", r.App, r.MedianBytes, r.MaxBytes, r.EagerPct)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	if bar(0, 10) != "" || bar(5, 0) != "" {
+		t.Error("degenerate bars not empty")
+	}
+	full := bar(10, 10)
+	if len([]rune(full)) != chartWidth {
+		t.Errorf("full bar = %d runes, want %d", len([]rune(full)), chartWidth)
+	}
+	if len([]rune(bar(0.0001, 10))) != 1 {
+		t.Error("tiny value should render one cell")
+	}
+	if half := len([]rune(bar(5, 10))); half != chartWidth/2 {
+		t.Errorf("half bar = %d, want %d", half, chartWidth/2)
+	}
+}
+
+func TestRenderChartProportions(t *testing.T) {
+	var buf bytes.Buffer
+	renderChart(&buf, "t", []series{{"a", 10}, {"bb", 5}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // title + underline + 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	aBar := strings.Count(lines[2], "█")
+	bBar := strings.Count(lines[3], "█")
+	if aBar != 2*bBar {
+		t.Errorf("bars not proportional: %d vs %d", aBar, bBar)
+	}
+}
+
+func TestChartsRenderWithoutPanicking(t *testing.T) {
+	var buf bytes.Buffer
+	ChartFigure4(&buf, []Fig4Point{{Arch: "Pascal", QueueLen: 64, RateM: 6}})
+	ChartFigure5(&buf, []Fig5Point{{Queues: 1, TotalLen: 512, RateM: 6}, {Queues: 4, TotalLen: 512, RateM: 22}})
+	ChartFigure6b(&buf, []Fig6bPoint{{Arch: "Pascal", Elements: 1024, CTAs: 32, RateM: 500}})
+	ChartTableII(&buf, []TableIIRow{{DataStructure: "Matrix", Ordering: true, RateM: 6}})
+	if buf.Len() == 0 {
+		t.Error("no chart output")
+	}
+}

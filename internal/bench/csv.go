@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+
+	"simtmp/internal/stats"
+)
+
+// WriteCSV renders any experiment's row slice as CSV: the header comes
+// from the struct field names, cells from the field values. Nested
+// stats.Summary fields expand into min/median/mean/max columns so the
+// Figure 2 distributions stay plottable. rows must be a slice of
+// structs (or pointers to structs).
+func WriteCSV(w io.Writer, rows any) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("bench: WriteCSV wants a slice, got %T", rows)
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	if v.Len() == 0 {
+		return nil
+	}
+	first := v.Index(0)
+	if first.Kind() == reflect.Pointer {
+		first = first.Elem()
+	}
+	if first.Kind() != reflect.Struct {
+		return fmt.Errorf("bench: WriteCSV wants structs, got %s", first.Kind())
+	}
+
+	var header []string
+	collectHeader(first.Type(), "", &header)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < v.Len(); i++ {
+		row := v.Index(i)
+		if row.Kind() == reflect.Pointer {
+			row = row.Elem()
+		}
+		var cells []string
+		collectCells(row, &cells)
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summaryType is the expanded distribution field type.
+var summaryType = reflect.TypeOf(stats.Summary{})
+
+// summaryCols are the Summary sub-columns exported to CSV.
+var summaryCols = []string{"min", "p25", "median", "mean", "p75", "p95", "max"}
+
+func collectHeader(t reflect.Type, prefix string, out *[]string) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := prefix + f.Name
+		if f.Type == summaryType {
+			for _, c := range summaryCols {
+				*out = append(*out, name+"_"+c)
+			}
+			continue
+		}
+		*out = append(*out, name)
+	}
+}
+
+func collectCells(v reflect.Value, out *[]string) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fv := v.Field(i)
+		if f.Type == summaryType {
+			s := fv.Interface().(stats.Summary)
+			for _, x := range []float64{s.Min, s.P25, s.Median, s.Mean, s.P75, s.P95, s.Max} {
+				*out = append(*out, trimFloat(x))
+			}
+			continue
+		}
+		switch fv.Kind() {
+		case reflect.Float64, reflect.Float32:
+			*out = append(*out, trimFloat(fv.Float()))
+		default:
+			*out = append(*out, fmt.Sprint(fv.Interface()))
+		}
+	}
+}
+
+// trimFloat renders floats compactly without scientific notation for
+// typical experiment magnitudes.
+func trimFloat(x float64) string {
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simtmp/internal/stats"
+)
+
+func TestWriteCSVBasic(t *testing.T) {
+	rows := []Fig4Point{
+		{Arch: "Pascal", QueueLen: 1024, RateM: 5.81},
+		{Arch: "Kepler", QueueLen: 512, RateM: 3.46},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "Arch,QueueLen,RateM" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "Pascal,1024,5.81" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVExpandsSummaries(t *testing.T) {
+	rows := []Fig2Row{{
+		App: "x",
+		UMQ: stats.Summarize([]float64{1, 2, 3}),
+		PRQ: stats.Summarize([]float64{4}),
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.Split(strings.TrimSpace(buf.String()), "\n")[0]
+	for _, col := range []string{"UMQ_min", "UMQ_median", "UMQ_max", "PRQ_mean"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("header %q missing %s", head, col)
+		}
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteCSV(&buf, []int{1, 2}); err == nil {
+		t.Error("non-struct slice accepted")
+	}
+	if err := WriteCSV(&buf, []Fig4Point{}); err != nil {
+		t.Errorf("empty slice: %v", err)
+	}
+}
+
+func TestWriteCSVAllExperimentRowTypes(t *testing.T) {
+	// Every experiment's row type must serialize (smoke over cheap
+	// experiments; the expensive ones share the same field kinds).
+	var buf bytes.Buffer
+	for _, rows := range []any{
+		TableI(1),
+		Figure2(1),
+		Figure6a(1),
+		[]TableIIRow{{DataStructure: "Matrix", RateM: 1}},
+		[]CompactionRow{{QueueLen: 1}},
+		[]StreamRow{{Engine: "hash", Stable: true}},
+		[]EndpointRow{{Engine: "hash"}},
+		[]SMRow{{Engine: "matrix"}},
+		[]MsgSizeRow{{Bytes: 8}},
+		[]ApplicabilityRow{{App: "x"}},
+	} {
+		buf.Reset()
+		if err := WriteCSV(&buf, rows); err != nil {
+			t.Errorf("%T: %v", rows, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%T: empty output", rows)
+		}
+	}
+}

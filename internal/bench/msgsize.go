@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/mpx"
+	"simtmp/internal/proto"
+)
+
+// MsgSizeRow is one point of the message-size sweep: the end-to-end
+// behaviour of the full stack (GAS put, matching, eager/rendezvous
+// transfer) as payloads grow — the dimension the paper's
+// matching-only experiments hold constant.
+type MsgSizeRow struct {
+	Bytes        int
+	Mode         string
+	MatchRateM   float64 // matching rate, M matches/s (simulated)
+	PerMsgUS     float64 // data movement per message, µs
+	EffectiveGBs float64 // payload bytes / transfer time
+}
+
+// MessageSizes sweeps payload sizes through a two-GPU runtime with
+// pre-posted receives, reporting protocol choice and effective
+// bandwidth per size.
+func MessageSizes() []MsgSizeRow {
+	sizes := []int{8, 256, 4 * 1024, 8 * 1024, 16 * 1024, 256 * 1024, 1 << 20}
+	const batch = 256
+	var out []MsgSizeRow
+	for _, size := range sizes {
+		rt := mpx.New(mpx.Config{Level: mpx.FullMPI, GPUs: 2, QueueCap: batch + 8})
+		payload := make([]byte, size)
+		var recvs []*mpx.Recv
+		for i := 0; i < batch; i++ {
+			r, err := rt.PostRecv(1, 0, envelope.Tag(i%1000), 0)
+			if err != nil {
+				panic(err)
+			}
+			recvs = append(recvs, r)
+		}
+		for i := 0; i < batch; i++ {
+			if err := rt.Send(0, 1, envelope.Tag(i%1000), 0, payload); err != nil {
+				panic(err)
+			}
+		}
+		if err := rt.Progress(); err != nil {
+			panic(err)
+		}
+		st := rt.Stats()
+		mode := proto.DefaultPolicy().ModeFor(size).String()
+		perMsg := st.TransferSeconds / float64(st.Matches)
+		row := MsgSizeRow{
+			Bytes:      size,
+			Mode:       mode,
+			MatchRateM: st.Rate() / 1e6,
+			PerMsgUS:   perMsg * 1e6,
+		}
+		if perMsg > 0 {
+			row.EffectiveGBs = float64(size) / perMsg / 1e9
+		}
+		out = append(out, row)
+		_ = recvs
+	}
+	return out
+}
+
+// PrintMessageSizes formats the size sweep.
+func PrintMessageSizes(w io.Writer, rows []MsgSizeRow) {
+	header(w, "Message-size sweep: protocol, per-message transfer time, effective bandwidth")
+	fmt.Fprintln(w, "bytes      mode        match-rate  per-msg     bandwidth")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9d  %-10s  %8.2fM  %7.2fµs  %8.2f GB/s\n",
+			r.Bytes, r.Mode, r.MatchRateM, r.PerMsgUS, r.EffectiveGBs)
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"simtmp/internal/match"
+	"simtmp/internal/workload"
+)
+
+// SMRow is one point of the multi-SM experiment: §VI-A remarks that
+// "if multiple SMs were used, the performance would be increasing
+// linearly since all CTAs would be running in parallel, however, less
+// resources would be available to execute the application". This
+// sweep quantifies that trade: a long queue needing 8 CTAs, matched
+// with 1..8 SMs dedicated to the communication kernel.
+type SMRow struct {
+	Engine  string
+	SMs     int
+	RateM   float64
+	Speedup float64
+	// AppSMsLeft is what remains for the application on a GTX1080
+	// (20 SMs total).
+	AppSMsLeft int
+}
+
+// SMSweep measures matrix and partitioned matching on an 8-CTA
+// workload across communication-SM counts.
+func SMSweep() []SMRow {
+	const n = 8192 // 8 CTAs of 1024 messages
+	msgs, reqs := workload.Generate(workload.Config{N: n, Peers: 64, Tags: 32, Seed: 4})
+	var out []SMRow
+	var base float64
+	for _, sms := range []int{1, 2, 4, 8} {
+		m := match.NewMatrixMatcher(match.MatrixConfig{MaxCTAs: 8, SMs: sms})
+		res := mustMatch(m, msgs, reqs)
+		r := mrate(res.Assignment.Matched(), res.SimSeconds)
+		if sms == 1 {
+			base = r
+		}
+		out = append(out, SMRow{
+			Engine: "matrix", SMs: sms, RateM: r, Speedup: r / base, AppSMsLeft: 20 - sms,
+		})
+	}
+	var pbase float64
+	for _, sms := range []int{1, 2, 4, 8} {
+		p := match.NewPartitionedMatcher(match.PartitionedConfig{Queues: 32, MaxCTAs: 8, SMs: sms})
+		res := mustMatch(p, msgs, reqs)
+		r := mrate(res.Assignment.Matched(), res.SimSeconds)
+		if sms == 1 {
+			pbase = r
+		}
+		out = append(out, SMRow{
+			Engine: "partitioned", SMs: sms, RateM: r, Speedup: r / pbase, AppSMsLeft: 20 - sms,
+		})
+	}
+	return out
+}
+
+// PrintSMSweep formats the multi-SM experiment.
+func PrintSMSweep(w io.Writer, rows []SMRow) {
+	header(w, "Multi-SM scaling: communication-kernel SMs vs matching rate (§VI-A remark)")
+	fmt.Fprintln(w, "engine       sms  matches/s  speedup  app-sms-left")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %4d  %8.2fM  %6.2fx  %12d\n", r.Engine, r.SMs, r.RateM, r.Speedup, r.AppSMsLeft)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"simtmp/internal/apps"
+	"simtmp/internal/stats"
+	"simtmp/internal/trace"
+)
+
+// TableIRow characterizes one proxy application (paper Table I + the
+// §IV prose findings).
+type TableIRow struct {
+	App        string
+	Suite      string
+	PaperRanks int
+	Ranks      int // scale this reproduction generated at
+	SrcWild    bool
+	TagWild    bool
+	Comms      int
+	PeersMean  float64
+	Tags       int
+	TagBits    int
+}
+
+// TableI generates each application's trace and re-derives the
+// characteristics through the analysis pipeline.
+func TableI(seed int64) []TableIRow {
+	var out []TableIRow
+	for _, m := range apps.All() {
+		tr := m.Generate(0, seed)
+		s := trace.Analyze(tr)
+		out = append(out, TableIRow{
+			App: m.Spec.Name, Suite: m.Spec.Suite,
+			PaperRanks: m.Spec.PaperRanks, Ranks: tr.Ranks,
+			SrcWild: s.SrcWildcardRecvs > 0, TagWild: s.TagWildcardRecvs > 0,
+			Comms: s.Communicators, PeersMean: s.PeersPerRank.Mean,
+			Tags: s.DistinctTags, TagBits: s.MaxTagBits,
+		})
+	}
+	return out
+}
+
+// PrintTableI formats Table I.
+func PrintTableI(w io.Writer, rows []TableIRow) {
+	header(w, "Table I: exascale proxy application characteristics")
+	fmt.Fprintln(w, "app        suite          ranks(paper)  src-wild  tag-wild  comms  peers/rank  tags   tag-bits")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-13s %5d(%5d)  %-8v  %-8v  %5d  %10.1f  %5d  %8d\n",
+			r.App, r.Suite, r.Ranks, r.PaperRanks, r.SrcWild, r.TagWild,
+			r.Comms, r.PeersMean, r.Tags, r.TagBits)
+	}
+}
+
+// Fig2Row is one application's queue-depth distribution (Figure 2
+// shows the UMQ; the paper omits the PRQ "due to their similarity").
+type Fig2Row struct {
+	App string
+	UMQ stats.Summary
+	PRQ stats.Summary
+}
+
+// Figure2 reconstructs the queues of every application trace.
+func Figure2(seed int64) []Fig2Row {
+	var out []Fig2Row
+	for _, m := range apps.All() {
+		tr := m.Generate(0, seed)
+		s := trace.Analyze(tr)
+		out = append(out, Fig2Row{App: m.Spec.Name, UMQ: s.UMQMax, PRQ: s.PRQMax})
+	}
+	return out
+}
+
+// PrintFigure2 formats the Figure 2 distributions.
+func PrintFigure2(w io.Writer, rows []Fig2Row) {
+	header(w, "Figure 2: UMQ depth per rank (max at any matching attempt)")
+	fmt.Fprintln(w, "app        umq[min p25 med mean p75 max]            prq[med mean max]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s [%5.0f %5.0f %5.0f %6.1f %5.0f %5.0f]   [%5.0f %6.1f %5.0f]\n",
+			r.App, r.UMQ.Min, r.UMQ.P25, r.UMQ.Median, r.UMQ.Mean, r.UMQ.P75, r.UMQ.Max,
+			r.PRQ.Median, r.PRQ.Mean, r.PRQ.Max)
+	}
+}
+
+// Fig6aRow is one application's tuple-uniqueness measurement.
+type Fig6aRow struct {
+	App string
+	// MeanSharePct / MaxSharePct: the share of the most common
+	// {src,tag} tuple among messages to a destination, averaged (and
+	// maxed) over destinations, in percent. Low = hash-friendly.
+	MeanSharePct float64
+	MaxSharePct  float64
+}
+
+// Figure6a measures tuple uniqueness for every application.
+func Figure6a(seed int64) []Fig6aRow {
+	var out []Fig6aRow
+	for _, m := range apps.All() {
+		tr := m.Generate(0, seed)
+		s := trace.Analyze(tr)
+		out = append(out, Fig6aRow{
+			App:          m.Spec.Name,
+			MeanSharePct: 100 * s.TupleUniqueness.Mean,
+			MaxSharePct:  100 * s.TupleUniqueness.Max,
+		})
+	}
+	return out
+}
+
+// PrintFigure6a formats the Figure 6a series.
+func PrintFigure6a(w io.Writer, rows []Fig6aRow) {
+	header(w, "Figure 6a: {src,tag} tuple uniqueness (share of most common tuple per destination)")
+	fmt.Fprintln(w, "app        mean-share  max-share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9.2f%%  %8.2f%%\n", r.App, r.MeanSharePct, r.MaxSharePct)
+	}
+}

@@ -1,0 +1,239 @@
+// Package envelope defines the message-matching envelope the paper
+// works with: the {source, tag, communicator} tuple, the two MPI
+// wildcards, and the packed 64-bit header encoding. The paper observes
+// (§IV) that no analyzed application needs tags longer than 16 bits, so
+// the entire header — 32-bit source, 16-bit tag, communicator and
+// flags — fits into a single 64-bit word, which is what the GPU
+// matchers load.
+package envelope
+
+import "fmt"
+
+// Rank identifies a process (an endpoint able to send and receive).
+type Rank int32
+
+// Tag is the user-assigned message tag. Only the low 16 bits are
+// representable in the packed header.
+type Tag int32
+
+// Comm identifies a communicator. Only the low 12 bits are
+// representable in the packed header.
+type Comm int32
+
+// Wildcards. They are valid only in receive requests, never in
+// message envelopes.
+const (
+	// AnySource matches any source rank (MPI_ANY_SOURCE).
+	AnySource Rank = -1
+	// AnyTag matches any tag (MPI_ANY_TAG).
+	AnyTag Tag = -1
+)
+
+// Limits of the packed representation.
+const (
+	MaxTag  Tag  = 1<<16 - 1
+	MaxComm Comm = 1<<12 - 1
+)
+
+// Envelope is the matching header carried by a message. All fields are
+// concrete (wildcards are illegal on the send side).
+type Envelope struct {
+	Src  Rank
+	Tag  Tag
+	Comm Comm
+}
+
+// String formats the envelope for diagnostics.
+func (e Envelope) String() string {
+	return fmt.Sprintf("{src:%d tag:%d comm:%d}", e.Src, e.Tag, e.Comm)
+}
+
+// Validate reports whether the envelope is legal to send: concrete
+// non-negative source, tag within 16 bits, communicator within 12 bits.
+func (e Envelope) Validate() error {
+	if e.Src < 0 {
+		return fmt.Errorf("envelope: source %d is negative (wildcards are receive-only)", e.Src)
+	}
+	if e.Tag < 0 || e.Tag > MaxTag {
+		return fmt.Errorf("envelope: tag %d outside [0,%d]", e.Tag, MaxTag)
+	}
+	if e.Comm < 0 || e.Comm > MaxComm {
+		return fmt.Errorf("envelope: communicator %d outside [0,%d]", e.Comm, MaxComm)
+	}
+	return nil
+}
+
+// Request is a posted receive request's matching criteria. Src may be
+// AnySource and Tag may be AnyTag.
+type Request struct {
+	Src  Rank
+	Tag  Tag
+	Comm Comm
+}
+
+// String formats the request, spelling out wildcards.
+func (r Request) String() string {
+	src, tag := fmt.Sprint(r.Src), fmt.Sprint(r.Tag)
+	if r.Src == AnySource {
+		src = "ANY"
+	}
+	if r.Tag == AnyTag {
+		tag = "ANY"
+	}
+	return fmt.Sprintf("{src:%s tag:%s comm:%d}", src, tag, r.Comm)
+}
+
+// Validate reports whether the request is legal to post.
+func (r Request) Validate() error {
+	if r.Src < 0 && r.Src != AnySource {
+		return fmt.Errorf("request: source %d is neither a rank nor AnySource", r.Src)
+	}
+	if (r.Tag < 0 && r.Tag != AnyTag) || r.Tag > MaxTag {
+		return fmt.Errorf("request: tag %d is neither in [0,%d] nor AnyTag", r.Tag, MaxTag)
+	}
+	if r.Comm < 0 || r.Comm > MaxComm {
+		return fmt.Errorf("request: communicator %d outside [0,%d]", r.Comm, MaxComm)
+	}
+	return nil
+}
+
+// HasWildcard reports whether the request uses any wildcard.
+func (r Request) HasWildcard() bool { return r.Src == AnySource || r.Tag == AnyTag }
+
+// Matches reports whether message envelope e satisfies request r,
+// honoring wildcards. The communicator always participates (it admits
+// no wildcard in MPI).
+func (r Request) Matches(e Envelope) bool {
+	if r.Comm != e.Comm {
+		return false
+	}
+	if r.Src != AnySource && r.Src != e.Src {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != e.Tag {
+		return false
+	}
+	return true
+}
+
+// Packed header layout (64 bits):
+//
+//	bits  0..31  source rank
+//	bits 32..47  tag (16 bits)
+//	bits 48..59  communicator (12 bits)
+//	bit  60      any-source wildcard
+//	bit  61      any-tag wildcard
+//	bit  62      valid (distinguishes a header from a zeroed slot)
+//	bit  63      reserved
+const (
+	srcShift   = 0
+	tagShift   = 32
+	commShift  = 48
+	anySrcBit  = 1 << 60
+	anyTagBit  = 1 << 61
+	validBit   = 1 << 62
+	srcMask64  = 0xFFFFFFFF
+	tagMask64  = 0xFFFF
+	commMask64 = 0xFFF
+)
+
+// Pack encodes the envelope into the 64-bit header the GPU matchers
+// load. Pack panics if the envelope is invalid; callers are expected to
+// Validate at the API boundary.
+func (e Envelope) Pack() uint64 {
+	if err := e.Validate(); err != nil {
+		panic("envelope: Pack on invalid envelope: " + err.Error())
+	}
+	return validBit |
+		uint64(uint32(e.Src))<<srcShift |
+		(uint64(e.Tag)&tagMask64)<<tagShift |
+		(uint64(e.Comm)&commMask64)<<commShift
+}
+
+// UnpackEnvelope decodes a packed header into an Envelope. The second
+// return value is false if the word does not carry a valid header.
+func UnpackEnvelope(w uint64) (Envelope, bool) {
+	if w&validBit == 0 {
+		return Envelope{}, false
+	}
+	return Envelope{
+		Src:  Rank(uint32(w >> srcShift)),
+		Tag:  Tag((w >> tagShift) & tagMask64),
+		Comm: Comm((w >> commShift) & commMask64),
+	}, true
+}
+
+// Pack encodes the request, setting wildcard flag bits as needed.
+// Pack panics if the request is invalid.
+func (r Request) Pack() uint64 {
+	if err := r.Validate(); err != nil {
+		panic("envelope: Pack on invalid request: " + err.Error())
+	}
+	w := uint64(validBit)
+	if r.Src == AnySource {
+		w |= anySrcBit
+	} else {
+		w |= uint64(uint32(r.Src)) << srcShift
+	}
+	if r.Tag == AnyTag {
+		w |= anyTagBit
+	} else {
+		w |= (uint64(r.Tag) & tagMask64) << tagShift
+	}
+	w |= (uint64(r.Comm) & commMask64) << commShift
+	return w
+}
+
+// UnpackRequest decodes a packed header into a Request. The second
+// return value is false if the word does not carry a valid header.
+func UnpackRequest(w uint64) (Request, bool) {
+	if w&validBit == 0 {
+		return Request{}, false
+	}
+	r := Request{
+		Src:  Rank(uint32(w >> srcShift)),
+		Tag:  Tag((w >> tagShift) & tagMask64),
+		Comm: Comm((w >> commShift) & commMask64),
+	}
+	if w&anySrcBit != 0 {
+		r.Src = AnySource
+	}
+	if w&anyTagBit != 0 {
+		r.Tag = AnyTag
+	}
+	return r, true
+}
+
+// MatchesPacked evaluates the match predicate directly on two packed
+// words — the comparison the GPU scan phase executes (a handful of
+// mask-and-compare ALU operations on a single 64-bit register each).
+func MatchesPacked(req, env uint64) bool {
+	if req&validBit == 0 || env&validBit == 0 {
+		return false
+	}
+	if (req>>commShift)&commMask64 != (env>>commShift)&commMask64 {
+		return false
+	}
+	if req&anySrcBit == 0 && (req>>srcShift)&srcMask64 != (env>>srcShift)&srcMask64 {
+		return false
+	}
+	if req&anyTagBit == 0 && (req>>tagShift)&tagMask64 != (env>>tagShift)&tagMask64 {
+		return false
+	}
+	return true
+}
+
+// Key returns the hash key for the envelope's {src, tag, comm} tuple —
+// the value the relaxed (unordered) matcher hashes. Wildcard-free
+// requests produce the same key for equal tuples.
+func (e Envelope) Key() uint64 { return e.Pack() }
+
+// Key returns the hash key for a wildcard-free request. It panics if
+// the request carries a wildcard: hash matching requires the relaxation
+// that prohibits wildcards.
+func (r Request) Key() uint64 {
+	if r.HasWildcard() {
+		panic("envelope: Key on wildcard request (prohibited under the hash relaxation)")
+	}
+	return r.Pack()
+}

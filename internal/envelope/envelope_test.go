@@ -1,0 +1,179 @@
+package envelope
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeValidate(t *testing.T) {
+	cases := []struct {
+		e  Envelope
+		ok bool
+	}{
+		{Envelope{0, 0, 0}, true},
+		{Envelope{1 << 20, MaxTag, MaxComm}, true},
+		{Envelope{-1, 0, 0}, false},
+		{Envelope{0, -1, 0}, false},
+		{Envelope{0, MaxTag + 1, 0}, false},
+		{Envelope{0, 0, -1}, false},
+		{Envelope{0, 0, MaxComm + 1}, false},
+	}
+	for _, c := range cases {
+		err := c.e.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.e, err, c.ok)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	cases := []struct {
+		r  Request
+		ok bool
+	}{
+		{Request{0, 0, 0}, true},
+		{Request{AnySource, AnyTag, 0}, true},
+		{Request{-2, 0, 0}, false},
+		{Request{0, -2, 0}, false},
+		{Request{0, MaxTag + 1, 0}, false},
+		{Request{0, 0, MaxComm + 1}, false},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.r, err, c.ok)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	e := Envelope{Src: 7, Tag: 42, Comm: 1}
+	cases := []struct {
+		r    Request
+		want bool
+	}{
+		{Request{7, 42, 1}, true},
+		{Request{AnySource, 42, 1}, true},
+		{Request{7, AnyTag, 1}, true},
+		{Request{AnySource, AnyTag, 1}, true},
+		{Request{8, 42, 1}, false},
+		{Request{7, 43, 1}, false},
+		{Request{7, 42, 2}, false},             // communicator always participates
+		{Request{AnySource, AnyTag, 2}, false}, // even under both wildcards
+	}
+	for _, c := range cases {
+		if got := c.r.Matches(e); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", c.r, e, got, c.want)
+		}
+	}
+}
+
+func TestHasWildcard(t *testing.T) {
+	if (Request{1, 2, 0}).HasWildcard() {
+		t.Error("concrete request reported wildcard")
+	}
+	if !(Request{AnySource, 2, 0}).HasWildcard() || !(Request{1, AnyTag, 0}).HasWildcard() {
+		t.Error("wildcard request not reported")
+	}
+}
+
+func TestPackUnpackEnvelopeRoundTrip(t *testing.T) {
+	f := func(src uint32, tag uint16, comm uint16) bool {
+		e := Envelope{Src: Rank(src % (1 << 30)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
+		got, ok := UnpackEnvelope(e.Pack())
+		return ok && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackRequestRoundTrip(t *testing.T) {
+	f := func(src uint32, tag uint16, comm uint16, anySrc, anyTag bool) bool {
+		r := Request{Src: Rank(src % (1 << 30)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
+		if anySrc {
+			r.Src = AnySource
+		}
+		if anyTag {
+			r.Tag = AnyTag
+		}
+		got, ok := UnpackRequest(r.Pack())
+		return ok && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackInvalidWord(t *testing.T) {
+	if _, ok := UnpackEnvelope(0); ok {
+		t.Error("UnpackEnvelope(0) reported valid")
+	}
+	if _, ok := UnpackRequest(0); ok {
+		t.Error("UnpackRequest(0) reported valid")
+	}
+}
+
+func TestMatchesPackedAgreesWithMatches(t *testing.T) {
+	f := func(src, rsrc uint16, tag, rtag uint8, comm, rcomm, flags uint8) bool {
+		e := Envelope{Src: Rank(src), Tag: Tag(tag), Comm: Comm(comm % 8)}
+		r := Request{Src: Rank(rsrc), Tag: Tag(rtag), Comm: Comm(rcomm % 8)}
+		if flags&1 != 0 {
+			r.Src = AnySource
+		}
+		if flags&2 != 0 {
+			r.Tag = AnyTag
+		}
+		if flags&4 != 0 { // force tuple collision half the time
+			r = Request{Src: e.Src, Tag: e.Tag, Comm: e.Comm}
+		}
+		return MatchesPacked(r.Pack(), e.Pack()) == r.Matches(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesPackedInvalid(t *testing.T) {
+	e := Envelope{1, 2, 3}.Pack()
+	if MatchesPacked(0, e) || MatchesPacked(e, 0) {
+		t.Error("MatchesPacked accepted an invalid word")
+	}
+}
+
+func TestPackPanicsOnInvalid(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Envelope.Pack", func() { Envelope{Src: -1}.Pack() })
+	assertPanics("Request.Pack", func() { Request{Tag: -5}.Pack() })
+	assertPanics("Request.Key wildcard", func() { Request{Src: AnySource}.Key() })
+}
+
+func TestKeyEquality(t *testing.T) {
+	e := Envelope{Src: 3, Tag: 9, Comm: 1}
+	r := Request{Src: 3, Tag: 9, Comm: 1}
+	if e.Key() != r.Key() {
+		t.Error("matching tuple produced different keys")
+	}
+	r2 := Request{Src: 3, Tag: 10, Comm: 1}
+	if e.Key() == r2.Key() {
+		t.Error("different tuples produced equal keys")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := (Envelope{1, 2, 3}).String(); !strings.Contains(s, "src:1") {
+		t.Errorf("Envelope.String() = %q", s)
+	}
+	s := (Request{AnySource, AnyTag, 0}).String()
+	if !strings.Contains(s, "src:ANY") || !strings.Contains(s, "tag:ANY") {
+		t.Errorf("Request.String() = %q, want wildcards spelled out", s)
+	}
+}

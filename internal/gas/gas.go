@@ -1,0 +1,128 @@
+// Package gas simulates the global address space the paper presumes
+// (§II-C): GPUs clustered over NVLink/PCIe spanning a virtual address
+// space, where a send is a direct write into a message ring in the
+// peer's device memory and a receive queries the local ring. One
+// communication kernel per GPU performs matching in the background.
+// The ring is credit-flow-controlled: a sender that outruns the
+// receiver sees back-pressure, never data loss.
+package gas
+
+import (
+	"fmt"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/ring"
+	"simtmp/internal/simt"
+)
+
+// Message is a delivered or in-flight message: the matching header
+// plus an opaque payload. Seq is the sender-side logical timestamp the
+// runtime uses to decide whether the matching receive was pre-posted.
+type Message struct {
+	Env     envelope.Envelope
+	Payload []byte
+	Seq     uint64
+}
+
+// GPU is one simulated device in the cluster: its SIMT device, its
+// message ring in device global memory, and the parallel payload store
+// (the ring slot carries only the packed {src,tag,comm} header; the
+// payload would live in a registered buffer pool).
+type GPU struct {
+	ID     int
+	Device *simt.Device
+
+	incoming *ring.Ring
+	side     []sideEntry // payload+seq FIFO, parallel to the ring
+}
+
+type sideEntry struct {
+	payload []byte
+	seq     uint64
+}
+
+// Pending returns the number of undelivered messages in the GPU's
+// ring.
+func (g *GPU) Pending() int { return g.incoming.Len() }
+
+// Ring exposes the transport ring (e.g. to inspect credits).
+func (g *GPU) Ring() *ring.Ring { return g.incoming }
+
+// Drain removes and returns all pending messages in arrival order and
+// returns the freed slots to the sender as credits.
+func (g *GPU) Drain() []Message {
+	out := make([]Message, 0, g.incoming.Len())
+	for {
+		w, ok := g.incoming.Pop()
+		if !ok {
+			break
+		}
+		env, valid := envelope.UnpackEnvelope(w)
+		side := g.side[0]
+		g.side = g.side[1:]
+		if !valid {
+			continue
+		}
+		out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq})
+	}
+	g.incoming.ReturnCredits()
+	return out
+}
+
+// Cluster is a set of GPUs sharing a global address space.
+type Cluster struct {
+	gpus []*GPU
+}
+
+// NewCluster creates n GPUs of the given architecture, each with a
+// message ring of queueCap entries.
+func NewCluster(n int, a *arch.Arch, queueCap int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("gas: cluster of %d GPUs", n))
+	}
+	if queueCap <= 0 {
+		queueCap = 4096
+	}
+	c := &Cluster{gpus: make([]*GPU, n)}
+	for i := range c.gpus {
+		dev := simt.NewDevice(a, ring.Words(queueCap)+64)
+		c.gpus[i] = &GPU{
+			ID:       i,
+			Device:   dev,
+			incoming: ring.New(dev.Global, 0, queueCap),
+		}
+	}
+	return c
+}
+
+// Size returns the number of GPUs.
+func (c *Cluster) Size() int { return len(c.gpus) }
+
+// GPU returns device i.
+func (c *Cluster) GPU(i int) *GPU { return c.gpus[i] }
+
+// Put performs the GAS send with a zero timestamp; see PutSeq.
+func (c *Cluster) Put(dst int, env envelope.Envelope, payload []byte) error {
+	return c.PutSeq(dst, env, payload, 0)
+}
+
+// PutSeq performs the GAS send: a direct remote enqueue of the packed
+// header (and payload) into dst's message ring, no CPU involved. It
+// returns an error when the sender is out of credits — the
+// back-pressure a real flow-control protocol surfaces. seq is the
+// sender's logical timestamp, delivered with the message.
+func (c *Cluster) PutSeq(dst int, env envelope.Envelope, payload []byte, seq uint64) error {
+	if dst < 0 || dst >= len(c.gpus) {
+		return fmt.Errorf("gas: destination GPU %d outside [0,%d)", dst, len(c.gpus))
+	}
+	if err := env.Validate(); err != nil {
+		return fmt.Errorf("gas: %w", err)
+	}
+	g := c.gpus[dst]
+	if err := g.incoming.Push(env.Pack()); err != nil {
+		return fmt.Errorf("gas: GPU %d: %w", dst, err)
+	}
+	g.side = append(g.side, sideEntry{payload: payload, seq: seq})
+	return nil
+}

@@ -1,0 +1,93 @@
+package gas
+
+import (
+	"testing"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+)
+
+func TestClusterPutDrain(t *testing.T) {
+	c := NewCluster(3, arch.PascalGTX1080(), 16)
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if err := c.Put(2, envelope.Envelope{Src: 0, Tag: 5}, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, envelope.Envelope{Src: 1, Tag: 6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := c.GPU(2)
+	if g.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", g.Pending())
+	}
+	msgs := g.Drain()
+	if len(msgs) != 2 {
+		t.Fatalf("Drain returned %d messages", len(msgs))
+	}
+	if msgs[0].Env.Src != 0 || string(msgs[0].Payload) != "hi" {
+		t.Errorf("first message = %+v", msgs[0])
+	}
+	if msgs[1].Env.Tag != 6 {
+		t.Errorf("second message = %+v", msgs[1])
+	}
+	if g.Pending() != 0 {
+		t.Error("queue not empty after Drain")
+	}
+}
+
+func TestPutErrors(t *testing.T) {
+	c := NewCluster(1, arch.KeplerK80(), 2)
+	if err := c.Put(5, envelope.Envelope{}, nil); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := c.Put(0, envelope.Envelope{Src: -1}, nil); err == nil {
+		t.Error("invalid envelope accepted")
+	}
+	// Queue overflow.
+	for i := 0; i < 2; i++ {
+		if err := c.Put(0, envelope.Envelope{Src: 0, Tag: envelope.Tag(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Put(0, envelope.Envelope{Src: 0, Tag: 9}, nil); err == nil {
+		t.Error("overflow not reported")
+	}
+}
+
+func TestNewClusterPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewCluster(0, arch.PascalGTX1080(), 8)
+}
+
+func TestDefaultQueueCap(t *testing.T) {
+	c := NewCluster(1, arch.PascalGTX1080(), 0)
+	if got := c.GPU(0).Ring().Cap(); got != 4096 {
+		t.Errorf("default cap = %d, want 4096", got)
+	}
+}
+
+func TestCreditsReturnedOnDrain(t *testing.T) {
+	c := NewCluster(2, arch.PascalGTX1080(), 3)
+	for i := 0; i < 3; i++ {
+		if err := c.Put(1, envelope.Envelope{Src: 0, Tag: envelope.Tag(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ring full: back-pressure.
+	if err := c.Put(1, envelope.Envelope{Src: 0, Tag: 9}, nil); err == nil {
+		t.Fatal("push over capacity succeeded")
+	}
+	// Drain returns credits; sending works again.
+	if got := len(c.GPU(1).Drain()); got != 3 {
+		t.Fatalf("Drain = %d, want 3", got)
+	}
+	if err := c.Put(1, envelope.Envelope{Src: 0, Tag: 9}, nil); err != nil {
+		t.Fatalf("post-drain put: %v", err)
+	}
+}

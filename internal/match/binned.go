@@ -1,0 +1,100 @@
+package match
+
+import (
+	"fmt"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/hash"
+)
+
+// BinnedListMatcher is the CPU-side optimization the paper's related
+// work describes (§III, Flajslik et al.): incoming messages are
+// distributed over hash-addressed bins, and marker sequence numbers
+// restore MPI's ordering and wildcard semantics across bins. It keeps
+// full MPI compliance while cutting the traversal length per match —
+// the paper reports 3.5× application-level speedup from this idea; the
+// bench harness reproduces the matching-rate side of that claim
+// against ListMatcher.
+//
+// Like ListMatcher it runs natively on the host and is measured in
+// real wall-clock.
+type BinnedListMatcher struct {
+	// Bins is the number of hash bins (default 64, within the range
+	// the related work evaluates).
+	Bins int
+}
+
+// NewBinnedListMatcher returns a binned CPU matcher.
+func NewBinnedListMatcher(bins int) *BinnedListMatcher {
+	if bins <= 0 {
+		bins = 64
+	}
+	return &BinnedListMatcher{Bins: bins}
+}
+
+// Name implements Matcher.
+func (b *BinnedListMatcher) Name() string {
+	return fmt.Sprintf("cpu-binned(%d)", b.Bins)
+}
+
+// binEntry is one message in a bin, with its arrival sequence number
+// (the "marker" that restores global order when wildcards force a
+// cross-bin scan).
+type binEntry struct {
+	seq int32
+	env uint64
+}
+
+// Match implements Matcher with full MPI semantics.
+func (b *BinnedListMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return nil, err
+	}
+	bins := make([][]binEntry, b.Bins)
+	binOf := func(key uint64) int {
+		return int(hash.Jenkins6Shift(key)) % b.Bins
+	}
+	for i, m := range msgs {
+		w := m.Pack()
+		bi := binOf(w)
+		bins[bi] = append(bins[bi], binEntry{seq: int32(i), env: w})
+	}
+
+	a := make(Assignment, len(reqs))
+	for ri, r := range reqs {
+		a[ri] = NoMatch
+		rp := r.Pack()
+		if !r.HasWildcard() {
+			// Concrete request: exactly one bin can hold its match, and
+			// within the bin entries are in arrival order.
+			bi := binOf(rp)
+			for j, e := range bins[bi] {
+				if e.seq >= 0 && envelope.MatchesPacked(rp, e.env) {
+					a[ri] = int(e.seq)
+					bins[bi][j].seq = -1
+					break
+				}
+			}
+			continue
+		}
+		// Wildcard request: scan all bins, taking the earliest sequence
+		// number among per-bin first matches (the marker discipline).
+		bestSeq, bestBin, bestIdx := int32(-1), -1, -1
+		for bi := range bins {
+			for j, e := range bins[bi] {
+				if e.seq < 0 || !envelope.MatchesPacked(rp, e.env) {
+					continue
+				}
+				if bestSeq < 0 || e.seq < bestSeq {
+					bestSeq, bestBin, bestIdx = e.seq, bi, j
+				}
+				break // entries are in arrival order within the bin
+			}
+		}
+		if bestBin >= 0 {
+			a[ri] = int(bestSeq)
+			bins[bestBin][bestIdx].seq = -1
+		}
+	}
+	return &Result{Assignment: a, Iterations: 1}, nil
+}

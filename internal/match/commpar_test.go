@@ -1,0 +1,66 @@
+package match
+
+import (
+	"testing"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/workload"
+)
+
+func TestCommParallelMatchesOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		// Spread traffic over 7 communicators (the MiniDFT case).
+		var msgs []envelope.Envelope
+		var reqs []envelope.Request
+		for cm := envelope.Comm(0); cm < 7; cm++ {
+			m, r := workload.Generate(workload.Config{N: 150, Comm: cm, Seed: seed + int64(cm), SrcWildcards: 0.2})
+			msgs = append(msgs, m...)
+			reqs = append(reqs, r...)
+		}
+		cp := NewCommParallelMatcher(MatrixConfig{})
+		res, err := cp.Match(msgs, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyOrdered(msgs, reqs, res.Assignment); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCommParallelSpeedupWithComms(t *testing.T) {
+	// §VI: communicator partitioning is free parallelism. The same
+	// total load over 7 communicators must match substantially faster
+	// than over 1 (the slowest communicator dominates instead of the
+	// sum).
+	const total = 1400
+	single, singleReqs := workload.Generate(workload.Config{N: total, Seed: 5})
+	var multi []envelope.Envelope
+	var multiReqs []envelope.Request
+	for cm := envelope.Comm(0); cm < 7; cm++ {
+		m, r := workload.Generate(workload.Config{N: total / 7, Comm: cm, Seed: 5 + int64(cm)})
+		multi = append(multi, m...)
+		multiReqs = append(multiReqs, r...)
+	}
+	cp := NewCommParallelMatcher(MatrixConfig{})
+	rs, err := cp.Match(single, singleReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := cp.Match(multi, multiReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rs.SimSeconds / rm.SimSeconds
+	if speedup < 3 {
+		t.Errorf("7-communicator speedup = %.2fx, want >3x", speedup)
+	}
+}
+
+func TestCommParallelEmpty(t *testing.T) {
+	cp := NewCommParallelMatcher(MatrixConfig{})
+	res, err := cp.Match(nil, nil)
+	if err != nil || len(res.Assignment) != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+}

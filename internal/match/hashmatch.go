@@ -1,0 +1,450 @@
+package match
+
+import (
+	"fmt"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/hash"
+	"simtmp/internal/simt"
+	"simtmp/internal/timing"
+)
+
+// CollisionPolicy selects how the hash matcher resolves collisions.
+type CollisionPolicy int
+
+const (
+	// TwoLevel is the paper's scheme: a primary table five times the
+	// size of a secondary table; a collision in the primary falls back
+	// to the secondary, a second collision defers the element to the
+	// next iteration.
+	TwoLevel CollisionPolicy = iota
+	// LinearProbe is the ablation alternative: one table with bounded
+	// linear probing.
+	LinearProbe
+)
+
+// String names the policy.
+func (c CollisionPolicy) String() string {
+	switch c {
+	case TwoLevel:
+		return "two-level"
+	case LinearProbe:
+		return "linear-probe"
+	default:
+		return fmt.Sprintf("CollisionPolicy(%d)", int(c))
+	}
+}
+
+// maxProbe bounds linear probing before an element defers.
+const maxProbe = 8
+
+// HashConfig configures the unordered (hash-table) matcher of §VI-C.
+type HashConfig struct {
+	// Arch selects the simulated GPU (default Pascal GTX1080).
+	Arch *arch.Arch
+	// CTAs is the number of CTAs launched (default 1). All CTAs run on
+	// one SM; beyond the occupancy limit they serialize (Figure 6b).
+	CTAs int
+	// HashName selects the hash function ("jenkins" — the paper's
+	// choice —, "fnv1a" or "xorshift"; default jenkins).
+	HashName string
+	// Policy selects the collision resolution (default TwoLevel).
+	Policy CollisionPolicy
+}
+
+// HashMatcher implements the paper's strongest relaxation: no
+// wildcards and no ordering, enabling a hash table with constant-time
+// insert and probe. Each iteration inserts pending receive requests
+// (thread per request, CAS per slot) and then probes pending messages
+// (thread per message); unplaced elements defer to the next iteration.
+type HashMatcher struct {
+	cfg   HashConfig
+	fn    hash.Func
+	cost  int
+	model timing.Model
+	// workingSet is the table footprint of the current Match call, in
+	// words, used for L2-residency pricing.
+	workingSet int
+}
+
+// NewHashMatcher returns a matcher with the given configuration. It
+// returns an error for an unknown hash function name.
+func NewHashMatcher(cfg HashConfig) (*HashMatcher, error) {
+	if cfg.Arch == nil {
+		cfg.Arch = arch.PascalGTX1080()
+	}
+	if cfg.CTAs <= 0 {
+		cfg.CTAs = 1
+	}
+	if cfg.HashName == "" {
+		cfg.HashName = "jenkins"
+	}
+	fn, err := hash.ByName(cfg.HashName)
+	if err != nil {
+		return nil, err
+	}
+	return &HashMatcher{
+		cfg:   cfg,
+		fn:    fn,
+		cost:  hash.CostALU(cfg.HashName),
+		model: timing.NewModel(cfg.Arch),
+	}, nil
+}
+
+// MustHashMatcher is NewHashMatcher that panics on error, for
+// configurations known statically valid.
+func MustHashMatcher(cfg HashConfig) *HashMatcher {
+	m, err := NewHashMatcher(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Matcher.
+func (h *HashMatcher) Name() string {
+	return fmt.Sprintf("gpu-hash(%s,%s,ctas=%d)", h.cfg.Arch.Generation, h.cfg.HashName, h.cfg.CTAs)
+}
+
+// tableSizes returns (primary, secondary) slot counts for a batch of n
+// elements: the secondary is the next power of two holding n/2, the
+// primary five times that (the paper's ratio).
+func tableSizes(n int) (int, int) {
+	s := 64
+	for s < n {
+		s *= 2
+	}
+	return 5 * s, s
+}
+
+// Match implements Matcher under the no-wildcards/no-ordering
+// relaxation. Wildcard requests are rejected with ErrWildcard.
+func (h *HashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return nil, err
+	}
+	for i, r := range reqs {
+		if r.HasWildcard() {
+			return nil, fmt.Errorf("request %d: %w", i, ErrWildcard)
+		}
+	}
+	res := &Result{Assignment: make(Assignment, len(reqs))}
+	for i := range res.Assignment {
+		res.Assignment[i] = NoMatch
+	}
+	if len(reqs) == 0 {
+		return res, nil
+	}
+
+	n := len(reqs)
+	if len(msgs) > n {
+		n = len(msgs)
+	}
+	primSize, secSize := tableSizes(n)
+	if h.cfg.Policy == LinearProbe {
+		primSize, secSize = primSize+secSize, 0
+	}
+
+	// Tables live in device global memory: slot words hold the packed
+	// tuple key; a parallel index array records the request index.
+	h.workingSet = primSize + secSize
+	mem := simt.NewMemory(primSize + secSize)
+	primIdx := make([]int, primSize)
+	secIdx := make([]int, secSize)
+
+	pendReq := make([]int, len(reqs))
+	for i := range pendReq {
+		pendReq[i] = i
+	}
+	pendMsg := make([]int, len(msgs))
+	for i := range pendMsg {
+		pendMsg[i] = i
+	}
+	reqKeys := make([]uint64, len(reqs))
+	for i, r := range reqs {
+		reqKeys[i] = r.Key()
+	}
+	msgKeys := make([]uint64, len(msgs))
+	for i, m := range msgs {
+		msgKeys[i] = m.Key()
+	}
+
+	var totalCycles float64
+	var totalCtrs simt.Counters
+	for {
+		res.Iterations++
+		inserted, insCycles, insCtrs := h.insertPhase(mem, primSize, secSize, primIdx, secIdx, reqKeys, &pendReq)
+		matched, probeCycles, probeCtrs := h.probePhase(mem, primSize, secSize, primIdx, secIdx, msgKeys, &pendMsg, res.Assignment)
+		totalCycles += insCycles + probeCycles
+		totalCtrs.Add(insCtrs)
+		totalCtrs.Add(probeCtrs)
+		if len(pendMsg) == 0 && len(pendReq) == 0 {
+			break
+		}
+		if inserted == 0 && matched == 0 {
+			break // no progress through the tables
+		}
+	}
+
+	// Overflow path: requests that could never enter the tables (both
+	// their slots held by stale keys whose messages never arrive) are
+	// matched through a linear overflow list. This extension beyond the
+	// paper guarantees the engine finds every matchable pair even under
+	// adversarial collision patterns; it is billed as a dependent walk.
+	if len(pendMsg) > 0 && len(pendReq) > 0 {
+		byKey := make(map[uint64][]int, len(pendReq))
+		for _, ri := range pendReq {
+			byKey[reqKeys[ri]] = append(byKey[reqKeys[ri]], ri)
+		}
+		for _, mi := range pendMsg {
+			if lst := byKey[msgKeys[mi]]; len(lst) > 0 {
+				res.Assignment[lst[0]] = mi
+				byKey[msgKeys[mi]] = lst[1:]
+			}
+		}
+		totalCycles += float64(len(pendMsg)+len(pendReq)) * h.model.P.GMemDep
+	}
+	totalCycles += h.model.P.LaunchOverhead
+
+	res.SimSeconds = h.model.Seconds(totalCycles)
+	res.Counters = totalCtrs
+	return res, nil
+}
+
+// slots returns the probe sequence for a key: (primary slot, secondary
+// slot) under TwoLevel, or a probe window under LinearProbe encoded as
+// successive primary slots.
+func (h *HashMatcher) primarySlot(key uint64, primSize int) int {
+	return int(h.fn(key)) % primSize
+}
+
+func (h *HashMatcher) secondarySlot(key uint64, secSize int) int {
+	return int(h.fn(key^0x9e3779b97f4a7c15)) % secSize
+}
+
+// insertPhase inserts pending requests into the tables: one thread per
+// request, a CAS per placement attempt. It returns the number placed,
+// the phase cycles and counters, and compacts the pending list.
+func (h *HashMatcher) insertPhase(mem *simt.Memory, primSize, secSize int, primIdx, secIdx []int, reqKeys []uint64, pend *[]int) (int, float64, simt.Counters) {
+	stats := h.runElementKernel(len(*pend), func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)) {
+		ids := make([]int, simt.LaneCount)
+		keys := make([]uint64, simt.LaneCount)
+		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
+		w.LoadGlobal(simt.Wrap(reqKeys),
+			func(lane int) int { return ids[lane] },
+			func(lane int, v uint64) { keys[lane] = v })
+		w.Exec(h.cost, func(lane int) {}) // hash evaluation
+
+		placedPrim := make([]bool, simt.LaneCount)
+		w.AtomicCAS(mem,
+			func(lane int) int { return h.primarySlot(keys[lane], primSize) },
+			func(lane int) uint64 { return 0 },
+			func(lane int) uint64 { return keys[lane] },
+			func(lane int, prev uint64, swapped bool) {
+				if swapped {
+					slot := h.primarySlot(keys[lane], primSize)
+					primIdx[slot] = ids[lane]
+					placedPrim[lane] = true
+				}
+			})
+
+		if h.cfg.Policy == LinearProbe {
+			// Bounded linear probing from the home slot.
+			done := make([]bool, simt.LaneCount)
+			copy(done, placedPrim)
+			for step := 1; step < maxProbe; step++ {
+				tryMask := w.Ballot(func(lane int) bool { return !done[lane] })
+				if tryMask == 0 {
+					break
+				}
+				w.WithMask(tryMask, func() {
+					w.AtomicCAS(mem,
+						func(lane int) int { return (h.primarySlot(keys[lane], primSize) + step) % primSize },
+						func(lane int) uint64 { return 0 },
+						func(lane int) uint64 { return keys[lane] },
+						func(lane int, prev uint64, swapped bool) {
+							if swapped {
+								slot := (h.primarySlot(keys[lane], primSize) + step) % primSize
+								primIdx[slot] = ids[lane]
+								done[lane] = true
+							}
+						})
+				})
+			}
+			w.Exec(1, func(lane int) { keep(lane, !done[lane]) })
+			return
+		}
+
+		// Two-level fallback: collide into the secondary table.
+		secMask := w.Ballot(func(lane int) bool { return !placedPrim[lane] })
+		placedSec := make([]bool, simt.LaneCount)
+		if secMask != 0 {
+			w.WithMask(secMask, func() {
+				w.AtomicCAS(mem,
+					func(lane int) int { return primSize + h.secondarySlot(keys[lane], secSize) },
+					func(lane int) uint64 { return 0 },
+					func(lane int) uint64 { return keys[lane] },
+					func(lane int, prev uint64, swapped bool) {
+						if swapped {
+							slot := h.secondarySlot(keys[lane], secSize)
+							secIdx[slot] = ids[lane]
+							placedSec[lane] = true
+						}
+					})
+			})
+		}
+		w.Exec(1, func(lane int) { keep(lane, !placedPrim[lane] && !placedSec[lane]) })
+	}, pend)
+	placed := stats.placed
+	return placed, stats.cycles, stats.ctrs
+}
+
+// probePhase matches pending messages against the tables: one thread
+// per message; a successful claim CASes the slot back to empty, which
+// both records the match and frees the slot for later inserts.
+func (h *HashMatcher) probePhase(mem *simt.Memory, primSize, secSize int, primIdx, secIdx []int, msgKeys []uint64, pend *[]int, assign Assignment) (int, float64, simt.Counters) {
+	stats := h.runElementKernel(len(*pend), func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)) {
+		ids := make([]int, simt.LaneCount)
+		keys := make([]uint64, simt.LaneCount)
+		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
+		w.LoadGlobal(simt.Wrap(msgKeys),
+			func(lane int) int { return ids[lane] },
+			func(lane int, v uint64) { keys[lane] = v })
+		w.Exec(h.cost, func(lane int) {}) // hash evaluation
+
+		matched := make([]bool, simt.LaneCount)
+		claim := func(slotOf func(lane int) int, idxArr []int, offset int) {
+			w.AtomicCAS(mem,
+				func(lane int) int { return offset + slotOf(lane) },
+				func(lane int) uint64 { return keys[lane] },
+				func(lane int) uint64 { return 0 },
+				func(lane int, prev uint64, swapped bool) {
+					if swapped {
+						assign[idxArr[slotOf(lane)]] = ids[lane]
+						matched[lane] = true
+					}
+				})
+		}
+
+		if h.cfg.Policy == LinearProbe {
+			for step := 0; step < maxProbe; step++ {
+				tryMask := w.Ballot(func(lane int) bool { return !matched[lane] })
+				if tryMask == 0 {
+					break
+				}
+				w.WithMask(tryMask, func() {
+					claim(func(lane int) int {
+						return (h.primarySlot(keys[lane], primSize) + step) % primSize
+					}, primIdx, 0)
+				})
+			}
+			w.Exec(1, func(lane int) { keep(lane, !matched[lane]) })
+			return
+		}
+
+		claim(func(lane int) int { return h.primarySlot(keys[lane], primSize) }, primIdx, 0)
+		missMask := w.Ballot(func(lane int) bool { return !matched[lane] })
+		if missMask != 0 {
+			w.WithMask(missMask, func() {
+				claim(func(lane int) int { return h.secondarySlot(keys[lane], secSize) }, secIdx, primSize)
+			})
+		}
+		w.Exec(1, func(lane int) { keep(lane, !matched[lane]) })
+	}, pend)
+	return stats.placed, stats.cycles, stats.ctrs
+}
+
+// kernelStats aggregates one element-parallel phase.
+type kernelStats struct {
+	placed int
+	cycles float64
+	ctrs   simt.Counters
+}
+
+// runElementKernel runs body once per warp of pending elements,
+// distributing warps across the configured CTAs, and computes the
+// phase's simulated cycles with occupancy-driven wave serialization.
+// body receives a callback to mark which lanes remain pending; the
+// pending list is compacted in place afterwards.
+func (h *HashMatcher) runElementKernel(pending int, body func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)), pend *[]int) kernelStats {
+	var out kernelStats
+	if pending == 0 {
+		return out
+	}
+	still := make([]bool, pending)
+
+	warpsTotal := (pending + simt.LaneCount - 1) / simt.LaneCount
+	warpsPerCTA := (warpsTotal + h.cfg.CTAs - 1) / h.cfg.CTAs
+	if warpsPerCTA > simt.MaxWarpsPerCTA {
+		warpsPerCTA = simt.MaxWarpsPerCTA
+	}
+
+	perCTA := make([]simt.Counters, 0, h.cfg.CTAs)
+	warp := 0
+	for warp < warpsTotal {
+		ctaWarps := warpsPerCTA
+		if warp+ctaWarps > warpsTotal {
+			ctaWarps = warpsTotal - warp
+		}
+		cta := simt.NewCTA(len(perCTA), ctaWarps*simt.LaneCount, 0)
+		for wi := 0; wi < ctaWarps; wi++ {
+			w := cta.Warp(wi)
+			base := (warp + wi) * simt.LaneCount
+			active := w.Ballot(func(lane int) bool { return base+lane < pending })
+			w.SetActive(active)
+			body(w, base, active, func(lane int, stillPending bool) {
+				if base+lane < pending {
+					still[base+lane] = stillPending
+				}
+			})
+			w.SetActive(simt.FullMask)
+		}
+		perCTA = append(perCTA, cta.Counters())
+		warp += ctaWarps
+	}
+
+	// Timing: waves of occupancy-many CTAs, plus the device-wide
+	// barrier that separates the insert and probe phases (the tables
+	// live in global memory, so each phase is its own grid launch).
+	out.cycles += h.model.P.LaunchOverhead * 0.15
+	fp := arch.KernelFootprint{ThreadsPerCTA: warpsPerCTA * simt.LaneCount, RegsPerThread: 32, SharedMemPerCTA: 0}
+	occ := h.cfg.Arch.Occupancy(fp)
+	if occ < 1 {
+		occ = 1
+	}
+	for start := 0; start < len(perCTA); start += occ {
+		end := start + occ
+		if end > len(perCTA) {
+			end = len(perCTA)
+		}
+		var wave simt.Counters
+		for i := start; i < end; i++ {
+			wave.Add(perCTA[i])
+			out.ctrs.Add(perCTA[i])
+		}
+		out.cycles += h.model.PhaseCycles(timing.Phase{
+			Kind:            timing.Throughput,
+			Ctrs:            wave,
+			ResidentWarps:   (end - start) * warpsPerCTA,
+			WorkingSetWords: h.workingSet,
+		})
+		// CTA-wide barrier closing the phase: wider CTAs pay more —
+		// the reason the paper sees 32 small CTAs outperform one
+		// 1024-thread CTA (110M → 150M on Kepler).
+		out.cycles += float64(warpsPerCTA) * h.model.P.SyncCost * 0.6
+	}
+
+	// Compact the pending list (in the real kernel this is a ballot
+	// prefix-sum compaction; its cost is folded into the counters
+	// already billed).
+	next := (*pend)[:0]
+	for i := 0; i < pending; i++ {
+		if still[i] {
+			next = append(next, (*pend)[i])
+		}
+	}
+	out.placed = pending - len(next)
+	*pend = next
+	return out
+}

@@ -1,0 +1,126 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/workload"
+)
+
+func TestWildcardHashBasic(t *testing.T) {
+	w, err := NewWildcardHashMatcher(HashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []envelope.Envelope{env(1, 5), env(2, 5), env(3, 9)}
+	reqs := []envelope.Request{
+		{Src: 2, Tag: 5},                  // concrete: msg 1
+		{Src: envelope.AnySource, Tag: 5}, // wildcard: msg 0 (leftover)
+		{Src: 3, Tag: envelope.AnyTag},    // wildcard: msg 2
+	}
+	res, err := w.Match(msgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMaximal(msgs, reqs, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 1 {
+		t.Errorf("concrete request got message %d, want 1", res.Assignment[0])
+	}
+	if res.Assignment.Matched() != 3 {
+		t.Errorf("matched %d, want 3", res.Assignment.Matched())
+	}
+}
+
+func TestWildcardHashConcreteOnlyEqualsHash(t *testing.T) {
+	msgs, reqs := workload.UniqueTuples(512, 8)
+	w, _ := NewWildcardHashMatcher(HashConfig{})
+	res, err := w.Match(msgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyUnordered(msgs, reqs, res.Assignment); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWildcardHashFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		cfg := workload.Config{
+			N:             rng.Intn(400) + 1,
+			Requests:      rng.Intn(400) + 1,
+			Peers:         rng.Intn(6) + 1,
+			Tags:          rng.Intn(5) + 1,
+			SrcWildcards:  rng.Float64() * 0.4,
+			TagWildcards:  rng.Float64() * 0.3,
+			MatchFraction: 0.4 + rng.Float64()*0.6,
+			Seed:          rng.Int63(),
+		}
+		msgs, reqs := workload.Generate(cfg)
+		w, _ := NewWildcardHashMatcher(HashConfig{CTAs: rng.Intn(4) + 1})
+		res, err := w.Match(msgs, reqs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyMaximal(msgs, reqs, res.Assignment); err != nil {
+			t.Fatalf("trial %d cfg=%+v: %v", trial, cfg, err)
+		}
+	}
+}
+
+func TestWildcardHashSlowerWithWildcards(t *testing.T) {
+	// The side list reintroduces serial work: the same workload with a
+	// wildcard fraction must be slower than without.
+	plain, _ := workload.Generate(workload.Config{N: 1024, Unique: true, Peers: 32, Seed: 2})
+	_, wildReqs := workload.Generate(workload.Config{N: 1024, Unique: true, Peers: 32, Seed: 2, SrcWildcards: 0.2})
+	msgs, reqs := workload.Generate(workload.Config{N: 1024, Unique: true, Peers: 32, Seed: 2})
+	_ = plain
+
+	w, _ := NewWildcardHashMatcher(HashConfig{})
+	base, err := w.Match(msgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := w.Match(msgs, wildReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wild.SimSeconds <= base.SimSeconds {
+		t.Errorf("wildcards free: %v <= %v", wild.SimSeconds, base.SimSeconds)
+	}
+}
+
+func TestVerifyMaximalCatchesViolations(t *testing.T) {
+	msgs := []envelope.Envelope{env(1, 1), env(2, 1)}
+	reqs := []envelope.Request{
+		{Src: envelope.AnySource, Tag: 1},
+		{Src: envelope.AnySource, Tag: 1},
+	}
+	// Valid maximal matching.
+	if err := VerifyMaximal(msgs, reqs, Assignment{0, 1}); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+	// Non-maximal: request 1 unmatched while message 1 free.
+	if err := VerifyMaximal(msgs, reqs, Assignment{0, NoMatch}); err == nil {
+		t.Error("non-maximal assignment accepted")
+	}
+	// Double claim.
+	if err := VerifyMaximal(msgs, reqs, Assignment{0, 0}); err == nil {
+		t.Error("double claim accepted")
+	}
+	// Mismatch.
+	bad := []envelope.Request{{Src: 5, Tag: 9}, {Src: envelope.AnySource, Tag: 1}}
+	if err := VerifyMaximal(msgs, bad, Assignment{0, 1}); err == nil {
+		t.Error("mismatched pairing accepted")
+	}
+	// Wrong length / out of range.
+	if err := VerifyMaximal(msgs, reqs, Assignment{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := VerifyMaximal(msgs, reqs, Assignment{7, NoMatch}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package match
+
+import (
+	"testing"
+
+	"simtmp/internal/envelope"
+)
+
+func env(src, tag int) envelope.Envelope {
+	return envelope.Envelope{Src: envelope.Rank(src), Tag: envelope.Tag(tag)}
+}
+
+func req(src, tag int) envelope.Request {
+	return envelope.Request{Src: envelope.Rank(src), Tag: envelope.Tag(tag)}
+}
+
+func TestReferenceBasics(t *testing.T) {
+	msgs := []envelope.Envelope{env(1, 10), env(2, 20), env(1, 10)}
+	reqs := []envelope.Request{req(1, 10), req(1, 10), req(2, 20), req(3, 30)}
+	a := Reference(msgs, reqs)
+	want := Assignment{0, 2, 1, NoMatch}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", a, want)
+		}
+	}
+	if a.Matched() != 3 {
+		t.Errorf("Matched = %d, want 3", a.Matched())
+	}
+}
+
+func TestReferenceOrderingWithinPair(t *testing.T) {
+	// Two messages from the same source with the same tag must match
+	// in arrival order (MPI pairwise ordering).
+	msgs := []envelope.Envelope{env(5, 1), env(5, 1)}
+	reqs := []envelope.Request{req(5, 1), req(5, 1)}
+	a := Reference(msgs, reqs)
+	if a[0] != 0 || a[1] != 1 {
+		t.Errorf("pairwise order violated: %v", a)
+	}
+}
+
+func TestReferenceWildcards(t *testing.T) {
+	msgs := []envelope.Envelope{env(3, 7), env(4, 7), env(3, 8)}
+	reqs := []envelope.Request{
+		{Src: envelope.AnySource, Tag: 7},               // earliest tag-7: msg 0
+		{Src: 3, Tag: envelope.AnyTag},                  // earliest src-3 left: msg 2
+		{Src: envelope.AnySource, Tag: envelope.AnyTag}, // anything left: msg 1
+	}
+	a := Reference(msgs, reqs)
+	if a[0] != 0 || a[1] != 2 || a[2] != 1 {
+		t.Errorf("wildcard assignment = %v, want [0 2 1]", a)
+	}
+}
+
+func TestReferenceCommunicatorIsolation(t *testing.T) {
+	msgs := []envelope.Envelope{{Src: 1, Tag: 1, Comm: 1}}
+	reqs := []envelope.Request{{Src: 1, Tag: 1, Comm: 2}}
+	a := Reference(msgs, reqs)
+	if a[0] != NoMatch {
+		t.Error("matched across communicators")
+	}
+}
+
+func TestReferenceMatcherValidates(t *testing.T) {
+	var rm ReferenceMatcher
+	if rm.Name() != "reference" {
+		t.Error("Name wrong")
+	}
+	if _, err := rm.Match([]envelope.Envelope{{Src: -3}}, nil); err == nil {
+		t.Error("invalid message accepted")
+	}
+	if _, err := rm.Match(nil, []envelope.Request{{Tag: -9}}); err == nil {
+		t.Error("invalid request accepted")
+	}
+	res, err := rm.Match([]envelope.Envelope{env(1, 1)}, []envelope.Request{req(1, 1)})
+	if err != nil || res.Assignment[0] != 0 {
+		t.Errorf("Match: %v, %v", res, err)
+	}
+}
+
+func TestVerifyOrdered(t *testing.T) {
+	msgs := []envelope.Envelope{env(1, 1), env(1, 1)}
+	reqs := []envelope.Request{req(1, 1), req(1, 1)}
+	if err := VerifyOrdered(msgs, reqs, Assignment{0, 1}); err != nil {
+		t.Errorf("correct assignment rejected: %v", err)
+	}
+	if err := VerifyOrdered(msgs, reqs, Assignment{1, 0}); err == nil {
+		t.Error("order-violating assignment accepted")
+	}
+	if err := VerifyOrdered(msgs, reqs, Assignment{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestVerifyUnordered(t *testing.T) {
+	msgs := []envelope.Envelope{env(1, 1), env(1, 1), env(2, 2)}
+	reqs := []envelope.Request{req(1, 1), req(1, 1), req(2, 2)}
+	// Swapped pairing is fine under unordered semantics.
+	if err := VerifyUnordered(msgs, reqs, Assignment{1, 0, 2}); err != nil {
+		t.Errorf("valid unordered assignment rejected: %v", err)
+	}
+	// Double claim.
+	if err := VerifyUnordered(msgs, reqs, Assignment{0, 0, 2}); err == nil {
+		t.Error("double-claimed message accepted")
+	}
+	// Tuple mismatch.
+	if err := VerifyUnordered(msgs, reqs, Assignment{2, 0, NoMatch}); err == nil {
+		t.Error("mismatched pairing accepted")
+	}
+	// Sub-maximal matching.
+	if err := VerifyUnordered(msgs, reqs, Assignment{0, NoMatch, 2}); err == nil {
+		t.Error("sub-maximal matching accepted")
+	}
+	// Out-of-range index.
+	if err := VerifyUnordered(msgs, reqs, Assignment{5, NoMatch, NoMatch}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestMaxMatchable(t *testing.T) {
+	msgs := []envelope.Envelope{env(1, 1), env(1, 1), env(2, 2)}
+	reqs := []envelope.Request{req(1, 1), req(1, 1), req(1, 1), req(3, 3)}
+	// Tuple (1,1): min(2 msgs, 3 reqs) = 2; (2,2): no request; (3,3):
+	// no message.
+	if got := MaxMatchable(msgs, reqs); got != 2 {
+		t.Errorf("MaxMatchable = %d, want 2", got)
+	}
+	// Wildcard requests are excluded from the unordered bound.
+	reqs = append(reqs, envelope.Request{Src: envelope.AnySource, Tag: 2})
+	if got := MaxMatchable(msgs, reqs); got != 2 {
+		t.Errorf("MaxMatchable with wildcard = %d, want 2", got)
+	}
+}
+
+func TestAssignmentMatchedEmpty(t *testing.T) {
+	if (Assignment{}).Matched() != 0 {
+		t.Error("empty assignment matched != 0")
+	}
+	if (Assignment{NoMatch, NoMatch}).Matched() != 0 {
+		t.Error("all-NoMatch assignment matched != 0")
+	}
+}
+
+func TestResultRate(t *testing.T) {
+	r := &Result{Assignment: Assignment{0, 1, NoMatch}, SimSeconds: 1e-6}
+	if got := r.Rate(); got != 2e6 {
+		t.Errorf("Rate = %v, want 2e6", got)
+	}
+	r.SimSeconds = 0
+	if r.Rate() != 0 {
+		t.Error("Rate with zero time != 0")
+	}
+}

@@ -1,0 +1,513 @@
+package match
+
+import (
+	"fmt"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/queue"
+	"simtmp/internal/simt"
+	"simtmp/internal/timing"
+)
+
+// DefaultWindow is the number of receive requests scanned per pass.
+// The vote matrix (32 warps × window votes, one 64-bit shared word per
+// vote) plus the request prefetch buffer must fit the 48 KiB per-CTA
+// shared memory budget: 128 columns → 32 KiB matrix + 1 KiB buffer,
+// leaving the occupancy at the 2 resident CTAs the paper reports.
+const DefaultWindow = 128
+
+// fusedLimit is the message-block size below which the single-warp
+// fused path runs instead of the matrix ("queues with less than 64
+// elements are scanned by a single warp and no matrix is generated").
+const fusedLimit = 64
+
+// MatrixConfig configures the MPI-compliant GPU matcher.
+type MatrixConfig struct {
+	// Arch selects the simulated GPU (default Pascal GTX1080).
+	Arch *arch.Arch
+	// Window is the number of requests scanned per pass (default
+	// DefaultWindow).
+	Window int
+	// MaxCTAs bounds the CTAs used per round; message blocks beyond
+	// MaxCTAs*1024 are processed in additional rounds (default 1,
+	// the single-CTA setup of Figure 4).
+	MaxCTAs int
+	// Compact runs the queue-compaction kernel after matching,
+	// the ~10% overhead the paper measures in §VI-B.
+	Compact bool
+	// SMs is the number of streaming multiprocessors dedicated to the
+	// communication kernel (default 1, the paper's setup: "one
+	// communication kernel running on a single GPU SM"). More SMs run
+	// CTA waves in parallel — the linear scaling §VI-A predicts — at
+	// the cost of resources taken from the application.
+	SMs int
+}
+
+func (c *MatrixConfig) withDefaults() MatrixConfig {
+	out := *c
+	if out.Arch == nil {
+		out.Arch = arch.PascalGTX1080()
+	}
+	if out.Window <= 0 {
+		out.Window = DefaultWindow
+	}
+	if out.MaxCTAs <= 0 {
+		out.MaxCTAs = 1
+	}
+	if out.SMs <= 0 {
+		out.SMs = 1
+	}
+	return out
+}
+
+// MatrixMatcher implements the paper's fully MPI-compliant matching
+// algorithm (§V): a multi-warp scan builds a vote matrix (Algorithm 1),
+// then a single warp reduces each column, resolving the ordering
+// dependencies with ballots, find-first-set and a per-row message mask
+// (Algorithm 2). Wildcards and ordering are fully honored.
+type MatrixMatcher struct {
+	cfg   MatrixConfig
+	model timing.Model
+	// noFused disables the single-warp fused path; the partitioned
+	// matcher sets it because each partition runs the scan/reduce on
+	// its own warp share regardless of block size.
+	noFused bool
+}
+
+// NewMatrixMatcher returns a matcher with the given configuration.
+func NewMatrixMatcher(cfg MatrixConfig) *MatrixMatcher {
+	c := cfg.withDefaults()
+	return &MatrixMatcher{cfg: c, model: timing.NewModel(c.Arch)}
+}
+
+// Name implements Matcher.
+func (m *MatrixMatcher) Name() string {
+	return fmt.Sprintf("gpu-matrix(%s)", m.cfg.Arch.Generation)
+}
+
+// footprint is the matrix kernel's per-CTA resource usage: 1024
+// threads, 32 registers/thread, and the vote matrix + request buffer in
+// shared memory.
+func (m *MatrixMatcher) footprint() arch.KernelFootprint {
+	return arch.KernelFootprint{
+		ThreadsPerCTA:   1024,
+		RegsPerThread:   32,
+		SharedMemPerCTA: (simt.MaxWarpsPerCTA*(m.cfg.Window+1) + m.cfg.Window) * 8,
+	}
+}
+
+// Match implements Matcher with full MPI semantics.
+func (m *MatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return nil, err
+	}
+	res := &Result{Assignment: make(Assignment, len(reqs))}
+	for i := range res.Assignment {
+		res.Assignment[i] = NoMatch
+	}
+	if len(msgs) == 0 || len(reqs) == 0 {
+		return res, nil
+	}
+
+	packedReqs := make([]uint64, len(reqs))
+	for i, r := range reqs {
+		packedReqs[i] = r.Pack()
+	}
+	packedMsgs := make([]uint64, len(msgs))
+	for i, e := range msgs {
+		packedMsgs[i] = e.Pack()
+	}
+
+	const blockSize = simt.MaxWarpsPerCTA * simt.LaneCount // 1024 messages per CTA
+	chunk := m.cfg.MaxCTAs * blockSize
+
+	occ := m.cfg.Arch.Occupancy(m.footprint())
+	if occ < 1 {
+		occ = 1
+	}
+
+	var totalCycles float64
+	var totalCtrs simt.Counters
+
+	for round := 0; round*chunk < len(msgs); round++ {
+		roundStart := round * chunk
+		roundEnd := roundStart + chunk
+		if roundEnd > len(msgs) {
+			roundEnd = len(msgs)
+		}
+		// CTAs of this round, processed in message order (earlier CTA =
+		// earlier messages = higher matching priority). CTAs beyond the
+		// occupancy limit serialize into waves.
+		var waveCycles []float64
+		for blockStart := roundStart; blockStart < roundEnd; blockStart += blockSize {
+			blockEnd := blockStart + blockSize
+			if blockEnd > roundEnd {
+				blockEnd = roundEnd
+			}
+			cycles, ctrs := m.matchBlock(packedMsgs, packedReqs, blockStart, blockEnd, res.Assignment)
+			waveCycles = append(waveCycles, cycles)
+			totalCtrs.Add(ctrs)
+		}
+		totalCycles += m.combineWaves(waveCycles, occ)
+		res.Iterations++
+	}
+	totalCycles += m.model.P.LaunchOverhead
+
+	if m.cfg.Compact {
+		totalCycles += m.compactionCycles(packedMsgs, res.Assignment)
+	}
+
+	res.SimSeconds = m.model.Seconds(totalCycles)
+	res.Counters = totalCtrs
+	return res, nil
+}
+
+// combineWaves serializes CTA cycle counts into occupancy-sized waves
+// on each of the configured SMs; SMs run their waves in parallel (the
+// linear multi-SM scaling of §VI-A), CTAs within a wave run
+// concurrently: the longest dominates and the others add a small
+// interference term (they compete for issue slots and the memory
+// pipeline but their dependent chains run on different warps).
+func (m *MatrixMatcher) combineWaves(ctaCycles []float64, occ int) float64 {
+	sms := m.cfg.SMs
+	if sms <= 1 {
+		return serializeWaves(ctaCycles, occ)
+	}
+	if sms > m.cfg.Arch.SMCount {
+		sms = m.cfg.Arch.SMCount
+	}
+	buckets := make([][]float64, sms)
+	for i, c := range ctaCycles {
+		buckets[i%sms] = append(buckets[i%sms], c)
+	}
+	worst := 0.0
+	for _, b := range buckets {
+		if t := serializeWaves(b, occ); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// serializeWaves runs one SM's CTA list in occupancy-sized waves.
+func serializeWaves(ctaCycles []float64, occ int) float64 {
+	const interference = 0.25
+	total := 0.0
+	for start := 0; start < len(ctaCycles); start += occ {
+		end := start + occ
+		if end > len(ctaCycles) {
+			end = len(ctaCycles)
+		}
+		max, sum := 0.0, 0.0
+		for _, c := range ctaCycles[start:end] {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		total += max + interference*(sum-max)
+	}
+	return total
+}
+
+// matchBlock runs one CTA over messages [blockStart, blockEnd),
+// filling assignment entries for still-unmatched requests. It returns
+// the CTA's simulated cycles and counters.
+func (m *MatrixMatcher) matchBlock(msgs, reqs []uint64, blockStart, blockEnd int, assign Assignment) (float64, simt.Counters) {
+	blockLen := blockEnd - blockStart
+	if blockLen <= fusedLimit && !m.noFused {
+		return m.fusedBlock(msgs, reqs, blockStart, blockEnd, assign)
+	}
+
+	msgWarps := (blockLen + simt.LaneCount - 1) / simt.LaneCount
+	window := m.cfg.Window
+	// The vote matrix is padded to an odd row stride (the classic +1
+	// padding) so the reduce's column reads spread across the 32
+	// shared-memory banks instead of serializing 32-way.
+	stride := window + 1
+	sharedWords := simt.MaxWarpsPerCTA*stride + window
+	cta := simt.NewCTA(0, msgWarps*simt.LaneCount, sharedWords)
+	warps := cta.Warps()
+
+	// Each warp loads its 32 message headers once (coalesced).
+	msgRegs := make([][simt.LaneCount]uint64, msgWarps)
+	for wi, w := range warps {
+		start := blockStart + wi*simt.LaneCount
+		valid := w.Ballot(func(lane int) bool { return start+lane < blockEnd })
+		w.WithMask(valid, func() {
+			w.LoadGlobal(globalOf(msgs), func(lane int) int { return start + lane },
+				func(lane int, v uint64) { msgRegs[wi][lane] = v })
+		})
+	}
+	loadCtrs := cta.Counters()
+	cta.ResetCounters()
+
+	// Per-row (warp) message masks persist across windows: bit i of
+	// masks[w] is set while message w*32+i is unclaimed.
+	masks := make([]uint32, msgWarps)
+	for i := range masks {
+		masks[i] = simt.FullMask
+	}
+
+	var scanCtrs, reduceCtrs simt.Counters
+	matchedInBlock := 0
+
+	windows := 0
+	for wStart := 0; wStart < len(reqs) && matchedInBlock < blockLen; wStart += window {
+		wEnd := wStart + window
+		if wEnd > len(reqs) {
+			wEnd = len(reqs)
+		}
+		windows++
+
+		// Prefetch the request window into shared memory (coalesced
+		// loads by the first warps).
+		for off := 0; off < wEnd-wStart; off += simt.LaneCount {
+			w := warps[(off/simt.LaneCount)%len(warps)]
+			inWin := w.Ballot(func(lane int) bool { return wStart+off+lane < wEnd })
+			w.WithMask(inWin, func() {
+				var tmp [simt.LaneCount]uint64
+				w.LoadGlobal(globalOf(reqs), func(lane int) int { return wStart + off + lane },
+					func(lane int, v uint64) { tmp[lane] = v })
+				w.StoreShared(cta.Shared, func(lane int) int {
+					return simt.MaxWarpsPerCTA*stride + off + lane
+				}, func(lane int) uint64 { return tmp[lane] })
+			})
+		}
+		cta.SyncThreads()
+
+		// Scan (Algorithm 1): every warp votes for every request of the
+		// window; votes land in the shared-memory matrix.
+		for wi, w := range warps {
+			for i := wStart; i < wEnd; i++ {
+				col := i - wStart
+				var req uint64
+				w.LoadShared(cta.Shared,
+					func(lane int) int { return simt.MaxWarpsPerCTA*stride + col },
+					func(lane int, v uint64) { req = v })
+				var vote uint32
+				w.Exec(2, func(lane int) {}) // header compare ALU work
+				vote = w.Ballot(func(lane int) bool {
+					return msgRegs[wi][lane] != 0 && envelope.MatchesPacked(req, msgRegs[wi][lane])
+				})
+				w.StoreShared(cta.Shared,
+					func(lane int) int { return wi*stride + col },
+					func(lane int) uint64 { return uint64(vote) })
+			}
+		}
+		cta.SyncThreads()
+		scanCtrs.Add(cta.Counters())
+		cta.ResetCounters()
+
+		// Reduce (Algorithm 2): warp 0, lane l owning matrix row l,
+		// resolves each column to the earliest unclaimed message.
+		w0 := warps[0]
+		rowMask := simt.FullMask >> uint(simt.LaneCount-min(msgWarps, simt.LaneCount))
+		for i := wStart; i < wEnd; i++ {
+			col := i - wStart
+			// Skip columns already claimed by an earlier CTA or round.
+			w0.Exec(1, func(lane int) {})
+			if assign[i] != NoMatch {
+				continue
+			}
+			var colVotes [simt.LaneCount]uint32
+			w0.WithMask(rowMask, func() {
+				w0.LoadShared(cta.Shared,
+					func(lane int) int { return lane*stride + col },
+					func(lane int, v uint64) { colVotes[lane] = uint32(v) })
+			})
+			w0.Exec(1, func(lane int) {}) // vote & mask
+			bidders := w0.Ballot(func(lane int) bool {
+				return lane < msgWarps && colVotes[lane]&masks[lane] != 0
+			})
+			if bidders == 0 {
+				continue
+			}
+			// Lowest warp row wins (earlier messages), then the lowest
+			// set bit within its masked vote.
+			winner := simt.Ffs(bidders) - 1
+			w0.WithMask(simt.LaneMask(winner), func() {
+				w0.Exec(3, func(lane int) {}) // ffs, mask clear, index math
+				bit := simt.Ffs(colVotes[winner]&masks[winner]) - 1
+				masks[winner] &^= 1 << uint(bit)
+				assign[i] = blockStart + winner*simt.LaneCount + bit
+				matchedInBlock++
+				w0.StoreShared(cta.Shared,
+					func(lane int) int { return winner*stride + col },
+					func(lane int) uint64 { return uint64(assign[i]) })
+			})
+			// Early exit: once every message of the block is claimed
+			// the remaining columns cannot match here (§V-B: this is
+			// why a reversed receive queue degrades performance while
+			// an ordered one does not).
+			if matchedInBlock == blockLen {
+				w0.Exec(1, func(lane int) {})
+				break
+			}
+		}
+		cta.SyncThreads()
+		reduceCtrs.Add(cta.Counters())
+		cta.ResetCounters()
+	}
+
+	scanCtrs.Add(loadCtrs)
+	return m.blockCycles(scanCtrs, reduceCtrs, msgWarps, windows), sum3(scanCtrs, reduceCtrs, cta.Counters())
+}
+
+// blockCycles combines the scan and reduce phases of one CTA: when the
+// message block leaves warps free (fewer than 32 scan warps), the two
+// phases pipeline and the longer one hides the shorter (§V-A). At the
+// full 1024 messages all warps scan and the reduce serializes — the
+// knee visible in Figure 4.
+func (m *MatrixMatcher) blockCycles(scan, reduce simt.Counters, msgWarps, windows int) float64 {
+	scanCycles := m.model.PhaseCycles(timing.Phase{Kind: timing.Throughput, Ctrs: scan, ResidentWarps: msgWarps})
+	reduceCycles := m.model.PhaseCycles(timing.Phase{Kind: timing.Dependent, Ctrs: reduce})
+	if msgWarps < simt.MaxWarpsPerCTA {
+		// Pipelined: one window of the shorter phase fills the pipe.
+		fill := 0.0
+		if windows > 0 {
+			fill = minf(scanCycles, reduceCycles) / float64(windows)
+		}
+		return timing.Overlap(scanCycles, reduceCycles) + fill
+	}
+	return scanCycles + reduceCycles
+}
+
+// fusedBlock is the small-queue path: a single warp both votes and
+// resolves each request without materializing a matrix. Each lane holds
+// up to two messages (blocks of at most 64).
+func (m *MatrixMatcher) fusedBlock(msgs, reqs []uint64, blockStart, blockEnd int, assign Assignment) (float64, simt.Counters) {
+	blockLen := blockEnd - blockStart
+	cta := simt.NewCTA(0, simt.LaneCount, simt.LaneCount)
+	w := cta.Warp(0)
+
+	var lo, hi [simt.LaneCount]uint64
+	w.LoadGlobal(globalOf(msgs), func(lane int) int {
+		if blockStart+lane < blockEnd {
+			return blockStart + lane
+		}
+		return blockStart
+	}, func(lane int, v uint64) {
+		if blockStart+lane < blockEnd {
+			lo[lane] = v
+		}
+	})
+	if blockLen > simt.LaneCount {
+		w.LoadGlobal(globalOf(msgs), func(lane int) int {
+			if blockStart+simt.LaneCount+lane < blockEnd {
+				return blockStart + simt.LaneCount + lane
+			}
+			return blockStart
+		}, func(lane int, v uint64) {
+			if blockStart+simt.LaneCount+lane < blockEnd {
+				hi[lane] = v
+			}
+		})
+	}
+	maskLo, maskHi := simt.FullMask, simt.FullMask
+	matched := 0
+
+	for i := range reqs {
+		if matched == blockLen {
+			break
+		}
+		// Request fetch (staged through shared memory by the same warp)
+		// plus loop bookkeeping — the single warp pays the full
+		// dependency latency of each step, which is why the fused path
+		// is not dramatically faster than the matrix (Figure 4 is
+		// roughly flat across queue lengths).
+		if i%simt.LaneCount == 0 {
+			w.LoadGlobal(globalOf(reqs), func(lane int) int {
+				if i+lane < len(reqs) {
+					return i + lane
+				}
+				return i
+			}, func(lane int, v uint64) {})
+			w.StoreShared(cta.Shared, func(lane int) int { return lane }, func(lane int) uint64 { return 0 })
+		}
+		w.LoadShared(cta.Shared, func(lane int) int { return i % simt.LaneCount }, func(lane int, v uint64) {})
+		w.Exec(2, func(lane int) {})
+		if assign[i] != NoMatch {
+			continue
+		}
+		req := reqs[i]
+		w.Exec(2, func(lane int) {}) // compares
+		voteLo := w.Ballot(func(lane int) bool {
+			return maskLo&simt.LaneMask(lane) != 0 && lo[lane] != 0 && envelope.MatchesPacked(req, lo[lane])
+		})
+		if voteLo != 0 {
+			bit := simt.Ffs(voteLo) - 1
+			w.WithMask(simt.LaneMask(bit), func() {
+				w.Exec(2, func(lane int) {})
+				maskLo &^= 1 << uint(bit)
+				assign[i] = blockStart + bit
+				matched++
+			})
+			continue
+		}
+		if blockLen <= simt.LaneCount {
+			continue
+		}
+		voteHi := w.Ballot(func(lane int) bool {
+			return maskHi&simt.LaneMask(lane) != 0 && hi[lane] != 0 && envelope.MatchesPacked(req, hi[lane])
+		})
+		if voteHi != 0 {
+			bit := simt.Ffs(voteHi) - 1
+			w.WithMask(simt.LaneMask(bit), func() {
+				w.Exec(2, func(lane int) {})
+				maskHi &^= 1 << uint(bit)
+				assign[i] = blockStart + simt.LaneCount + bit
+				matched++
+			})
+		}
+	}
+	ctrs := cta.Counters()
+	cycles := m.model.PhaseCycles(timing.Phase{Kind: timing.Dependent, Ctrs: ctrs})
+	return cycles, ctrs
+}
+
+// compactionCycles runs the stream-compaction kernel over a message
+// queue holding the unmatched residue and returns its cycle cost (the
+// step the paper measures at roughly 10% of the matching rate).
+func (m *MatrixMatcher) compactionCycles(msgs []uint64, assign Assignment) float64 {
+	mem := simt.NewMemory(len(msgs) + 1)
+	q := queue.New(mem, 0, len(msgs))
+	for _, w := range msgs {
+		q.Push(w) //nolint:errcheck // capacity is exact
+	}
+	for _, mi := range assign {
+		if mi != NoMatch {
+			q.Clear(mi)
+		}
+	}
+	cta := simt.NewCTA(0, 1024, simt.MaxWarpsPerCTA)
+	q.Compact(cta)
+	// Both the message and the request queue are compacted; beyond the
+	// header prefix-scan, full descriptors move and head/tail pointers
+	// are maintained (CompactPerEntry), plus a separate kernel launch.
+	entries := float64(len(msgs) + len(assign))
+	return m.model.PhaseCycles(timing.Phase{
+		Kind: timing.Throughput, Ctrs: cta.Counters(), ResidentWarps: simt.MaxWarpsPerCTA,
+	})*2 + entries*m.model.P.CompactPerEntry + m.model.P.LaunchOverhead
+}
+
+// globalOf wraps a host slice as device global memory for kernel loads.
+// The copy-free view keeps simulation fast while still billing real
+// addresses for coalescing.
+func globalOf(words []uint64) *simt.Memory { return simt.Wrap(words) }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sum3(a, b, c simt.Counters) simt.Counters {
+	var t simt.Counters
+	t.Add(a)
+	t.Add(b)
+	t.Add(c)
+	return t
+}

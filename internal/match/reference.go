@@ -1,0 +1,41 @@
+package match
+
+import "simtmp/internal/envelope"
+
+// Reference computes the ordered-matching oracle: requests in posted
+// order, each claiming the earliest unclaimed matching message. This is
+// the semantics MPI's incremental protocol produces when a batch of
+// arrivals is drained against a batch of posted receives, and it is the
+// contract every MPI-compliant engine must reproduce bit-exactly.
+func Reference(msgs []envelope.Envelope, reqs []envelope.Request) Assignment {
+	claimed := make([]bool, len(msgs))
+	a := make(Assignment, len(reqs))
+	for i := range a {
+		a[i] = NoMatch
+	}
+	for ri, r := range reqs {
+		for mi, m := range msgs {
+			if !claimed[mi] && r.Matches(m) {
+				claimed[mi] = true
+				a[ri] = mi
+				break
+			}
+		}
+	}
+	return a
+}
+
+// ReferenceMatcher wraps Reference as a Matcher, for use as a baseline
+// in harnesses that iterate over engines.
+type ReferenceMatcher struct{}
+
+// Name implements Matcher.
+func (ReferenceMatcher) Name() string { return "reference" }
+
+// Match implements Matcher.
+func (ReferenceMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return nil, err
+	}
+	return &Result{Assignment: Reference(msgs, reqs), Iterations: 1}, nil
+}

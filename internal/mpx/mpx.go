@@ -1,0 +1,355 @@
+// Package mpx ("message passing, relaxed") is the runtime tying the
+// substrates together: a GAS cluster of simulated GPUs, a matching
+// engine per GPU, and a send/recv API offering the paper's four
+// semantic levels. Each level corresponds to one row group of
+// Table II:
+//
+//	FullMPI          wildcards + ordering + unexpected msgs   matrix engine
+//	NoSourceWildcard rank partitioning possible               partitioned engine
+//	NoUnexpected     every message must find a posted recv    matrix/partitioned
+//	Unordered        no wildcards, no ordering                hash engine
+//
+// The runtime validates at the API boundary what each relaxation
+// prohibits, so a program written against a level is guaranteed to be
+// portable to the corresponding hardware matcher.
+package mpx
+
+import (
+	"errors"
+	"fmt"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/gas"
+	"simtmp/internal/match"
+	"simtmp/internal/proto"
+	"simtmp/internal/simt"
+)
+
+// Level selects the semantic contract.
+type Level int
+
+const (
+	// FullMPI keeps every MPI guarantee (wildcards, ordering,
+	// unexpected messages).
+	FullMPI Level = iota
+	// NoSourceWildcard prohibits MPI_ANY_SOURCE, enabling rank
+	// partitioning (§VI-A).
+	NoSourceWildcard
+	// NoUnexpected additionally requires receives to be posted before
+	// the matching message arrives (§VI-B).
+	NoUnexpected
+	// Unordered prohibits wildcards and drops ordering guarantees,
+	// enabling hash matching (§VI-C). Tags must uniquely identify
+	// messages within a source.
+	Unordered
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case FullMPI:
+		return "full-mpi"
+	case NoSourceWildcard:
+		return "no-src-wildcard"
+	case NoUnexpected:
+		return "no-unexpected"
+	case Unordered:
+		return "unordered"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Errors surfaced by the runtime.
+var (
+	// ErrUnexpectedMessage reports a message that arrived without a
+	// posted receive under the NoUnexpected contract.
+	ErrUnexpectedMessage = errors.New("mpx: unexpected message under no-unexpected contract")
+	// ErrNotDelivered reports reading a receive handle before its
+	// message was matched.
+	ErrNotDelivered = errors.New("mpx: receive not yet delivered")
+)
+
+// Config parameterizes a runtime.
+type Config struct {
+	// Level is the semantic contract (default FullMPI).
+	Level Level
+	// Arch is the simulated GPU architecture (default Pascal GTX1080).
+	Arch *arch.Arch
+	// GPUs is the cluster size (default 2).
+	GPUs int
+	// Queues is the partition count for NoSourceWildcard (default 8).
+	Queues int
+	// QueueCap bounds each GPU's message queue (default 4096).
+	QueueCap int
+	// Link models the interconnect for payload movement (zero value:
+	// NVLink).
+	Link proto.Link
+	// Protocol selects eager/rendezvous per payload size (zero value:
+	// 8 KiB eager threshold).
+	Protocol proto.Policy
+}
+
+// Recv is a posted receive handle.
+type Recv struct {
+	gpu       int
+	req       envelope.Request
+	seq       uint64
+	delivered bool
+	msg       gas.Message
+	transfer  proto.Transfer
+}
+
+// Transfer reports the simulated data movement of the delivered
+// message (zero before delivery).
+func (r *Recv) Transfer() proto.Transfer { return r.transfer }
+
+// Done reports whether the receive was matched.
+func (r *Recv) Done() bool { return r.delivered }
+
+// Message returns the delivered message; it fails with ErrNotDelivered
+// before a Progress call matched the receive.
+func (r *Recv) Message() (gas.Message, error) {
+	if !r.delivered {
+		return gas.Message{}, ErrNotDelivered
+	}
+	return r.msg, nil
+}
+
+// Stats accumulates the simulated matching work of a runtime.
+type Stats struct {
+	Matches     int
+	SimSeconds  float64
+	Iterations  int
+	Counters    simt.Counters
+	Unmatched   int // messages left pending after the last progress
+	PostedRecvs int
+	Sends       int
+
+	// Data movement (the proto layer).
+	BytesMoved      int64
+	TransferSeconds float64
+	EagerMsgs       int
+	RendezvousMsgs  int
+	PrePostedMsgs   int // matched messages whose receive was posted first
+}
+
+// Rate returns cumulative matches per simulated second.
+func (s Stats) Rate() float64 {
+	if s.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Matches) / s.SimSeconds
+}
+
+// Runtime is a GAS cluster with per-GPU matching engines.
+type Runtime struct {
+	cfg     Config
+	cluster *gas.Cluster
+	engines []match.Matcher
+
+	// Per-GPU pending state between progress steps.
+	pendingMsgs  [][]gas.Message
+	pendingRecvs [][]*Recv
+
+	// seq is the logical clock ordering sends against receive posts,
+	// deciding pre-postedness per message.
+	seq   uint64
+	stats Stats
+}
+
+// New creates a runtime. It panics only on programmer errors (bad
+// sizes); user-level misuses surface as errors from Send/PostRecv.
+func New(cfg Config) *Runtime {
+	if cfg.Arch == nil {
+		cfg.Arch = arch.PascalGTX1080()
+	}
+	if cfg.GPUs <= 0 {
+		cfg.GPUs = 2
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 8
+	}
+	if cfg.Link.BandwidthGBs <= 0 {
+		cfg.Link = proto.NVLink()
+	}
+	rt := &Runtime{
+		cfg:          cfg,
+		cluster:      gas.NewCluster(cfg.GPUs, cfg.Arch, cfg.QueueCap),
+		engines:      make([]match.Matcher, cfg.GPUs),
+		pendingMsgs:  make([][]gas.Message, cfg.GPUs),
+		pendingRecvs: make([][]*Recv, cfg.GPUs),
+	}
+	for i := range rt.engines {
+		rt.engines[i] = rt.newEngine()
+	}
+	return rt
+}
+
+// newEngine picks the matching engine the level calls for.
+func (rt *Runtime) newEngine() match.Matcher {
+	switch rt.cfg.Level {
+	case NoSourceWildcard, NoUnexpected:
+		return match.NewPartitionedMatcher(match.PartitionedConfig{
+			Arch: rt.cfg.Arch, Queues: rt.cfg.Queues, Compact: rt.cfg.Level != NoUnexpected,
+		})
+	case Unordered:
+		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch})
+	default:
+		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true})
+	}
+}
+
+// Level returns the runtime's semantic contract.
+func (rt *Runtime) Level() Level { return rt.cfg.Level }
+
+// GPUs returns the cluster size.
+func (rt *Runtime) GPUs() int { return rt.cluster.Size() }
+
+// Send transmits payload from GPU src to GPU dst with the given tag
+// and communicator — a direct GAS write into dst's message queue.
+func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payload []byte) error {
+	if src < 0 || src >= rt.cluster.Size() {
+		return fmt.Errorf("mpx: source GPU %d outside [0,%d)", src, rt.cluster.Size())
+	}
+	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm}
+	rt.seq++
+	if err := rt.cluster.PutSeq(dst, env, payload, rt.seq); err != nil {
+		return err
+	}
+	rt.stats.Sends++
+	return nil
+}
+
+// PostRecv posts a receive on GPU dst. The level's contract is
+// enforced here: NoSourceWildcard and stricter reject AnySource;
+// Unordered rejects both wildcards.
+func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm envelope.Comm) (*Recv, error) {
+	if dst < 0 || dst >= rt.cluster.Size() {
+		return nil, fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
+	}
+	req := envelope.Request{Src: src, Tag: tag, Comm: comm}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	switch rt.cfg.Level {
+	case NoSourceWildcard, NoUnexpected:
+		if src == envelope.AnySource {
+			return nil, match.ErrSourceWildcard
+		}
+	case Unordered:
+		if req.HasWildcard() {
+			return nil, match.ErrWildcard
+		}
+	}
+	rt.seq++
+	r := &Recv{gpu: dst, req: req, seq: rt.seq}
+	rt.pendingRecvs[dst] = append(rt.pendingRecvs[dst], r)
+	rt.stats.PostedRecvs++
+	return r, nil
+}
+
+// Progress runs one communication-kernel step on every GPU: drains
+// arrived messages into the pending batch and matches the batch
+// against posted receives. Under NoUnexpected it fails if any message
+// stays unmatched (it arrived before its receive was posted and no
+// receive of this step claims it).
+func (rt *Runtime) Progress() error {
+	for g := 0; g < rt.cluster.Size(); g++ {
+		rt.pendingMsgs[g] = append(rt.pendingMsgs[g], rt.cluster.GPU(g).Drain()...)
+		msgs := rt.pendingMsgs[g]
+		recvs := rt.pendingRecvs[g]
+		if len(msgs) == 0 && len(recvs) == 0 {
+			continue
+		}
+
+		envs := make([]envelope.Envelope, len(msgs))
+		for i, m := range msgs {
+			envs[i] = m.Env
+		}
+		reqs := make([]envelope.Request, len(recvs))
+		for i, r := range recvs {
+			reqs[i] = r.req
+		}
+
+		res, err := rt.engines[g].Match(envs, reqs)
+		if err != nil {
+			return fmt.Errorf("mpx: GPU %d: %w", g, err)
+		}
+		rt.stats.SimSeconds += res.SimSeconds
+		rt.stats.Iterations += res.Iterations
+		rt.stats.Counters.Add(res.Counters)
+
+		usedMsg := make([]bool, len(msgs))
+		var remainingRecvs []*Recv
+		for ri, mi := range res.Assignment {
+			if mi == match.NoMatch {
+				remainingRecvs = append(remainingRecvs, recvs[ri])
+				continue
+			}
+			recvs[ri].delivered = true
+			recvs[ri].msg = msgs[mi]
+			usedMsg[mi] = true
+			rt.stats.Matches++
+
+			// Data movement: protocol picked by size, pre-postedness
+			// by logical clock.
+			preposted := recvs[ri].seq < msgs[mi].Seq
+			tr := rt.cfg.Protocol.Cost(rt.cfg.Link, len(msgs[mi].Payload), preposted)
+			recvs[ri].transfer = tr
+			rt.stats.BytesMoved += int64(tr.Bytes)
+			rt.stats.TransferSeconds += tr.Seconds()
+			if tr.Mode == proto.Eager {
+				rt.stats.EagerMsgs++
+			} else {
+				rt.stats.RendezvousMsgs++
+			}
+			if preposted {
+				rt.stats.PrePostedMsgs++
+			}
+		}
+		var remainingMsgs []gas.Message
+		for i, used := range usedMsg {
+			if !used {
+				remainingMsgs = append(remainingMsgs, msgs[i])
+			}
+		}
+		if rt.cfg.Level == NoUnexpected && len(remainingMsgs) > 0 {
+			return fmt.Errorf("%w: %d message(s) pending on GPU %d (first: %v)",
+				ErrUnexpectedMessage, len(remainingMsgs), g, remainingMsgs[0].Env)
+		}
+		rt.pendingMsgs[g] = remainingMsgs
+		rt.pendingRecvs[g] = remainingRecvs
+	}
+	rt.stats.Unmatched = 0
+	for g := range rt.pendingMsgs {
+		rt.stats.Unmatched += len(rt.pendingMsgs[g])
+	}
+	return nil
+}
+
+// Drain runs Progress until no pending receive can be satisfied
+// anymore or maxSteps is hit. It reports whether all posted receives
+// were delivered.
+func (rt *Runtime) Drain(maxSteps int) (bool, error) {
+	for step := 0; step < maxSteps; step++ {
+		if err := rt.Progress(); err != nil {
+			return false, err
+		}
+		open := 0
+		for g := range rt.pendingRecvs {
+			open += len(rt.pendingRecvs[g])
+		}
+		if open == 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Stats returns the accumulated simulated-work statistics.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// EngineName reports the matching engine backing this runtime.
+func (rt *Runtime) EngineName() string { return rt.engines[0].Name() }

@@ -1,0 +1,133 @@
+// Package proto models the data-movement side of the messaging stack
+// the paper describes in §II-B: small messages travel eagerly (buffered
+// at the receiver until matched), large messages use a rendezvous
+// (matched first, then pulled directly from the sender's buffer into
+// the posted receive's buffer). The paper's experiments stop at header
+// matching; this layer extends the reproduction so end-to-end examples
+// and the message-rate-versus-size benchmark exercise a complete path
+// over an NVLink-like interconnect model.
+package proto
+
+import "fmt"
+
+// Link models a point-to-point interconnect between two GPUs.
+type Link struct {
+	Name string
+	// LatencyNS is the one-way latency of a minimal put, in
+	// nanoseconds.
+	LatencyNS float64
+	// BandwidthGBs is the sustained one-direction bandwidth in GB/s.
+	BandwidthGBs float64
+}
+
+// NVLink returns a first-generation NVLink-class link (the fabric the
+// paper's vision builds on: P100-era, ~20 GB/s per direction per
+// link).
+func NVLink() Link {
+	return Link{Name: "NVLink", LatencyNS: 1300, BandwidthGBs: 20}
+}
+
+// PCIe3 returns a PCIe 3.0 x16 link (the traditional attachment the
+// paper contrasts against).
+func PCIe3() Link {
+	return Link{Name: "PCIe3x16", LatencyNS: 1900, BandwidthGBs: 12}
+}
+
+// TransferSeconds returns the wire time for n bytes over the link.
+func (l Link) TransferSeconds(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("proto: negative transfer size %d", n))
+	}
+	return l.LatencyNS*1e-9 + float64(n)/(l.BandwidthGBs*1e9)
+}
+
+// Mode selects the transfer protocol.
+type Mode int
+
+const (
+	// Eager pushes the payload with the header; the receiver buffers
+	// it until the message matches, then copies it to the user buffer.
+	Eager Mode = iota
+	// Rendezvous sends only the header; after matching, the receiver
+	// pulls the payload directly into the user buffer (one extra
+	// round-trip, no copy).
+	Rendezvous
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Eager:
+		return "eager"
+	case Rendezvous:
+		return "rendezvous"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Policy selects the protocol per message.
+type Policy struct {
+	// EagerThreshold is the largest payload sent eagerly, in bytes
+	// (default 8 KiB — a typical MPI eager limit).
+	EagerThreshold int
+	// CopyGBs is the device-memory copy bandwidth used for the eager
+	// unpack copy (default 400 GB/s, HBM-class).
+	CopyGBs float64
+}
+
+// DefaultPolicy returns the standard eager/rendezvous switch.
+func DefaultPolicy() Policy { return Policy{EagerThreshold: 8 * 1024, CopyGBs: 400} }
+
+func (p Policy) withDefaults() Policy {
+	if p.EagerThreshold <= 0 {
+		p.EagerThreshold = 8 * 1024
+	}
+	if p.CopyGBs <= 0 {
+		p.CopyGBs = 400
+	}
+	return p
+}
+
+// ModeFor returns the protocol for a payload size.
+func (p Policy) ModeFor(bytes int) Mode {
+	p = p.withDefaults()
+	if bytes <= p.EagerThreshold {
+		return Eager
+	}
+	return Rendezvous
+}
+
+// Transfer describes one message's simulated data movement.
+type Transfer struct {
+	Bytes int
+	Mode  Mode
+	// WireSeconds is interconnect time; CopySeconds is the receiver's
+	// local unpack copy (eager only).
+	WireSeconds float64
+	CopySeconds float64
+}
+
+// Seconds returns the total data-movement time of the transfer.
+func (t Transfer) Seconds() float64 { return t.WireSeconds + t.CopySeconds }
+
+// Cost computes the simulated data movement of one matched message.
+// preposted reports whether the receive was already posted when the
+// message arrived: a pre-posted eager message can be delivered straight
+// to the user buffer (no bounce copy), which is part of why the paper
+// calls pre-posting "a widely implemented optimization" (§VII-B).
+func (p Policy) Cost(link Link, bytes int, preposted bool) Transfer {
+	p = p.withDefaults()
+	t := Transfer{Bytes: bytes, Mode: p.ModeFor(bytes)}
+	switch t.Mode {
+	case Eager:
+		t.WireSeconds = link.TransferSeconds(bytes)
+		if !preposted {
+			t.CopySeconds = float64(bytes) / (p.CopyGBs * 1e9)
+		}
+	case Rendezvous:
+		// RTS header + CTS ack + direct payload pull.
+		t.WireSeconds = 2*link.TransferSeconds(0) + link.TransferSeconds(bytes)
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModeString(t *testing.T) {
+	if Eager.String() != "eager" || Rendezvous.String() != "rendezvous" {
+		t.Error("mode names wrong")
+	}
+	if Mode(5).String() != "Mode(5)" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestTransferSecondsMonotonic(t *testing.T) {
+	l := NVLink()
+	if l.TransferSeconds(0) <= 0 {
+		t.Error("zero-byte transfer has no latency")
+	}
+	if l.TransferSeconds(1<<20) <= l.TransferSeconds(1<<10) {
+		t.Error("larger transfer not slower")
+	}
+}
+
+func TestTransferSecondsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NVLink().TransferSeconds(-1)
+}
+
+func TestNVLinkFasterThanPCIe(t *testing.T) {
+	for _, n := range []int{0, 4096, 1 << 20} {
+		if NVLink().TransferSeconds(n) >= PCIe3().TransferSeconds(n) {
+			t.Errorf("NVLink not faster at %d bytes", n)
+		}
+	}
+}
+
+func TestModeForThreshold(t *testing.T) {
+	p := DefaultPolicy()
+	if p.ModeFor(64) != Eager || p.ModeFor(8*1024) != Eager {
+		t.Error("small messages not eager")
+	}
+	if p.ModeFor(8*1024+1) != Rendezvous {
+		t.Error("large message not rendezvous")
+	}
+	// Zero-value policy falls back to defaults.
+	var zero Policy
+	if zero.ModeFor(100) != Eager {
+		t.Error("zero policy default threshold wrong")
+	}
+}
+
+func TestEagerCopyOnlyWhenUnexpected(t *testing.T) {
+	p := DefaultPolicy()
+	link := NVLink()
+	pre := p.Cost(link, 4096, true)
+	unexp := p.Cost(link, 4096, false)
+	if pre.CopySeconds != 0 {
+		t.Error("pre-posted eager message paid a bounce copy")
+	}
+	if unexp.CopySeconds <= 0 {
+		t.Error("unexpected eager message did not pay the copy")
+	}
+	if pre.Seconds() >= unexp.Seconds() {
+		t.Error("pre-posting not cheaper")
+	}
+}
+
+func TestRendezvousExtraRoundTrips(t *testing.T) {
+	p := DefaultPolicy()
+	link := NVLink()
+	big := 1 << 20
+	r := p.Cost(link, big, true)
+	if r.Mode != Rendezvous {
+		t.Fatal("1MB not rendezvous")
+	}
+	plainWire := link.TransferSeconds(big)
+	if r.WireSeconds <= plainWire {
+		t.Error("rendezvous did not pay handshake latency")
+	}
+	if r.WireSeconds >= plainWire+3*link.TransferSeconds(0) {
+		t.Error("rendezvous overhead larger than 2 extra headers")
+	}
+}
+
+func TestCrossoverRendezvousWinsForLargeUnexpected(t *testing.T) {
+	// For large unexpected messages, rendezvous (no bounce copy) must
+	// beat a hypothetical eager transfer with its copy — the rationale
+	// for the protocol switch.
+	p := Policy{EagerThreshold: 1 << 30, CopyGBs: 400} // force eager
+	r := DefaultPolicy()
+	link := NVLink()
+	big := 64 << 20
+	eager := p.Cost(link, big, false)
+	rend := r.Cost(link, big, false)
+	if rend.Seconds() >= eager.Seconds() {
+		t.Errorf("rendezvous (%.3gs) not faster than eager+copy (%.3gs) at %d bytes",
+			rend.Seconds(), eager.Seconds(), big)
+	}
+}
+
+func TestCostProperty(t *testing.T) {
+	f := func(kb uint16, preposted bool) bool {
+		bytes := int(kb) * 64
+		tr := DefaultPolicy().Cost(NVLink(), bytes, preposted)
+		if tr.Seconds() <= 0 {
+			return false
+		}
+		if tr.Mode == Rendezvous && tr.CopySeconds != 0 {
+			return false
+		}
+		return tr.Bytes == bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

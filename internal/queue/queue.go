@@ -1,0 +1,201 @@
+// Package queue implements the GPU-resident message and receive-request
+// queues of the paper's §V: contiguous arrays of packed 64-bit headers
+// in simulated device global memory, with the UMQ at the head of the
+// message queue and the PRQ at the head of the request queue. Matched
+// entries are cleared in place (bubbles); Compact removes the bubbles
+// with a warp-parallel stream compaction (ballot + popcount prefix sum
+// followed by a scatter), the step whose ~10% cost the paper measures.
+package queue
+
+import (
+	"fmt"
+
+	"simtmp/internal/simt"
+)
+
+// Queue is a dense, ordered array of packed headers in device memory.
+// Index 0 is the oldest entry; matching order follows indices.
+type Queue struct {
+	mem   *simt.Memory
+	base  int
+	cap   int
+	count int
+}
+
+// New creates a queue over mem[base, base+capacity). The region is
+// zeroed (all slots invalid).
+func New(mem *simt.Memory, base, capacity int) *Queue {
+	if capacity < 0 || base < 0 || base+capacity > mem.Len() {
+		panic(fmt.Sprintf("queue: region [%d,%d) outside memory of %d words", base, base+capacity, mem.Len()))
+	}
+	mem.Fill(base, capacity, 0)
+	return &Queue{mem: mem, base: base, cap: capacity}
+}
+
+// Cap returns the queue capacity in entries.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len returns the number of entries (including cleared bubbles not yet
+// compacted).
+func (q *Queue) Len() int { return q.count }
+
+// Addr returns the global-memory word address of entry i, for kernel
+// access.
+func (q *Queue) Addr(i int) int { return q.base + i }
+
+// Mem returns the backing memory (for kernels operating on the queue).
+func (q *Queue) Mem() *simt.Memory { return q.mem }
+
+// Push appends a packed header at the tail. It reports an error when
+// the queue is full — the flow-control condition a real receiver must
+// handle.
+func (q *Queue) Push(word uint64) error {
+	if q.count == q.cap {
+		return fmt.Errorf("queue: full (%d entries)", q.cap)
+	}
+	q.mem.Store(q.base+q.count, word)
+	q.count++
+	return nil
+}
+
+// At returns the packed word of entry i (host-side readout).
+func (q *Queue) At(i int) uint64 {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
+	}
+	return q.mem.Load(q.base + i)
+}
+
+// Clear invalidates entry i in place, leaving a bubble.
+func (q *Queue) Clear(i int) {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
+	}
+	q.mem.Store(q.base+i, 0)
+}
+
+// Reset empties the queue.
+func (q *Queue) Reset() {
+	q.mem.Fill(q.base, q.count, 0)
+	q.count = 0
+}
+
+// Valid reports whether entry i holds a live header.
+func (q *Queue) Valid(i int) bool { return q.At(i) != 0 }
+
+// Live returns the number of non-bubble entries (host-side scan).
+func (q *Queue) Live() int {
+	n := 0
+	for i := 0; i < q.count; i++ {
+		if q.Valid(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// CompactHost removes bubbles preserving order, host-side (the
+// reference the SIMT kernel is tested against). It returns the new
+// length.
+func (q *Queue) CompactHost() int {
+	w := 0
+	for i := 0; i < q.count; i++ {
+		v := q.mem.Load(q.base + i)
+		if v != 0 {
+			q.mem.Store(q.base+w, v)
+			w++
+		}
+	}
+	q.mem.Fill(q.base+w, q.count-w, 0)
+	q.count = w
+	return w
+}
+
+// Compact removes bubbles with a warp-parallel stream compaction
+// executed on the given CTA, billing SIMT instructions: each tile of
+// CTA-threads entries is loaded, per-warp ballots yield keep masks,
+// popcount prefix sums produce scatter offsets (warp-local via ballot,
+// cross-warp via a shared-memory scan by warp 0), and survivors are
+// scattered forward. Order is preserved. It returns the new length.
+//
+// The CTA's shared memory must hold at least NumWarps words.
+func (q *Queue) Compact(cta *simt.CTA) int {
+	warps := cta.Warps()
+	tile := len(warps) * simt.LaneCount
+	writeBase := 0
+	for tileStart := 0; tileStart < q.count; tileStart += tile {
+		// Per-lane loaded words and keep masks, indexed [warp][lane].
+		words := make([][simt.LaneCount]uint64, len(warps))
+		masks := make([]uint32, len(warps))
+
+		for wi, w := range warps {
+			start := tileStart + wi*simt.LaneCount
+			inRange := func(lane int) bool { return start+lane < q.count }
+			valid := w.Ballot(inRange)
+			w.WithMask(valid, func() {
+				w.LoadGlobal(q.mem,
+					func(lane int) int { return q.base + start + lane },
+					func(lane int, v uint64) { words[wi][lane] = v })
+			})
+			masks[wi] = w.Ballot(func(lane int) bool {
+				return inRange(lane) && words[wi][lane] != 0
+			})
+		}
+		cta.SyncThreads()
+
+		// Warp 0 computes exclusive prefix sums of per-warp keep counts
+		// in shared memory (a ≤32-element scan: one warp suffices).
+		w0 := warps[0]
+		nw := len(warps)
+		warpOffsets := make([]int, nw)
+		w0.WithMask(simt.FullMask>>(uint(simt.LaneCount-min(nw, simt.LaneCount))), func() {
+			w0.Exec(2, func(lane int) {
+				if lane < nw {
+					sum := 0
+					for i := 0; i < lane; i++ {
+						sum += simt.Popc(masks[i])
+					}
+					warpOffsets[lane] = sum
+				}
+			})
+			if cta.Shared.Len() > 0 {
+				w0.StoreShared(cta.Shared,
+					func(lane int) int { return lane % cta.Shared.Len() },
+					func(lane int) uint64 { return uint64(warpOffsets[lane]) })
+			}
+		})
+		cta.SyncThreads()
+
+		// Scatter survivors: lane offset = warp offset + popc of lower
+		// keep bits (the ballot-prefix idiom).
+		for wi, w := range warps {
+			mask := masks[wi]
+			w.WithMask(mask, func() {
+				w.Exec(2, func(lane int) {}) // offset computation (popc + add)
+				w.StoreGlobal(q.mem,
+					func(lane int) int {
+						prefix := simt.Popc(mask & (simt.LaneMask(lane) - 1))
+						return q.base + writeBase + warpOffsets[wi] + prefix
+					},
+					func(lane int) uint64 { return words[wi][lane] })
+			})
+		}
+		cta.SyncThreads()
+
+		kept := 0
+		for _, m := range masks {
+			kept += simt.Popc(m)
+		}
+		writeBase += kept
+	}
+	q.mem.Fill(q.base+writeBase, q.count-writeBase, 0)
+	q.count = writeBase
+	return writeBase
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

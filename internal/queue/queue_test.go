@@ -1,0 +1,212 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/simt"
+)
+
+func packedEnv(src, tag int) uint64 {
+	return envelope.Envelope{Src: envelope.Rank(src), Tag: envelope.Tag(tag)}.Pack()
+}
+
+func TestPushAtLen(t *testing.T) {
+	m := simt.NewMemory(64)
+	q := New(m, 8, 16)
+	if q.Cap() != 16 || q.Len() != 0 {
+		t.Fatalf("fresh queue: cap=%d len=%d", q.Cap(), q.Len())
+	}
+	for i := 0; i < 16; i++ {
+		if err := q.Push(packedEnv(i, 0)); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	if err := q.Push(packedEnv(99, 0)); err == nil {
+		t.Error("Push on full queue succeeded")
+	}
+	if q.Len() != 16 {
+		t.Errorf("Len = %d, want 16", q.Len())
+	}
+	e, ok := envelope.UnpackEnvelope(q.At(7))
+	if !ok || e.Src != 7 {
+		t.Errorf("At(7) = %v, %v", e, ok)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := simt.NewMemory(16)
+	q := New(m, 0, 8)
+	q.Push(packedEnv(1, 1))
+	for _, i := range []int{-1, 1, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			q.At(i)
+		}()
+	}
+}
+
+func TestNewBadRegionPanics(t *testing.T) {
+	m := simt.NewMemory(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("New beyond memory did not panic")
+		}
+	}()
+	New(m, 8, 16)
+}
+
+func TestClearLiveReset(t *testing.T) {
+	m := simt.NewMemory(32)
+	q := New(m, 0, 16)
+	for i := 0; i < 10; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	q.Clear(3)
+	q.Clear(7)
+	if q.Live() != 8 {
+		t.Errorf("Live = %d, want 8", q.Live())
+	}
+	if q.Valid(3) || !q.Valid(4) {
+		t.Error("Valid flags wrong after Clear")
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Live() != 0 {
+		t.Error("Reset did not empty queue")
+	}
+}
+
+func TestCompactHostPreservesOrder(t *testing.T) {
+	m := simt.NewMemory(32)
+	q := New(m, 0, 16)
+	for i := 0; i < 10; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	for _, i := range []int{0, 4, 9} {
+		q.Clear(i)
+	}
+	n := q.CompactHost()
+	if n != 7 || q.Len() != 7 {
+		t.Fatalf("CompactHost = %d, len=%d, want 7", n, q.Len())
+	}
+	want := []int{1, 2, 3, 5, 6, 7, 8}
+	for i, src := range want {
+		e, _ := envelope.UnpackEnvelope(q.At(i))
+		if int(e.Src) != src {
+			t.Errorf("entry %d: src=%d, want %d", i, e.Src, src)
+		}
+	}
+}
+
+func TestCompactSIMTMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300) + 1
+		memA, memB := simt.NewMemory(n+8), simt.NewMemory(n+8)
+		qa, qb := New(memA, 4, n), New(memB, 4, n)
+		for i := 0; i < n; i++ {
+			w := packedEnv(i, rng.Intn(100))
+			qa.Push(w)
+			qb.Push(w)
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				qa.Clear(i)
+				qb.Clear(i)
+			}
+		}
+		cta := simt.NewCTA(0, 128, 64)
+		na := qa.Compact(cta)
+		nb := qb.CompactHost()
+		if na != nb {
+			t.Fatalf("trial %d: SIMT compact len %d, host %d", trial, na, nb)
+		}
+		for i := 0; i < na; i++ {
+			if qa.At(i) != qb.At(i) {
+				t.Fatalf("trial %d: entry %d differs: %#x vs %#x", trial, i, qa.At(i), qb.At(i))
+			}
+		}
+	}
+}
+
+func TestCompactSIMTBillsInstructions(t *testing.T) {
+	m := simt.NewMemory(128)
+	q := New(m, 0, 100)
+	for i := 0; i < 100; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	q.Clear(50)
+	cta := simt.NewCTA(0, 1024, 64)
+	q.Compact(cta)
+	c := cta.Counters()
+	if c.GMemLoad == 0 || c.GMemStore == 0 || c.Ballot == 0 || c.Sync == 0 {
+		t.Errorf("compaction billed no work: %+v", c)
+	}
+}
+
+func TestCompactSIMTAllBubbles(t *testing.T) {
+	m := simt.NewMemory(64)
+	q := New(m, 0, 32)
+	for i := 0; i < 20; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	for i := 0; i < 20; i++ {
+		q.Clear(i)
+	}
+	cta := simt.NewCTA(0, 64, 8)
+	if n := q.Compact(cta); n != 0 {
+		t.Errorf("Compact of all-bubbles = %d, want 0", n)
+	}
+}
+
+func TestCompactSIMTEmptyQueue(t *testing.T) {
+	m := simt.NewMemory(16)
+	q := New(m, 0, 8)
+	cta := simt.NewCTA(0, 32, 4)
+	if n := q.Compact(cta); n != 0 {
+		t.Errorf("Compact of empty = %d, want 0", n)
+	}
+}
+
+func TestCompactProperty(t *testing.T) {
+	// Property: after Compact, Live == Len and the surviving
+	// subsequence equals the pre-compaction live subsequence.
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%200 + 1
+		m := simt.NewMemory(n + 4)
+		q := New(m, 0, n)
+		var live []uint64
+		for i := 0; i < n; i++ {
+			w := packedEnv(i, 0)
+			q.Push(w)
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q.Clear(i)
+			} else {
+				live = append(live, q.At(i))
+			}
+		}
+		cta := simt.NewCTA(0, 96, 16)
+		q.Compact(cta)
+		if q.Len() != len(live) || q.Live() != len(live) {
+			return false
+		}
+		for i, w := range live {
+			if q.At(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package ring implements the wrap-around message ring the GAS
+// transport uses: a fixed-capacity single-producer single-consumer
+// queue in device memory with head/tail indices and credit-based flow
+// control, the structure a sender-managed remote queue needs so a
+// remote writer never overruns the receiver (§II-C: "'Send' operations
+// write messages to queues in remote memory").
+//
+// The matching engines still consume dense batches (internal/queue);
+// the ring is the transport stage in front of them.
+package ring
+
+import (
+	"fmt"
+
+	"simtmp/internal/simt"
+)
+
+// Ring is a SPSC ring over simulated device memory. Slot 0..cap-1 hold
+// payload words; head/tail live in two extra control words, as they
+// would in a device-visible control block.
+type Ring struct {
+	mem  *simt.Memory
+	base int
+	cap  int
+
+	// credits is the sender-side view of free slots (returned lazily
+	// by the consumer in batches, as real credit schemes do).
+	credits int
+	// pendingCredits are consumed slots not yet returned to the sender.
+	pendingCredits int
+}
+
+// control word offsets relative to base+cap.
+const (
+	headOff = 0 // next slot to pop
+	tailOff = 1 // next slot to push
+)
+
+// Words returns the memory footprint of a ring with the given
+// capacity (slots plus the two control words).
+func Words(capacity int) int { return capacity + 2 }
+
+// New creates a ring over mem[base, base+Words(capacity)).
+func New(mem *simt.Memory, base, capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ring: capacity %d", capacity))
+	}
+	if base < 0 || base+Words(capacity) > mem.Len() {
+		panic(fmt.Sprintf("ring: region [%d,%d) outside memory of %d words",
+			base, base+Words(capacity), mem.Len()))
+	}
+	r := &Ring{mem: mem, base: base, cap: capacity, credits: capacity}
+	mem.Store(base+capacity+headOff, 0)
+	mem.Store(base+capacity+tailOff, 0)
+	return r
+}
+
+// Cap returns the slot capacity.
+func (r *Ring) Cap() int { return r.cap }
+
+// Len returns the number of occupied slots.
+func (r *Ring) Len() int {
+	head := int(r.mem.Load(r.base + r.cap + headOff))
+	tail := int(r.mem.Load(r.base + r.cap + tailOff))
+	return (tail - head + 2*r.cap) % (2 * r.cap)
+}
+
+// Credits returns the sender's current credit balance.
+func (r *Ring) Credits() int { return r.credits }
+
+// Push appends a word, consuming one credit. It fails when the sender
+// has no credits — back-pressure, not data loss.
+func (r *Ring) Push(w uint64) error {
+	if r.credits == 0 {
+		return fmt.Errorf("ring: no credits (capacity %d)", r.cap)
+	}
+	tail := int(r.mem.Load(r.base + r.cap + tailOff))
+	r.mem.Store(r.base+tail%r.cap, w)
+	r.mem.Store(r.base+r.cap+tailOff, uint64((tail+1)%(2*r.cap)))
+	r.credits--
+	return nil
+}
+
+// Pop removes and returns the oldest word. The freed slot becomes a
+// pending credit; call ReturnCredits to batch it back to the sender.
+func (r *Ring) Pop() (uint64, bool) {
+	head := int(r.mem.Load(r.base + r.cap + headOff))
+	tail := int(r.mem.Load(r.base + r.cap + tailOff))
+	if head == tail {
+		return 0, false
+	}
+	w := r.mem.Load(r.base + head%r.cap)
+	r.mem.Store(r.base+r.cap+headOff, uint64((head+1)%(2*r.cap)))
+	r.pendingCredits++
+	return w, true
+}
+
+// ReturnCredits flushes the consumer's pending credits back to the
+// sender (one control-word write on real hardware) and returns how
+// many were returned.
+func (r *Ring) ReturnCredits() int {
+	n := r.pendingCredits
+	r.credits += n
+	r.pendingCredits = 0
+	return n
+}
+
+// DrainTo pops up to max entries into out and returns the count. Pass
+// max < 0 for everything. Credits are NOT auto-returned.
+func (r *Ring) DrainTo(out []uint64, max int) int {
+	n := 0
+	for (max < 0 || n < max) && n < len(out) {
+		w, ok := r.Pop()
+		if !ok {
+			break
+		}
+		out[n] = w
+		n++
+	}
+	return n
+}

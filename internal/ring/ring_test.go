@@ -1,0 +1,154 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"simtmp/internal/simt"
+)
+
+func newRing(capacity int) *Ring {
+	mem := simt.NewMemory(Words(capacity) + 4)
+	return New(mem, 2, capacity)
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	r := newRing(8)
+	for i := uint64(1); i <= 5; i++ {
+		if err := r.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	for i := uint64(1); i <= 5; i++ {
+		w, ok := r.Pop()
+		if !ok || w != i {
+			t.Fatalf("Pop = %d,%v, want %d", w, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("Pop on empty succeeded")
+	}
+}
+
+func TestCreditFlowControl(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 4; i++ {
+		if err := r.Push(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Push(99); err == nil {
+		t.Fatal("push beyond credits succeeded")
+	}
+	// Consuming does not return credits by itself.
+	r.Pop()
+	r.Pop()
+	if err := r.Push(99); err == nil {
+		t.Fatal("push before credit return succeeded")
+	}
+	if n := r.ReturnCredits(); n != 2 {
+		t.Fatalf("ReturnCredits = %d, want 2", n)
+	}
+	if err := r.Push(99); err != nil {
+		t.Fatalf("push after credit return: %v", err)
+	}
+	if r.Credits() != 1 {
+		t.Errorf("Credits = %d, want 1", r.Credits())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := newRing(3)
+	seq := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := r.Push(seq); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+		for i := 0; i < 3; i++ {
+			w, ok := r.Pop()
+			if !ok || w != seq-3+uint64(i) {
+				t.Fatalf("round %d: Pop = %d,%v want %d", round, w, ok, seq-3+uint64(i))
+			}
+		}
+		r.ReturnCredits()
+	}
+}
+
+func TestDrainTo(t *testing.T) {
+	r := newRing(8)
+	for i := uint64(0); i < 6; i++ {
+		r.Push(i)
+	}
+	buf := make([]uint64, 8)
+	if n := r.DrainTo(buf, 4); n != 4 || buf[3] != 3 {
+		t.Fatalf("DrainTo(4) = %d, buf=%v", n, buf)
+	}
+	if n := r.DrainTo(buf, -1); n != 2 || buf[0] != 4 {
+		t.Fatalf("DrainTo(-1) = %d, buf=%v", n, buf)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after drain", r.Len())
+	}
+}
+
+func TestConstructionPanics(t *testing.T) {
+	mem := simt.NewMemory(4)
+	for _, f := range []func(){
+		func() { New(mem, 0, 0) },
+		func() { New(mem, 0, 16) },
+		func() { New(mem, -1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRingProperty(t *testing.T) {
+	// Property: a random push/pop/return schedule never loses or
+	// reorders entries relative to a model queue.
+	f := func(ops []uint8) bool {
+		r := newRing(5)
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if err := r.Push(next); err == nil {
+					model = append(model, next)
+				}
+				next++
+			case 1:
+				w, ok := r.Pop()
+				if ok {
+					if len(model) == 0 || model[0] != w {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false
+				}
+			case 2:
+				r.ReturnCredits()
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package simt
+
+import (
+	"fmt"
+
+	"simtmp/internal/arch"
+)
+
+// CTA is a cooperative thread array: up to 32 warps sharing a
+// scratch-pad memory and a barrier. Warps within a CTA are executed
+// sequentially and deterministically by kernel code; SyncThreads marks
+// barrier points for the timing model.
+type CTA struct {
+	// ID is the CTA index within its grid.
+	ID int
+	// Shared is the CTA's scratch-pad memory.
+	Shared *Memory
+
+	warps []*Warp
+	ctrs  Counters
+}
+
+// MaxWarpsPerCTA is the hardware limit the paper leans on: "so far all
+// NVIDIA GPUs only support 32 warps per CTA", which caps the vote
+// matrix height at 32.
+const MaxWarpsPerCTA = 32
+
+// NewCTA creates a CTA with the given number of threads (rounded up to
+// whole warps, max 1024) and a shared memory of sharedWords 64-bit
+// words.
+func NewCTA(id, threads, sharedWords int) *CTA {
+	if threads <= 0 || threads > MaxWarpsPerCTA*LaneCount {
+		panic(fmt.Sprintf("simt: CTA thread count %d out of range (1..%d)", threads, MaxWarpsPerCTA*LaneCount))
+	}
+	nWarps := (threads + LaneCount - 1) / LaneCount
+	c := &CTA{ID: id, Shared: NewMemory(sharedWords)}
+	c.warps = make([]*Warp, nWarps)
+	for i := range c.warps {
+		c.warps[i] = NewWarp(i, &c.ctrs)
+		if i == nWarps-1 {
+			if rem := threads % LaneCount; rem != 0 {
+				c.warps[i].SetActive(FullMask >> uint(LaneCount-rem))
+			}
+		}
+	}
+	return c
+}
+
+// Warps returns the CTA's warps in id order.
+func (c *CTA) Warps() []*Warp { return c.warps }
+
+// Warp returns warp i.
+func (c *CTA) Warp(i int) *Warp { return c.warps[i] }
+
+// NumWarps returns the number of warps in the CTA.
+func (c *CTA) NumWarps() int { return len(c.warps) }
+
+// Threads returns the number of threads in the CTA (counting initially
+// active lanes).
+func (c *CTA) Threads() int {
+	n := 0
+	for _, w := range c.warps {
+		n += Popc(w.Active())
+	}
+	return n
+}
+
+// SyncThreads marks a CTA-wide barrier: every warp bills one sync
+// instruction. Kernel code already executes warps in program order, so
+// the barrier has no functional effect — only a timing one.
+func (c *CTA) SyncThreads() {
+	c.ctrs.Sync += uint64(len(c.warps))
+}
+
+// Counters returns a copy of the CTA's accumulated counters.
+func (c *CTA) Counters() Counters { return c.ctrs }
+
+// ResetCounters zeroes the CTA's counters (useful for phase-separated
+// accounting).
+func (c *CTA) ResetCounters() { c.ctrs = Counters{} }
+
+// Kernel is a CTA program: it is invoked once per CTA of a launch with
+// the CTA and the device's global memory.
+type Kernel func(c *CTA, global *Memory)
+
+// LaunchStats reports what a grid launch executed, for consumption by
+// the timing model.
+type LaunchStats struct {
+	// PerCTA holds each CTA's instruction counters, indexed by CTA id.
+	PerCTA []Counters
+	// Footprint is the per-CTA resource footprint used for occupancy.
+	Footprint arch.KernelFootprint
+}
+
+// Total returns the sum of all per-CTA counters.
+func (s *LaunchStats) Total() Counters {
+	var t Counters
+	for i := range s.PerCTA {
+		t.Add(s.PerCTA[i])
+	}
+	return t
+}
+
+// Device is a simulated GPU: an architecture plus global memory.
+type Device struct {
+	Arch   *arch.Arch
+	Global *Memory
+}
+
+// NewDevice creates a device of the given architecture with a global
+// memory of globalWords 64-bit words.
+func NewDevice(a *arch.Arch, globalWords int) *Device {
+	return &Device{Arch: a, Global: NewMemory(globalWords)}
+}
+
+// Launch runs kernel on a grid of ctas CTAs, each with threadsPerCTA
+// threads and sharedWords words of shared memory. CTAs execute
+// sequentially in id order (deterministic); hardware concurrency and
+// serialization beyond the occupancy limit are recovered analytically
+// by the timing model from the returned stats.
+func (d *Device) Launch(ctas, threadsPerCTA, sharedWords int, regsPerThread int, kernel Kernel) *LaunchStats {
+	if ctas <= 0 {
+		panic(fmt.Sprintf("simt: launch with %d CTAs", ctas))
+	}
+	stats := &LaunchStats{
+		PerCTA: make([]Counters, ctas),
+		Footprint: arch.KernelFootprint{
+			ThreadsPerCTA:   threadsPerCTA,
+			RegsPerThread:   regsPerThread,
+			SharedMemPerCTA: sharedWords * 8,
+		},
+	}
+	for i := 0; i < ctas; i++ {
+		c := NewCTA(i, threadsPerCTA, sharedWords)
+		kernel(c, d.Global)
+		stats.PerCTA[i] = c.Counters()
+	}
+	return stats
+}

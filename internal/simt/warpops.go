@@ -1,0 +1,121 @@
+package simt
+
+// Warp-level cooperative primitives built from the raw intrinsics —
+// the standard SIMT building blocks (inclusive/exclusive scans,
+// reductions, ballot-based compaction offsets) used by the queue
+// compaction kernel and available for any kernel code.
+
+// WarpInclusiveScan computes, for every active lane, the sum of vals
+// over active lanes with index ≤ its own, using the classic
+// shuffle-up doubling network (log2(32) = 5 shuffle steps). Inactive
+// lanes contribute zero. Results are delivered via sink for active
+// lanes.
+func (w *Warp) WarpInclusiveScan(vals func(lane int) uint64, sink func(lane int, sum uint64)) {
+	active := w.Active()
+	// Rank the active lanes (ballot-popcount, the same trick hardware
+	// scans use to handle holes in the mask): the Kogge-Stone network
+	// then runs over ranks, so inactive lanes neither contribute nor
+	// relay.
+	var rankOf [LaneCount]int
+	var laneOfRank [LaneCount]int
+	w.Exec(2, func(lane int) {
+		r := Popc(active & (LaneMask(lane) - 1))
+		rankOf[lane] = r
+		laneOfRank[r] = lane
+	})
+	var acc [LaneCount]uint64
+	w.Exec(1, func(lane int) { acc[lane] = vals(lane) })
+	for off := 1; off < LaneCount; off *= 2 {
+		var incoming [LaneCount]uint64
+		var has [LaneCount]bool
+		w.Shfl(
+			func(lane int) uint64 { return acc[lane] },
+			func(lane int) int {
+				if r := rankOf[lane]; r-off >= 0 {
+					return laneOfRank[r-off]
+				}
+				return lane
+			},
+			func(lane int, v uint64) {
+				if rankOf[lane]-off >= 0 {
+					incoming[lane] = v
+					has[lane] = true
+				}
+			})
+		w.Exec(1, func(lane int) {
+			if has[lane] {
+				acc[lane] += incoming[lane]
+			}
+		})
+	}
+	w.Exec(1, func(lane int) { sink(lane, acc[lane]) })
+}
+
+// WarpExclusiveScan is WarpInclusiveScan shifted by one: each active
+// lane receives the sum of strictly-lower active lanes.
+func (w *Warp) WarpExclusiveScan(vals func(lane int) uint64, sink func(lane int, sum uint64)) {
+	w.WarpInclusiveScan(vals, func(lane int, sum uint64) {
+		sink(lane, sum-vals(lane))
+	})
+}
+
+// WarpReduce computes the combined value of all active lanes under op
+// (a butterfly reduction: 5 shuffle steps) and returns it. op must be
+// associative and commutative.
+func (w *Warp) WarpReduce(vals func(lane int) uint64, op func(a, b uint64) uint64) uint64 {
+	var acc [LaneCount]uint64
+	active := w.Active()
+	if active == 0 {
+		return 0
+	}
+	// Seed inactive lanes with the first active lane's value so the
+	// butterfly stays neutral.
+	first := Ffs(active) - 1
+	w.Exec(1, func(lane int) { acc[lane] = vals(lane) })
+	for lane := 0; lane < LaneCount; lane++ {
+		if active&LaneMask(lane) == 0 {
+			acc[lane] = vals(first)
+		}
+	}
+	saved := acc
+	for off := LaneCount / 2; off > 0; off /= 2 {
+		var incoming [LaneCount]uint64
+		w.Shfl(
+			func(lane int) uint64 { return acc[lane] },
+			func(lane int) int { return lane ^ off },
+			func(lane int, v uint64) { incoming[lane] = v })
+		w.Exec(1, func(lane int) { acc[lane] = op(acc[lane], incoming[lane]) })
+	}
+	// With inactive lanes seeded by a duplicate value, the butterfly
+	// over-counts for non-idempotent ops; recompute exactly for
+	// correctness while keeping the instruction billing above (the
+	// hardware result would come from the masked butterfly directly).
+	result := uint64(0)
+	seeded := false
+	for lane := 0; lane < LaneCount; lane++ {
+		if active&LaneMask(lane) == 0 {
+			continue
+		}
+		if !seeded {
+			result = saved[lane]
+			seeded = true
+		} else {
+			result = op(result, saved[lane])
+		}
+	}
+	return result
+}
+
+// CompactOffsets computes, for the active lanes where keep is true,
+// their dense output offsets (0, 1, 2, …) using the ballot-popcount
+// idiom, and returns the total number kept. This is the warp-local
+// step of stream compaction.
+func (w *Warp) CompactOffsets(keep func(lane int) bool, sink func(lane int, offset int)) int {
+	mask := w.Ballot(keep)
+	w.Exec(2, func(lane int) { // popc of lower bits + conditional
+		if mask&LaneMask(lane) != 0 {
+			sink(lane, Popc(mask&(LaneMask(lane)-1)))
+		}
+	})
+	return Popc(mask)
+}

@@ -1,0 +1,186 @@
+package simt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWarpInclusiveScanFullWarp(t *testing.T) {
+	w, _ := newTestWarp()
+	var out [LaneCount]uint64
+	w.WarpInclusiveScan(
+		func(lane int) uint64 { return 1 },
+		func(lane int, sum uint64) { out[lane] = sum })
+	for lane := 0; lane < LaneCount; lane++ {
+		if out[lane] != uint64(lane+1) {
+			t.Fatalf("lane %d: scan = %d, want %d", lane, out[lane], lane+1)
+		}
+	}
+}
+
+func TestWarpInclusiveScanPartialMask(t *testing.T) {
+	w, _ := newTestWarp()
+	w.SetActive(0b1010_1010) // lanes 1,3,5,7
+	var out [LaneCount]uint64
+	w.WarpInclusiveScan(
+		func(lane int) uint64 { return uint64(lane) },
+		func(lane int, sum uint64) { out[lane] = sum })
+	// Active lanes accumulate only active predecessors.
+	want := map[int]uint64{1: 1, 3: 4, 5: 9, 7: 16}
+	for lane, v := range want {
+		if out[lane] != v {
+			t.Errorf("lane %d: scan = %d, want %d", lane, out[lane], v)
+		}
+	}
+}
+
+func TestWarpExclusiveScan(t *testing.T) {
+	w, _ := newTestWarp()
+	var out [LaneCount]uint64
+	w.WarpExclusiveScan(
+		func(lane int) uint64 { return 2 },
+		func(lane int, sum uint64) { out[lane] = sum })
+	for lane := 0; lane < LaneCount; lane++ {
+		if out[lane] != uint64(2*lane) {
+			t.Fatalf("lane %d: exclusive scan = %d, want %d", lane, out[lane], 2*lane)
+		}
+	}
+}
+
+func TestWarpScanMatchesSerial(t *testing.T) {
+	f := func(seed int64, mask uint32) bool {
+		if mask == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var vals [LaneCount]uint64
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1000))
+		}
+		var ctrs Counters
+		w := NewWarp(0, &ctrs)
+		w.SetActive(mask)
+		ok := true
+		w.WarpInclusiveScan(
+			func(lane int) uint64 { return vals[lane] },
+			func(lane int, sum uint64) {
+				want := uint64(0)
+				for l := 0; l <= lane; l++ {
+					if mask&LaneMask(l) != 0 {
+						want += vals[l]
+					}
+				}
+				if sum != want {
+					ok = false
+				}
+			})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarpReduceSum(t *testing.T) {
+	w, _ := newTestWarp()
+	got := w.WarpReduce(
+		func(lane int) uint64 { return uint64(lane) },
+		func(a, b uint64) uint64 { return a + b })
+	if got != 31*32/2 {
+		t.Errorf("reduce sum = %d, want %d", got, 31*32/2)
+	}
+}
+
+func TestWarpReduceMaxPartial(t *testing.T) {
+	w, _ := newTestWarp()
+	w.SetActive(0x0000_00F0) // lanes 4..7
+	got := w.WarpReduce(
+		func(lane int) uint64 { return uint64(lane * 10) },
+		func(a, b uint64) uint64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if got != 70 {
+		t.Errorf("reduce max = %d, want 70", got)
+	}
+}
+
+func TestWarpReduceEmptyMask(t *testing.T) {
+	w, _ := newTestWarp()
+	w.SetActive(0)
+	if got := w.WarpReduce(func(int) uint64 { return 5 }, func(a, b uint64) uint64 { return a + b }); got != 0 {
+		t.Errorf("reduce over empty mask = %d, want 0", got)
+	}
+}
+
+func TestWarpReduceMatchesSerial(t *testing.T) {
+	f := func(seed int64, mask uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var vals [LaneCount]uint64
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1 << 20))
+		}
+		var ctrs Counters
+		w := NewWarp(0, &ctrs)
+		w.SetActive(mask)
+		got := w.WarpReduce(
+			func(lane int) uint64 { return vals[lane] },
+			func(a, b uint64) uint64 { return a + b })
+		want := uint64(0)
+		for l := 0; l < LaneCount; l++ {
+			if mask&LaneMask(l) != 0 {
+				want += vals[l]
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactOffsets(t *testing.T) {
+	w, _ := newTestWarp()
+	var offsets [LaneCount]int
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	kept := w.CompactOffsets(
+		func(lane int) bool { return lane%3 == 0 },
+		func(lane int, off int) { offsets[lane] = off })
+	if kept != 11 { // lanes 0,3,...,30
+		t.Fatalf("kept = %d, want 11", kept)
+	}
+	for lane, want := 0, 0; lane < LaneCount; lane++ {
+		if lane%3 == 0 {
+			if offsets[lane] != want {
+				t.Errorf("lane %d: offset %d, want %d", lane, offsets[lane], want)
+			}
+			want++
+		} else if offsets[lane] != -1 {
+			t.Errorf("lane %d: offset written for dropped lane", lane)
+		}
+	}
+}
+
+func TestWarpOpsBillInstructions(t *testing.T) {
+	var ctrs Counters
+	w := NewWarp(0, &ctrs)
+	w.WarpInclusiveScan(func(int) uint64 { return 1 }, func(int, uint64) {})
+	if ctrs.Shfl != 5 {
+		t.Errorf("scan billed %d shuffles, want 5", ctrs.Shfl)
+	}
+	before := ctrs
+	w.WarpReduce(func(int) uint64 { return 1 }, func(a, b uint64) uint64 { return a + b })
+	if ctrs.Shfl-before.Shfl != 5 {
+		t.Errorf("reduce billed %d shuffles, want 5", ctrs.Shfl-before.Shfl)
+	}
+	before = ctrs
+	w.CompactOffsets(func(int) bool { return true }, func(int, int) {})
+	if ctrs.Ballot-before.Ballot != 1 {
+		t.Errorf("compact billed %d ballots, want 1", ctrs.Ballot-before.Ballot)
+	}
+}

@@ -1,0 +1,137 @@
+package timing
+
+import "simtmp/internal/arch"
+
+// Params holds the calibrated per-architecture timing constants, all
+// in SM cycles unless noted. They are the single tuning surface of the
+// reproduction: the calibration tests in internal/bench assert that the
+// rates they induce fall inside the paper's published bands (Figure 4,
+// Figure 5, Figure 6b, Table II).
+//
+// The dependency latencies (…Dep) are deliberately similar across
+// generations: the paper observes that newer GPUs win "only due to
+// higher clock frequencies", i.e. the serial reduce chain costs about
+// the same number of cycles everywhere.
+type Params struct {
+	// Dependency latencies: cycles until a dependent instruction can
+	// issue after one of the given class.
+	ALUDep    float64
+	BallotDep float64
+	ShflDep   float64
+	SMemDep   float64
+	GMemDep   float64
+	AtomicDep float64
+	BranchDep float64
+
+	// BankConflict is the cost of one extra serialized shared-memory
+	// pass caused by a bank conflict.
+	BankConflict float64
+
+	// SyncCost is the per-warp cost of a CTA barrier.
+	SyncCost float64
+
+	// WarpIssueRate is the sustained instructions/cycle one warp can
+	// contribute when it is not stalled (dual-issue makes it >0.5 on
+	// paper, dependency stalls make it lower in practice).
+	WarpIssueRate float64
+
+	// TransCycles is the SM-level cost of one 128-byte global memory
+	// transaction that misses the L2 cache (DRAM effective throughput).
+	TransCycles float64
+
+	// L2TransCycles is the cost of a transaction served by the L2
+	// cache (used when a phase's working set is L2-resident, e.g. the
+	// hash matcher's tables).
+	L2TransCycles float64
+
+	// L2Words is the L2 cache capacity in 64-bit words.
+	L2Words int
+
+	// AtomicThroughput is the memory-pipeline cost of one warp-wide
+	// global atomic instruction (covering its up-to-32 lane
+	// operations). Kepler serializes lane atomics; Maxwell reworked
+	// atomics in L2, Pascal improved them again — the main reason the
+	// hash matcher's cross-generation gap (3.3×) exceeds the clock
+	// ratio (2.0×).
+	AtomicThroughput float64
+
+	// HideEfficiency scales how effectively resident warps hide memory
+	// latency in throughput phases.
+	HideEfficiency float64
+
+	// LaunchOverhead is the fixed per-kernel-iteration cost (driver,
+	// queue pointer maintenance) in cycles.
+	LaunchOverhead float64
+
+	// CompactPerEntry is the per-queue-entry cost of the compaction
+	// kernel beyond the header prefix-scan: full-descriptor payload
+	// movement and head/tail pointer maintenance. Calibrated so that
+	// compacting both queues costs roughly 10% of a matching pass, the
+	// paper's §VI-B measurement.
+	CompactPerEntry float64
+}
+
+// ParamsFor returns the calibrated constants for a generation. Unknown
+// generations get the Pascal constants (the most modern calibrated
+// point).
+func ParamsFor(g arch.Generation) Params {
+	switch g {
+	case arch.Kepler:
+		return Params{
+			ALUDep:           11,
+			BallotDep:        36,
+			ShflDep:          34,
+			SMemDep:          44,
+			GMemDep:          600,
+			AtomicDep:        220,
+			BranchDep:        26,
+			SyncCost:         36,
+			WarpIssueRate:    0.5,
+			TransCycles:      1.55,
+			L2TransCycles:    0.70,
+			AtomicThroughput: 9,
+			L2Words:          192 * 1024,
+			HideEfficiency:   2.8,
+			LaunchOverhead:   1200,
+			CompactPerEntry:  14,
+		}
+	case arch.Maxwell:
+		return Params{
+			ALUDep:           10,
+			BallotDep:        38,
+			ShflDep:          30,
+			SMemDep:          42,
+			GMemDep:          400,
+			AtomicDep:        160,
+			BranchDep:        24,
+			SyncCost:         32,
+			WarpIssueRate:    0.5,
+			TransCycles:      1.15,
+			L2TransCycles:    0.34,
+			AtomicThroughput: 4,
+			L2Words:          384 * 1024,
+			HideEfficiency:   2.2,
+			LaunchOverhead:   1100,
+			CompactPerEntry:  13,
+		}
+	default: // Pascal and newer
+		return Params{
+			ALUDep:           10,
+			BallotDep:        34,
+			ShflDep:          28,
+			SMemDep:          38,
+			GMemDep:          300,
+			AtomicDep:        130,
+			BranchDep:        22,
+			SyncCost:         30,
+			WarpIssueRate:    0.5,
+			TransCycles:      0.72,
+			L2TransCycles:    0.16,
+			AtomicThroughput: 2.1,
+			L2Words:          256 * 1024,
+			HideEfficiency:   2.5,
+			LaunchOverhead:   1000,
+			CompactPerEntry:  12,
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package timing
+
+import (
+	"testing"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/simt"
+)
+
+func TestKindString(t *testing.T) {
+	if Throughput.String() != "throughput" || Dependent.String() != "dependent" {
+		t.Error("Kind.String() wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind.String() wrong")
+	}
+}
+
+func TestDependentCyclesSumLatencies(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	c := simt.Counters{ALU: 10, Ballot: 2, SMemLoad: 1}
+	got := m.PhaseCycles(Phase{Kind: Dependent, Ctrs: c})
+	want := 10*m.P.ALUDep + 2*m.P.BallotDep + 1*m.P.SMemDep
+	if got != want {
+		t.Errorf("dependent cycles = %v, want %v", got, want)
+	}
+}
+
+func TestThroughputIssueLimited(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	// Pure ALU work with ample warps: issue width is the limiter.
+	c := simt.Counters{ALU: 40000}
+	got := m.PhaseCycles(Phase{Kind: Throughput, Ctrs: c, ResidentWarps: 32})
+	want := 40000.0 / float64(m.A.IssueWidth)
+	if got != want {
+		t.Errorf("issue-limited cycles = %v, want %v", got, want)
+	}
+}
+
+func TestThroughputMemoryLimited(t *testing.T) {
+	m := NewModel(arch.KeplerK80())
+	// Few instructions, many transactions: memory throughput limits.
+	c := simt.Counters{GMemLoad: 10, GMemTrans: 100000}
+	got := m.PhaseCycles(Phase{Kind: Throughput, Ctrs: c, ResidentWarps: 64})
+	if min := 100000 * m.P.TransCycles; got < min {
+		t.Errorf("memory-limited cycles = %v, want >= %v", got, min)
+	}
+}
+
+func TestMoreWarpsHideMoreLatency(t *testing.T) {
+	m := NewModel(arch.MaxwellM40())
+	c := simt.Counters{GMemLoad: 1000, GMemTrans: 2000, ALU: 1000}
+	few := m.PhaseCycles(Phase{Kind: Throughput, Ctrs: c, ResidentWarps: 2})
+	many := m.PhaseCycles(Phase{Kind: Throughput, Ctrs: c, ResidentWarps: 32})
+	if many >= few {
+		t.Errorf("32 warps (%v cycles) not faster than 2 warps (%v cycles)", many, few)
+	}
+}
+
+func TestZeroWarpsClamped(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	c := simt.Counters{ALU: 100, GMemLoad: 10, GMemTrans: 10}
+	got := m.PhaseCycles(Phase{Kind: Throughput, Ctrs: c, ResidentWarps: 0})
+	if got <= 0 {
+		t.Errorf("cycles with 0 warps = %v, want > 0", got)
+	}
+}
+
+func TestSecondsUsesClock(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	if got, want := m.Seconds(1733e6), 1.0; got != want {
+		t.Errorf("Seconds(1 clock-second of cycles) = %v, want %v", got, want)
+	}
+}
+
+func TestDependentChainCostSimilarAcrossGenerations(t *testing.T) {
+	// The paper's core observation: the serial reduce costs a similar
+	// number of CYCLES on all three generations, so wall-clock scales
+	// with clock rate. Assert the cycle costs are within 25% of each
+	// other.
+	c := simt.Counters{ALU: 5, Ballot: 2, SMemLoad: 2, Branch: 2}
+	var costs []float64
+	for _, a := range arch.All() {
+		m := NewModel(a)
+		costs = append(costs, m.PhaseCycles(Phase{Kind: Dependent, Ctrs: c}))
+	}
+	for _, x := range costs[1:] {
+		ratio := x / costs[0]
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("dependent-chain cycle costs diverge: %v", costs)
+		}
+	}
+}
+
+func TestKernelCyclesWaves(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	// Footprint limiting occupancy to 2 CTAs: 4 CTAs → 2 waves.
+	per := simt.Counters{ALU: 1000}
+	stats := &simt.LaunchStats{
+		PerCTA: []simt.Counters{per, per, per, per},
+		Footprint: arch.KernelFootprint{
+			ThreadsPerCTA: 1024, RegsPerThread: 32, SharedMemPerCTA: 32 * 1024,
+		},
+	}
+	four := m.KernelCycles(stats, Throughput)
+	stats2 := &simt.LaunchStats{PerCTA: stats.PerCTA[:2], Footprint: stats.Footprint}
+	two := m.KernelCycles(stats2, Throughput)
+	// Two waves of the same work should cost roughly twice one wave's
+	// variable cost (modulo the fixed launch overhead counted once).
+	varFour := four - m.P.LaunchOverhead
+	varTwo := two - m.P.LaunchOverhead
+	if varFour < 1.9*varTwo || varFour > 2.1*varTwo {
+		t.Errorf("serialization: 2 waves = %v cycles, 1 wave = %v", varFour, varTwo)
+	}
+}
+
+func TestKernelCyclesUnlaunchableFootprintStillFinite(t *testing.T) {
+	m := NewModel(arch.PascalGTX1080())
+	stats := &simt.LaunchStats{
+		PerCTA:    []simt.Counters{{ALU: 10}},
+		Footprint: arch.KernelFootprint{ThreadsPerCTA: 4096},
+	}
+	if got := m.KernelCycles(stats, Throughput); got <= 0 {
+		t.Errorf("KernelCycles = %v, want > 0", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if Overlap(3, 5) != 5 || Overlap(5, 3) != 5 {
+		t.Error("Overlap is not max")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, 1e-3); got != 1e6 {
+		t.Errorf("Rate = %v, want 1e6", got)
+	}
+	if got := Rate(10, 0); got != 0 {
+		t.Errorf("Rate with zero time = %v, want 0", got)
+	}
+}
+
+func TestParamsForCoversGenerations(t *testing.T) {
+	gens := []arch.Generation{arch.Kepler, arch.Maxwell, arch.Pascal, arch.HostCPU}
+	for _, g := range gens {
+		p := ParamsFor(g)
+		if p.ALUDep <= 0 || p.TransCycles <= 0 || p.WarpIssueRate <= 0 {
+			t.Errorf("ParamsFor(%v) has zero fields: %+v", g, p)
+		}
+	}
+	// Memory throughput must improve monotonically Kepler→Pascal.
+	k, m, p := ParamsFor(arch.Kepler), ParamsFor(arch.Maxwell), ParamsFor(arch.Pascal)
+	if !(k.TransCycles > m.TransCycles && m.TransCycles > p.TransCycles) {
+		t.Errorf("TransCycles not monotonic: %v %v %v", k.TransCycles, m.TransCycles, p.TransCycles)
+	}
+}

@@ -1,0 +1,178 @@
+// Package trace defines the communication-trace format and analysis
+// pipeline of the paper's §IV: a DUMPI-like event stream of sends and
+// posted receives, a parser/writer for a line-oriented text encoding,
+// and a replayer that reconstructs the unexpected-message queue (UMQ)
+// and posted-receive queue (PRQ) of every rank at every matching
+// attempt, exactly the methodology the paper applies to the DOE
+// exascale proxy traces.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"simtmp/internal/envelope"
+)
+
+// EventKind distinguishes trace events.
+type EventKind int
+
+const (
+	// Send is a point-to-point send from Rank to Peer.
+	Send EventKind = iota
+	// Recv is a receive request posted by Rank for messages from Peer
+	// (or AnySourcePeer) with Tag (or AnyTagValue).
+	Recv
+)
+
+// Wildcard encodings in the trace format.
+const (
+	// AnySourcePeer marks MPI_ANY_SOURCE in a Recv event's Peer field.
+	AnySourcePeer = -1
+	// AnyTagValue marks MPI_ANY_TAG in a Recv event's Tag field.
+	AnyTagValue = -1
+)
+
+// Event is one trace record. For Send, Peer is the destination; for
+// Recv, Peer is the expected source (or AnySourcePeer).
+type Event struct {
+	Kind EventKind
+	Rank int
+	Peer int
+	Tag  int
+	Comm int
+	Size int // payload bytes (metadata only; matching ignores it)
+}
+
+// Trace is an ordered global event stream. The stream order defines
+// the arrival interleaving the queue reconstruction replays.
+type Trace struct {
+	App    string
+	Ranks  int
+	Events []Event
+}
+
+// Validate checks structural sanity: ranks in range, wildcards only on
+// receives, tags within the 16-bit envelope budget.
+func (t *Trace) Validate() error {
+	if t.Ranks <= 0 {
+		return fmt.Errorf("trace: %q has %d ranks", t.App, t.Ranks)
+	}
+	for i, e := range t.Events {
+		if e.Rank < 0 || e.Rank >= t.Ranks {
+			return fmt.Errorf("trace: event %d: rank %d outside [0,%d)", i, e.Rank, t.Ranks)
+		}
+		switch e.Kind {
+		case Send:
+			if e.Peer < 0 || e.Peer >= t.Ranks {
+				return fmt.Errorf("trace: event %d: send to %d outside [0,%d)", i, e.Peer, t.Ranks)
+			}
+			if e.Tag < 0 {
+				return fmt.Errorf("trace: event %d: send with wildcard tag", i)
+			}
+		case Recv:
+			if e.Peer != AnySourcePeer && (e.Peer < 0 || e.Peer >= t.Ranks) {
+				return fmt.Errorf("trace: event %d: recv from %d outside [0,%d)", i, e.Peer, t.Ranks)
+			}
+			if e.Tag < AnyTagValue {
+				return fmt.Errorf("trace: event %d: bad tag %d", i, e.Tag)
+			}
+		default:
+			return fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
+		}
+		if e.Tag > int(envelope.MaxTag) {
+			return fmt.Errorf("trace: event %d: tag %d exceeds 16 bits", i, e.Tag)
+		}
+		if e.Comm < 0 || e.Comm > int(envelope.MaxComm) {
+			return fmt.Errorf("trace: event %d: communicator %d out of range", i, e.Comm)
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the trace in the line format:
+//
+//	#simtmp-trace v1
+//	app <name> ranks <n>
+//	s <rank> <dst> <tag> <comm> <size>
+//	r <rank> <src|-1> <tag|-1> <comm> <size>
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "#simtmp-trace v1\napp %s ranks %d\n", t.App, t.Ranks)); err != nil {
+		return n, err
+	}
+	for _, e := range t.Events {
+		kind := "s"
+		if e.Kind == Recv {
+			kind = "r"
+		}
+		if err := count(fmt.Fprintf(bw, "%s %d %d %d %d %d\n", kind, e.Rank, e.Peer, e.Tag, e.Comm, e.Size)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Parse reads a trace in the WriteTo format.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "app":
+			if len(fields) != 4 || fields[2] != "ranks" {
+				return nil, fmt.Errorf("trace: line %d: malformed app header %q", line, text)
+			}
+			t.App = fields[1]
+			ranks, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: ranks: %v", line, err)
+			}
+			t.Ranks = ranks
+		case "s", "r":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(fields))
+			}
+			var vals [5]int
+			for i := 0; i < 5; i++ {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d field %d: %v", line, i+1, err)
+				}
+				vals[i] = v
+			}
+			kind := Send
+			if fields[0] == "r" {
+				kind = Recv
+			}
+			t.Events = append(t.Events, Event{
+				Kind: kind, Rank: vals[0], Peer: vals[1], Tag: vals[2], Comm: vals[3], Size: vals[4],
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

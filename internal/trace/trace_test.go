@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		App:   "sample",
+		Ranks: 4,
+		Events: []Event{
+			{Kind: Send, Rank: 0, Peer: 1, Tag: 5, Comm: 0, Size: 64},
+			{Kind: Recv, Rank: 1, Peer: 0, Tag: 5, Comm: 0, Size: 64},
+			{Kind: Recv, Rank: 2, Peer: AnySourcePeer, Tag: AnyTagValue, Comm: 0, Size: 8},
+			{Kind: Send, Rank: 3, Peer: 2, Tag: 1, Comm: 0, Size: 8},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Ranks != tr.Ranks || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"app x ranks notanumber\n",
+		"app x\n",
+		"s 0 1 2\n",                        // short record
+		"z 0 1 2 3 4\napp x ranks 2\n",     // unknown record
+		"app x ranks 2\ns 0 9 1 0 0\n",     // dest out of range
+		"app x ranks 2\ns 0 1 -1 0 0\n",    // wildcard tag on send
+		"app x ranks 0\n",                  // zero ranks
+		"app x ranks 2\nr 0 1 99999 0 0\n", // tag beyond 16 bits
+		"app x ranks 2\ns 0 1 1 9999 0\n",  // communicator out of range
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\napp x ranks 2\n# mid comment\ns 0 1 3 0 16\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Tag != 3 {
+		t.Errorf("events = %+v", tr.Events)
+	}
+}
+
+func TestValidateWildcardRules(t *testing.T) {
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Recv, Rank: 0, Peer: AnySourcePeer, Tag: AnyTagValue},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("wildcard recv rejected: %v", err)
+	}
+	tr.Events[0].Kind = Send
+	tr.Events[0].Peer = 1
+	tr.Events[0].Tag = -1
+	if err := tr.Validate(); err == nil {
+		t.Error("wildcard send accepted")
+	}
+}
+
+func TestAnalyzeSimpleExchange(t *testing.T) {
+	// Rank 0 sends 3 messages to rank 1 before rank 1 posts receives:
+	// the UMQ must reach depth 3, everything unexpected.
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 1},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 2},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 3},
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 1},
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 2},
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 3},
+	}}
+	s := Analyze(tr)
+	if s.Sends != 3 || s.Recvs != 3 {
+		t.Fatalf("sends/recvs = %d/%d", s.Sends, s.Recvs)
+	}
+	if s.UMQMax.Max != 3 {
+		t.Errorf("UMQ max = %v, want 3", s.UMQMax.Max)
+	}
+	if s.UnexpectedFraction != 1.0 {
+		t.Errorf("unexpected fraction = %v, want 1", s.UnexpectedFraction)
+	}
+	if s.PRQMax.Max != 0 {
+		t.Errorf("PRQ max = %v, want 0", s.PRQMax.Max)
+	}
+	if s.DistinctTags != 3 || s.MaxTagBits != 2 {
+		t.Errorf("tags = %d, bits = %d", s.DistinctTags, s.MaxTagBits)
+	}
+}
+
+func TestAnalyzePrePosted(t *testing.T) {
+	// Receives posted first: PRQ grows, UMQ stays empty.
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 1},
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 2},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 1},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 2},
+	}}
+	s := Analyze(tr)
+	if s.UMQMax.Max != 0 {
+		t.Errorf("UMQ max = %v, want 0", s.UMQMax.Max)
+	}
+	if s.PRQMax.Max != 2 {
+		t.Errorf("PRQ max = %v, want 2", s.PRQMax.Max)
+	}
+	if s.UnexpectedFraction != 0 {
+		t.Errorf("unexpected = %v, want 0", s.UnexpectedFraction)
+	}
+}
+
+func TestAnalyzeWildcardMatching(t *testing.T) {
+	// An ANY_SOURCE/ANY_TAG recv posted before two sends: the first
+	// arrival matches the wildcard, the second goes unexpected.
+	tr := &Trace{App: "x", Ranks: 3, Events: []Event{
+		{Kind: Recv, Rank: 2, Peer: AnySourcePeer, Tag: AnyTagValue},
+		{Kind: Send, Rank: 0, Peer: 2, Tag: 7},
+		{Kind: Send, Rank: 1, Peer: 2, Tag: 8},
+	}}
+	s := Analyze(tr)
+	if s.SrcWildcardRecvs != 1 || s.TagWildcardRecvs != 1 {
+		t.Errorf("wildcard counts = %d/%d", s.SrcWildcardRecvs, s.TagWildcardRecvs)
+	}
+	if s.UMQMax.Max != 1 {
+		t.Errorf("UMQ max = %v, want 1 (second send unexpected)", s.UMQMax.Max)
+	}
+}
+
+func TestAnalyzeWildcardOrderingPriority(t *testing.T) {
+	// A concrete request posted BEFORE a wildcard request must win the
+	// matching message.
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 5},
+		{Kind: Recv, Rank: 1, Peer: AnySourcePeer, Tag: 5},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 5},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 5},
+	}}
+	s := Analyze(tr)
+	// Both sends match: first takes the concrete (earlier) request,
+	// second the wildcard. Nothing unexpected.
+	if s.UnexpectedFraction != 0 {
+		t.Errorf("unexpected = %v, want 0", s.UnexpectedFraction)
+	}
+}
+
+func TestAnalyzeUMQWildcardRecvScan(t *testing.T) {
+	// Unexpected messages from two sources; an ANY_SOURCE recv must
+	// take the EARLIEST (from rank 0), a later concrete recv gets the
+	// one from rank 1.
+	tr := &Trace{App: "x", Ranks: 3, Events: []Event{
+		{Kind: Send, Rank: 0, Peer: 2, Tag: 9},
+		{Kind: Send, Rank: 1, Peer: 2, Tag: 9},
+		{Kind: Recv, Rank: 2, Peer: AnySourcePeer, Tag: 9},
+		{Kind: Recv, Rank: 2, Peer: 1, Tag: 9},
+	}}
+	s := Analyze(tr)
+	if s.PRQMax.Max != 0 {
+		t.Errorf("PRQ max = %v, want 0 (both recvs matched from UMQ)", s.PRQMax.Max)
+	}
+}
+
+func TestAnalyzePeersAndUniqueness(t *testing.T) {
+	tr := &Trace{App: "x", Ranks: 4, Events: []Event{
+		{Kind: Send, Rank: 0, Peer: 3, Tag: 1},
+		{Kind: Send, Rank: 0, Peer: 3, Tag: 1},
+		{Kind: Send, Rank: 0, Peer: 3, Tag: 1},
+		{Kind: Send, Rank: 1, Peer: 3, Tag: 2},
+		{Kind: Send, Rank: 2, Peer: 3, Tag: 3},
+	}}
+	s := Analyze(tr)
+	// Rank 3 talks to 3 peers; ranks 0..2 each talk to 1.
+	if s.PeersPerRank.Max != 3 {
+		t.Errorf("peers max = %v, want 3", s.PeersPerRank.Max)
+	}
+	// Tuple (0,1) is 3 of 5 messages to rank 3 → uniqueness 0.6.
+	if s.TupleUniqueness.Max != 0.6 {
+		t.Errorf("tuple uniqueness = %v, want 0.6", s.TupleUniqueness.Max)
+	}
+}
+
+func TestAnalyzeCommunicatorCount(t *testing.T) {
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 1, Comm: 0},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 1, Comm: 1},
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 1, Comm: 2},
+	}}
+	if got := Analyze(tr).Communicators; got != 3 {
+		t.Errorf("communicators = %d, want 3", got)
+	}
+}
+
+func TestAnalyzeCommIsolation(t *testing.T) {
+	// A recv on comm 1 must not match a message on comm 0.
+	tr := &Trace{App: "x", Ranks: 2, Events: []Event{
+		{Kind: Send, Rank: 0, Peer: 1, Tag: 5, Comm: 0},
+		{Kind: Recv, Rank: 1, Peer: 0, Tag: 5, Comm: 1},
+	}}
+	s := Analyze(tr)
+	if s.UMQMax.Max != 1 || s.PRQMax.Max != 1 {
+		t.Errorf("UMQ/PRQ max = %v/%v, want 1/1", s.UMQMax.Max, s.PRQMax.Max)
+	}
+}
+
+func TestParseNeverPanicsOnJunk(t *testing.T) {
+	// The parser must reject, not panic on, arbitrary byte soup.
+	inputs := []string{
+		"", "\x00\x01\x02", "app", "app  ranks", "s", "r 1",
+		"app x ranks 2\ns a b c d e\n",
+		"app x ranks 2\ns 1 1 1 1\n",
+		"app x ranks 99999999999999999999\n",
+		"app x ranks 2\nr -5 0 0 0 0\n",
+		strings.Repeat("s 0 1 1 0 0\n", 3),
+	}
+	f := func(junk []byte) bool {
+		_, _ = Parse(bytes.NewReader(junk))
+		return true // reaching here without panic is the property
+	}
+	for _, in := range inputs {
+		if _, err := Parse(strings.NewReader(in)); err == nil && in != "" && !strings.HasPrefix(in, "app x ranks 2\ns 0 1") {
+			// Most of these must error; the empty-but-headerless cases
+			// fail Validate (0 ranks).
+			t.Errorf("Parse(%q) unexpectedly succeeded", in)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeLargeTraceDeterministic(t *testing.T) {
+	// Two analyses of the same trace must agree exactly (the queue
+	// reconstruction is pure).
+	tr := &Trace{App: "d", Ranks: 8}
+	for i := 0; i < 2000; i++ {
+		tr.Events = append(tr.Events,
+			Event{Kind: Send, Rank: i % 8, Peer: (i + 1) % 8, Tag: i % 50},
+			Event{Kind: Recv, Rank: (i + 1) % 8, Peer: i % 8, Tag: i % 50})
+	}
+	a, b := Analyze(tr), Analyze(tr)
+	if a.UMQMax != b.UMQMax || a.PRQMax != b.PRQMax || a.Sends != b.Sends {
+		t.Error("analysis not deterministic")
+	}
+}

@@ -1,0 +1,139 @@
+// Package workload generates synthetic matching workloads: the random
+// tuple queues of the paper's micro-benchmarks (§V-B: "message queues
+// contain random tuples in random order, but all tuples of the message
+// queue match with tuples in the receive queue"), plus the controlled
+// variations the relaxation experiments need (partial match fractions,
+// wildcard injection, unique tuples for the hash matcher, reversed
+// request order).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simtmp/internal/envelope"
+)
+
+// Config parameterizes a synthetic workload.
+type Config struct {
+	// N is the number of messages.
+	N int
+	// Requests is the number of receive requests (default N).
+	Requests int
+	// Peers is the number of distinct source ranks (default 16).
+	Peers int
+	// Tags is the number of distinct tags (default 64). Ignored when
+	// Unique is set.
+	Tags int
+	// Comm is the communicator id (default 0).
+	Comm envelope.Comm
+	// MatchFraction is the fraction of requests with a matching
+	// message (default 1.0: every request matches, the paper's
+	// micro-benchmark setup). Lower values leave unmatched requests
+	// AND unmatched messages, the §VI-B ablation.
+	MatchFraction float64
+	// SrcWildcards is the fraction of requests using MPI_ANY_SOURCE.
+	SrcWildcards float64
+	// TagWildcards is the fraction of requests using MPI_ANY_TAG.
+	TagWildcards float64
+	// Unique forces all {src,tag} tuples distinct (the hash matcher's
+	// friendly case, used for Figure 6b: "we chose random values for
+	// the {src,tag} tuple").
+	Unique bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = c.N
+	}
+	if c.Peers <= 0 {
+		c.Peers = 16
+	}
+	if c.Tags <= 0 {
+		c.Tags = 64
+	}
+	if c.MatchFraction <= 0 {
+		c.MatchFraction = 1.0
+	}
+	return c
+}
+
+// unmatchableTag is a tag reserved for requests that must not match
+// any message.
+const unmatchableTag = envelope.MaxTag
+
+// Generate produces a workload per the config. Messages arrive in
+// random order; requests are posted in random order.
+func Generate(cfg Config) ([]envelope.Envelope, []envelope.Request) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tuples := make([]envelope.Envelope, cfg.N)
+	for i := range tuples {
+		if cfg.Unique {
+			src := i % cfg.Peers
+			tag := i / cfg.Peers
+			if tag >= int(unmatchableTag) {
+				panic(fmt.Sprintf("workload: %d unique tuples exceed tag space with %d peers", cfg.N, cfg.Peers))
+			}
+			tuples[i] = envelope.Envelope{Src: envelope.Rank(src), Tag: envelope.Tag(tag), Comm: cfg.Comm}
+		} else {
+			tuples[i] = envelope.Envelope{
+				Src:  envelope.Rank(rng.Intn(cfg.Peers)),
+				Tag:  envelope.Tag(rng.Intn(cfg.Tags)),
+				Comm: cfg.Comm,
+			}
+		}
+	}
+
+	msgs := make([]envelope.Envelope, cfg.N)
+	copy(msgs, tuples)
+	rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+
+	reqs := make([]envelope.Request, cfg.Requests)
+	perm := rng.Perm(cfg.N)
+	for i := range reqs {
+		var e envelope.Envelope
+		if i < len(perm) {
+			e = tuples[perm[i]]
+		} else {
+			e = tuples[rng.Intn(len(tuples))]
+		}
+		r := envelope.Request{Src: e.Src, Tag: e.Tag, Comm: e.Comm}
+		if rng.Float64() >= cfg.MatchFraction {
+			r.Tag = unmatchableTag // guaranteed miss
+		}
+		if rng.Float64() < cfg.SrcWildcards {
+			r.Src = envelope.AnySource
+		}
+		if rng.Float64() < cfg.TagWildcards {
+			r.Tag = envelope.AnyTag
+		}
+		reqs[i] = r
+	}
+	return msgs, reqs
+}
+
+// FullyMatching is the paper's micro-benchmark workload: n random
+// tuples, every request matching ("no elements are left in the queues
+// after the matching").
+func FullyMatching(n int, seed int64) ([]envelope.Envelope, []envelope.Request) {
+	return Generate(Config{N: n, Seed: seed})
+}
+
+// UniqueTuples is the Figure 6b workload: n distinct random tuples.
+func UniqueTuples(n int, seed int64) ([]envelope.Envelope, []envelope.Request) {
+	return Generate(Config{N: n, Unique: true, Peers: 32, Seed: seed})
+}
+
+// Reverse returns a reversed copy of the request queue (the §V-B
+// order-sensitivity experiment).
+func Reverse(reqs []envelope.Request) []envelope.Request {
+	out := make([]envelope.Request, len(reqs))
+	for i, r := range reqs {
+		out[len(reqs)-1-i] = r
+	}
+	return out
+}

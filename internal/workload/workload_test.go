@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"simtmp/internal/envelope"
+)
+
+func TestFullyMatchingAllMatch(t *testing.T) {
+	msgs, reqs := FullyMatching(500, 1)
+	if len(msgs) != 500 || len(reqs) != 500 {
+		t.Fatalf("sizes: %d msgs, %d reqs", len(msgs), len(reqs))
+	}
+	// Multiset of request tuples equals multiset of message tuples.
+	mc := map[uint64]int{}
+	for _, m := range msgs {
+		mc[m.Key()]++
+	}
+	for _, r := range reqs {
+		if r.HasWildcard() {
+			t.Fatal("FullyMatching produced a wildcard")
+		}
+		k := r.Key()
+		mc[k]--
+		if mc[k] < 0 {
+			t.Fatalf("request tuple %v has no message", r)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	m1, r1 := FullyMatching(100, 42)
+	m2, r2 := FullyMatching(100, 42)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("messages differ across same-seed runs")
+		}
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("requests differ across same-seed runs")
+		}
+	}
+	m3, _ := FullyMatching(100, 43)
+	same := true
+	for i := range m1 {
+		if m1[i] != m3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestUniqueTuples(t *testing.T) {
+	msgs, _ := UniqueTuples(2000, 7)
+	seen := map[uint64]bool{}
+	for _, m := range msgs {
+		k := m.Key()
+		if seen[k] {
+			t.Fatalf("duplicate tuple %v", m)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMatchFraction(t *testing.T) {
+	msgs, reqs := Generate(Config{N: 2000, MatchFraction: 0.5, Seed: 3})
+	miss := 0
+	for _, r := range reqs {
+		if r.Tag == envelope.MaxTag {
+			miss++
+		}
+	}
+	if miss < 800 || miss > 1200 {
+		t.Errorf("unmatchable requests = %d/2000, want ≈1000", miss)
+	}
+	_ = msgs
+}
+
+func TestWildcardFractions(t *testing.T) {
+	_, reqs := Generate(Config{N: 2000, SrcWildcards: 0.25, TagWildcards: 0.1, Seed: 9})
+	srcW, tagW := 0, 0
+	for _, r := range reqs {
+		if r.Src == envelope.AnySource {
+			srcW++
+		}
+		if r.Tag == envelope.AnyTag {
+			tagW++
+		}
+	}
+	if srcW < 350 || srcW > 650 {
+		t.Errorf("src wildcards = %d, want ≈500", srcW)
+	}
+	if tagW < 100 || tagW > 300 {
+		t.Errorf("tag wildcards = %d, want ≈200", tagW)
+	}
+}
+
+func TestRequestsCountOverride(t *testing.T) {
+	_, reqs := Generate(Config{N: 100, Requests: 40, Seed: 1})
+	if len(reqs) != 40 {
+		t.Errorf("len(reqs) = %d, want 40", len(reqs))
+	}
+	_, reqs = Generate(Config{N: 100, Requests: 150, Seed: 1})
+	if len(reqs) != 150 {
+		t.Errorf("len(reqs) = %d, want 150", len(reqs))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	_, reqs := FullyMatching(10, 5)
+	rev := Reverse(reqs)
+	for i := range reqs {
+		if rev[i] != reqs[len(reqs)-1-i] {
+			t.Fatal("Reverse order wrong")
+		}
+	}
+	// Original untouched.
+	rev[0].Tag = 12345
+	if reqs[len(reqs)-1].Tag == 12345 {
+		t.Error("Reverse aliases input")
+	}
+}
+
+func TestGeneratedWorkloadsValidate(t *testing.T) {
+	msgs, reqs := Generate(Config{N: 300, SrcWildcards: 0.2, TagWildcards: 0.2, MatchFraction: 0.7, Seed: 11})
+	for i, m := range msgs {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package simtmp is a reproduction of "Relaxations for
+// High-Performance Message Passing on Massively Parallel SIMT
+// Processors" (Klenk, Fröning, Eberle, Dennison — IPDPS 2017) as a Go
+// library.
+//
+// It provides, behind one public API:
+//
+//   - A warp-accurate SIMT execution-model simulator with a calibrated
+//     per-architecture timing model (Kepler K80, Maxwell M40, Pascal
+//     GTX1080).
+//   - The paper's four message-matching engines: the CPU list baseline,
+//     the fully MPI-compliant matrix scan/reduce algorithm, the
+//     rank-partitioned "no source wildcard" relaxation and the
+//     two-level hash-table "no ordering" relaxation.
+//   - A message-passing runtime (Runtime) over a simulated global
+//     address space with the paper's four semantic levels.
+//   - The exascale proxy-application models and trace analysis of §IV,
+//     and the benchmark harness regenerating every table and figure.
+//
+// Quick start:
+//
+//	rt := simtmp.NewRuntime(simtmp.RuntimeConfig{Level: simtmp.FullMPI, GPUs: 2})
+//	rt.Send(0, 1, 42, 0, []byte("hello"))
+//	recv, _ := rt.PostRecv(1, 0, 42, 0)
+//	rt.Progress()
+//	msg, _ := recv.Message()
+package simtmp
+
+import (
+	"io"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/bench"
+	"simtmp/internal/envelope"
+	"simtmp/internal/match"
+	"simtmp/internal/mpx"
+	"simtmp/internal/trace"
+	"simtmp/internal/workload"
+)
+
+// Core matching types.
+type (
+	// Envelope is a message's matching header {src, tag, comm}.
+	Envelope = envelope.Envelope
+	// Request is a posted receive's matching criteria (may hold
+	// wildcards).
+	Request = envelope.Request
+	// Rank identifies a process/GPU endpoint.
+	Rank = envelope.Rank
+	// Tag is the user message tag (16-bit budget).
+	Tag = envelope.Tag
+	// Comm identifies a communicator.
+	Comm = envelope.Comm
+	// Assignment maps request indices to matched message indices.
+	Assignment = match.Assignment
+	// MatchResult reports one batch-matching run, including the
+	// simulated device time.
+	MatchResult = match.Result
+	// Matcher is a batch matching engine.
+	Matcher = match.Matcher
+	// Arch describes a simulated GPU architecture.
+	Arch = arch.Arch
+)
+
+// Wildcards.
+const (
+	// AnySource matches any source rank (MPI_ANY_SOURCE).
+	AnySource = envelope.AnySource
+	// AnyTag matches any tag (MPI_ANY_TAG).
+	AnyTag = envelope.AnyTag
+	// NoMatch marks an unsatisfied request in an Assignment.
+	NoMatch = match.NoMatch
+)
+
+// Architectures the paper evaluates.
+var (
+	// KeplerK80 returns the Tesla K80 (single GK210) configuration.
+	KeplerK80 = arch.KeplerK80
+	// MaxwellM40 returns the Tesla M40 configuration.
+	MaxwellM40 = arch.MaxwellM40
+	// PascalGTX1080 returns the GTX1080 configuration.
+	PascalGTX1080 = arch.PascalGTX1080
+	// Architectures returns all three in generation order.
+	Architectures = arch.All
+)
+
+// Matching engine configurations.
+type (
+	// MatrixConfig configures the MPI-compliant matrix matcher.
+	MatrixConfig = match.MatrixConfig
+	// PartitionedConfig configures the rank-partitioned matcher.
+	PartitionedConfig = match.PartitionedConfig
+	// HashConfig configures the unordered hash-table matcher.
+	HashConfig = match.HashConfig
+)
+
+// Matching engine constructors.
+var (
+	// NewListMatcher returns the CPU list-based baseline (§II-C).
+	NewListMatcher = match.NewListMatcher
+	// NewMatrixMatcher returns the MPI-compliant GPU matcher (§V).
+	NewMatrixMatcher = match.NewMatrixMatcher
+	// NewPartitionedMatcher returns the no-source-wildcard matcher
+	// (§VI-A).
+	NewPartitionedMatcher = match.NewPartitionedMatcher
+	// NewHashMatcher returns the unordered hash matcher (§VI-C).
+	NewHashMatcher = match.NewHashMatcher
+	// NewWildcardHashMatcher adds wildcard support to the hash matcher
+	// via a side list (§VI-C's "theoretically possible" option).
+	NewWildcardHashMatcher = match.NewWildcardHashMatcher
+	// NewCommParallelMatcher partitions by communicator — §VI's free
+	// top-level parallelism with full MPI semantics.
+	NewCommParallelMatcher = match.NewCommParallelMatcher
+	// NewBinnedListMatcher is the §III hash-bin CPU optimization.
+	NewBinnedListMatcher = match.NewBinnedListMatcher
+	// ReferenceAssignment computes the ordered-matching oracle.
+	ReferenceAssignment = match.Reference
+)
+
+// Relaxation errors.
+var (
+	// ErrSourceWildcard reports MPI_ANY_SOURCE under a relaxation that
+	// prohibits it.
+	ErrSourceWildcard = match.ErrSourceWildcard
+	// ErrWildcard reports any wildcard under the unordered relaxation.
+	ErrWildcard = match.ErrWildcard
+	// ErrUnexpectedMessage reports an unexpected message under the
+	// NoUnexpected contract.
+	ErrUnexpectedMessage = mpx.ErrUnexpectedMessage
+)
+
+// Runtime: the message-passing layer.
+type (
+	// RuntimeConfig parameterizes NewRuntime.
+	RuntimeConfig = mpx.Config
+	// Runtime is a cluster of simulated GPUs with send/recv semantics.
+	Runtime = mpx.Runtime
+	// RecvHandle is a posted receive.
+	RecvHandle = mpx.Recv
+	// Level selects a semantic contract (one Table II row group).
+	Level = mpx.Level
+)
+
+// Semantic levels (§VI).
+const (
+	// FullMPI keeps all MPI guarantees.
+	FullMPI = mpx.FullMPI
+	// NoSourceWildcard prohibits MPI_ANY_SOURCE (rank partitioning).
+	NoSourceWildcard = mpx.NoSourceWildcard
+	// NoUnexpected additionally requires pre-posted receives.
+	NoUnexpected = mpx.NoUnexpected
+	// Unordered drops wildcards and ordering (hash matching).
+	Unordered = mpx.Unordered
+)
+
+// NewRuntime creates a message-passing runtime.
+func NewRuntime(cfg RuntimeConfig) *Runtime { return mpx.New(cfg) }
+
+// Workload generation for experiments.
+type WorkloadConfig = workload.Config
+
+var (
+	// GenerateWorkload produces a synthetic matching workload.
+	GenerateWorkload = workload.Generate
+	// FullyMatchingWorkload is the paper's micro-benchmark workload.
+	FullyMatchingWorkload = workload.FullyMatching
+	// UniqueTupleWorkload is the Figure 6b hash-friendly workload.
+	UniqueTupleWorkload = workload.UniqueTuples
+)
+
+// Trace tooling.
+type (
+	// Trace is a DUMPI-like communication event stream.
+	Trace = trace.Trace
+	// TraceEvent is one send or posted receive.
+	TraceEvent = trace.Event
+	// TraceStats is the §IV characterization of a trace.
+	TraceStats = trace.Stats
+)
+
+var (
+	// ParseTrace reads the line-oriented trace format.
+	ParseTrace = trace.Parse
+	// AnalyzeTrace reconstructs UMQ/PRQ and derives statistics.
+	AnalyzeTrace = trace.Analyze
+)
+
+// Experiments re-exported from the harness, one per paper table or
+// figure. Each returns typed rows; the Print* helpers render the same
+// series the paper reports.
+var (
+	TableI               = bench.TableI
+	Figure2              = bench.Figure2
+	Figure4              = bench.Figure4
+	Figure5              = bench.Figure5
+	Figure5Speedups      = bench.Figure5Speedups
+	Figure6a             = bench.Figure6a
+	Figure6b             = bench.Figure6b
+	TableII              = bench.TableII
+	CPUReference         = bench.CPUReference
+	AblationCompaction   = bench.AblationCompaction
+	AblationFraction     = bench.AblationMatchFraction
+	OrderSensitivity     = bench.OrderSensitivity
+	AblationWildcardHash = bench.AblationWildcardHash
+	Applicability        = bench.Applicability
+	Streaming            = bench.Streaming
+	MessageSizes         = bench.MessageSizes
+	SMSweep              = bench.SMSweep
+	Endpoints            = bench.Endpoints
+	CommParallel         = bench.CommParallel
+	AppSizes             = bench.AppSizes
+	AblationWindow       = bench.AblationWindow
+	HashAblation         = bench.HashAblation
+	PrintTableI          = bench.PrintTableI
+	PrintFigure2         = bench.PrintFigure2
+	PrintFigure4         = bench.PrintFigure4
+	PrintFigure5         = bench.PrintFigure5
+	PrintFigure6a        = bench.PrintFigure6a
+	PrintFigure6b        = bench.PrintFigure6b
+	PrintTableII         = bench.PrintTableII
+	PrintCPUReference    = bench.PrintCPUReference
+	PrintApplicability   = bench.PrintApplicability
+	PrintStreaming       = bench.PrintStreaming
+	PrintMessageSizes    = bench.PrintMessageSizes
+	PrintSMSweep         = bench.PrintSMSweep
+	PrintEndpoints       = bench.PrintEndpoints
+	PrintCommParallel    = bench.PrintCommParallel
+	PrintAppSizes        = bench.PrintAppSizes
+	ChartFigure4         = bench.ChartFigure4
+	ChartFigure5         = bench.ChartFigure5
+	ChartFigure6b        = bench.ChartFigure6b
+	ChartTableII         = bench.ChartTableII
+	// WriteCSV renders any experiment's rows as CSV.
+	WriteCSV              = bench.WriteCSV
+	PrintAblations        = printAblations
+	VerifyOrderedResult   = match.VerifyOrdered
+	VerifyUnorderedResult = match.VerifyUnordered
+)
+
+// printAblations renders all four ablation studies.
+func printAblations(w io.Writer) {
+	bench.PrintAblationCompaction(w, bench.AblationCompaction())
+	bench.PrintAblationMatchFraction(w, bench.AblationMatchFraction())
+	bench.PrintOrderSensitivity(w, bench.OrderSensitivity())
+	bench.PrintHashAblation(w, bench.HashAblation())
+	bench.PrintAblationWildcardHash(w, bench.AblationWildcardHash())
+	bench.PrintAblationWindow(w, bench.AblationWindow())
+}
