@@ -5,11 +5,30 @@
 package simtmp_test
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
 	"simtmp"
 )
+
+// workloadSeed makes every benchmark workload replayable from the
+// command line: each call site has a fixed default seed (so runs are
+// deterministic out of the box), and -workload.seed overrides them all
+// to re-run the full suite on a different but equally reproducible
+// input set:
+//
+//	go test -bench=. -workload.seed=7
+var workloadSeed = flag.Int64("workload.seed", 0, "override the per-benchmark workload seeds (0: use defaults)")
+
+// benchSeed resolves the seed one benchmark uses: the -workload.seed
+// override when set, the benchmark's own default otherwise.
+func benchSeed(def int64) int64 {
+	if *workloadSeed != 0 {
+		return *workloadSeed
+	}
+	return def
+}
 
 // BenchmarkCPUListMatcher is the §II-C CPU reference: the list-based
 // matcher measured in real host wall-clock. The paper reports ~30M
@@ -17,7 +36,7 @@ import (
 func BenchmarkCPUListMatcher(b *testing.B) {
 	for _, n := range []int{16, 128, 512, 2048} {
 		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
-			msgs, reqs := simtmp.FullyMatchingWorkload(n, int64(n))
+			msgs, reqs := simtmp.FullyMatchingWorkload(n, benchSeed(int64(n)))
 			l := simtmp.NewListMatcher()
 			b.ResetTimer()
 			matched := 0
@@ -40,7 +59,7 @@ func BenchmarkFigure4(b *testing.B) {
 		for _, n := range []int{256, 1024} {
 			a := a
 			b.Run(fmt.Sprintf("%s/len=%d", a.Generation, n), func(b *testing.B) {
-				msgs, reqs := simtmp.FullyMatchingWorkload(n, int64(n))
+				msgs, reqs := simtmp.FullyMatchingWorkload(n, benchSeed(int64(n)))
 				m := simtmp.NewMatrixMatcher(simtmp.MatrixConfig{Arch: a})
 				var rate float64
 				for i := 0; i < b.N; i++ {
@@ -62,7 +81,7 @@ func BenchmarkFigure5(b *testing.B) {
 	for _, q := range []int{1, 4, 16, 32} {
 		q := q
 		b.Run(fmt.Sprintf("queues=%d", q), func(b *testing.B) {
-			msgs, reqs := simtmp.GenerateWorkload(simtmp.WorkloadConfig{N: 2048, Peers: 64, Tags: 32, Seed: 2})
+			msgs, reqs := simtmp.GenerateWorkload(simtmp.WorkloadConfig{N: 2048, Peers: 64, Tags: 32, Seed: benchSeed(2)})
 			p := simtmp.NewPartitionedMatcher(simtmp.PartitionedConfig{Queues: q, MaxCTAs: 2})
 			var rate float64
 			for i := 0; i < b.N; i++ {
@@ -84,7 +103,7 @@ func BenchmarkFigure6b(b *testing.B) {
 		for _, ctas := range []int{1, 32} {
 			a, ctas := a, ctas
 			b.Run(fmt.Sprintf("%s/ctas=%d", a.Generation, ctas), func(b *testing.B) {
-				msgs, reqs := simtmp.UniqueTupleWorkload(1024, 6)
+				msgs, reqs := simtmp.UniqueTupleWorkload(1024, benchSeed(6))
 				h, err := simtmp.NewHashMatcher(simtmp.HashConfig{Arch: a, CTAs: ctas})
 				if err != nil {
 					b.Fatal(err)
@@ -201,7 +220,7 @@ func BenchmarkHashAblation(b *testing.B) {
 // wall-clock per simulated match) — the cost of the reproduction
 // itself, not a paper result.
 func BenchmarkSIMTEngine(b *testing.B) {
-	msgs, reqs := simtmp.FullyMatchingWorkload(1024, 9)
+	msgs, reqs := simtmp.FullyMatchingWorkload(1024, benchSeed(9))
 	m := simtmp.NewMatrixMatcher(simtmp.MatrixConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

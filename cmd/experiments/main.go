@@ -1,21 +1,38 @@
 // Command experiments runs the complete reproduction — every table,
 // figure and ablation of the paper — and prints one consolidated
-// report (the source of EXPERIMENTS.md's measured columns).
+// report (the source of EXPERIMENTS.md's measured columns). Pass
+// -trace-only for just the quick trace-statistics sections (Table I,
+// Figure 2, Figure 6a, application sizes, Table II).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"simtmp"
 )
 
-func main() {
-	w := os.Stdout
-	fmt.Fprintln(w, "Reproduction report: Klenk et al., IPDPS 2017")
-	fmt.Fprintln(w, "=============================================")
+// traceReport prints the trace-derived statistics sections, the cheap
+// subset that smoke tests exercise.
+func traceReport(w io.Writer) {
+	simtmp.PrintTableI(w, simtmp.TableI(1))
 	fmt.Fprintln(w)
+	simtmp.PrintFigure2(w, simtmp.Figure2(1))
+	fmt.Fprintln(w)
+	simtmp.PrintFigure6a(w, simtmp.Figure6a(1))
+	fmt.Fprintln(w)
+	simtmp.PrintAppSizes(w, simtmp.AppSizes(1))
+	fmt.Fprintln(w)
+	tab2 := simtmp.TableII()
+	simtmp.PrintTableII(w, tab2)
+	fmt.Fprintln(w)
+	simtmp.ChartTableII(w, tab2)
+}
 
+// fullReport prints the complete reproduction.
+func fullReport(w io.Writer) {
 	simtmp.PrintTableI(w, simtmp.TableI(1))
 	fmt.Fprintln(w)
 	simtmp.PrintFigure2(w, simtmp.Figure2(1))
@@ -60,4 +77,31 @@ func main() {
 	simtmp.PrintCommParallel(w, simtmp.CommParallel())
 	fmt.Fprintln(w)
 	simtmp.PrintAblations(w)
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceOnly := fs.Bool("trace-only", false, "print only the trace-statistics sections (quick)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	fmt.Fprintln(stdout, "Reproduction report: Klenk et al., IPDPS 2017")
+	fmt.Fprintln(stdout, "=============================================")
+	fmt.Fprintln(stdout)
+	if *traceOnly {
+		traceReport(stdout)
+	} else {
+		fullReport(stdout)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

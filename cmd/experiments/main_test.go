@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTraceOnly smoke-tests the quick report subset: header plus
+// the trace-statistics sections, nothing on stderr, exit 0.
+func TestRunTraceOnly(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-trace-only"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Reproduction report: Klenk et al., IPDPS 2017",
+		"Table I",
+		"Table II",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if errOut.String() != "" {
+		t.Errorf("unexpected stderr: %s", errOut.String())
+	}
+}
+
+// TestRunUnknownFlag: flag errors are usage errors (exit 2).
+func TestRunUnknownFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestRunRejectsPositionalArgs: the command takes no operands.
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"stray"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "stray") {
+		t.Errorf("error does not name the stray argument: %s", errOut.String())
+	}
+}

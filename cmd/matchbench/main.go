@@ -19,144 +19,132 @@ import (
 type section struct {
 	flagName string
 	help     string
-	run      func(w io.Writer, csv bool)
+	run      func(w io.Writer, csv bool) error
 }
 
-func main() {
-	csvOut := flag.Bool("csv", false, "emit CSV instead of formatted tables")
-	all := flag.Bool("all", false, "run everything")
-
-	sections := []section{
-		{"fig4", "Figure 4: single-CTA matrix matching rate", func(w io.Writer, csv bool) {
-			rows := simtmp.Figure4()
+// sections lists every runnable experiment in report order.
+func sections() []section {
+	csvOr := func(rows any, print func(io.Writer)) func(w io.Writer, csv bool) error {
+		return func(w io.Writer, csv bool) error {
 			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
+				return simtmp.WriteCSV(w, rows)
 			}
-			simtmp.PrintFigure4(w, rows)
+			print(w)
+			return nil
+		}
+	}
+	return []section{
+		{"fig4", "Figure 4: single-CTA matrix matching rate", func(w io.Writer, csv bool) error {
+			rows := simtmp.Figure4()
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintFigure4(w, rows) })(w, csv)
 		}},
-		{"fig5", "Figure 5: rank-partitioned matching rate", func(w io.Writer, csv bool) {
+		{"fig5", "Figure 5: rank-partitioned matching rate", func(w io.Writer, csv bool) error {
 			rows := simtmp.Figure5()
 			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
+				return simtmp.WriteCSV(w, rows)
 			}
 			simtmp.PrintFigure5(w, rows)
 			overK, overM := simtmp.Figure5Speedups()
 			fmt.Fprintf(w, "average Pascal speedup: %.2fx over K80 (paper: 2.12x), %.2fx over M40 (paper: 1.56x)\n", overK, overM)
+			return nil
 		}},
-		{"fig6b", "Figure 6b: hash-table matching rate", func(w io.Writer, csv bool) {
+		{"fig6b", "Figure 6b: hash-table matching rate", func(w io.Writer, csv bool) error {
 			rows := simtmp.Figure6b()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintFigure6b(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintFigure6b(w, rows) })(w, csv)
 		}},
-		{"table2", "Table II: relaxation summary", func(w io.Writer, csv bool) {
+		{"table2", "Table II: relaxation summary", func(w io.Writer, csv bool) error {
 			rows := simtmp.TableII()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintTableII(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintTableII(w, rows) })(w, csv)
 		}},
-		{"cpu", "CPU matchers: list baseline vs hash bins (host wall-clock)", func(w io.Writer, csv bool) {
+		{"cpu", "CPU matchers: list baseline vs hash bins (host wall-clock)", func(w io.Writer, csv bool) error {
 			rows := simtmp.CPUReference()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintCPUReference(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintCPUReference(w, rows) })(w, csv)
 		}},
-		{"applicability", "per-application engine applicability matrix", func(w io.Writer, csv bool) {
+		{"applicability", "per-application engine applicability matrix", func(w io.Writer, csv bool) error {
 			rows := simtmp.Applicability(1)
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintApplicability(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintApplicability(w, rows) })(w, csv)
 		}},
-		{"stream", "sustained-load dynamics (offered vs delivered)", func(w io.Writer, csv bool) {
+		{"stream", "sustained-load dynamics (offered vs delivered)", func(w io.Writer, csv bool) error {
 			rows := simtmp.Streaming()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintStreaming(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintStreaming(w, rows) })(w, csv)
 		}},
-		{"msgsize", "message-size sweep (protocol + bandwidth)", func(w io.Writer, csv bool) {
+		{"msgsize", "message-size sweep (protocol + bandwidth)", func(w io.Writer, csv bool) error {
 			rows := simtmp.MessageSizes()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintMessageSizes(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintMessageSizes(w, rows) })(w, csv)
 		}},
-		{"smsweep", "multi-SM scaling of the communication kernel", func(w io.Writer, csv bool) {
+		{"smsweep", "multi-SM scaling of the communication kernel", func(w io.Writer, csv bool) error {
 			rows := simtmp.SMSweep()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintSMSweep(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintSMSweep(w, rows) })(w, csv)
 		}},
-		{"endpoints", "CTA-endpoint scaling (the paper's motivation)", func(w io.Writer, csv bool) {
+		{"endpoints", "CTA-endpoint scaling (the paper's motivation)", func(w io.Writer, csv bool) error {
 			rows := simtmp.Endpoints()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintEndpoints(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintEndpoints(w, rows) })(w, csv)
 		}},
-		{"commparallel", "communicator-level parallelism (§VI top level)", func(w io.Writer, csv bool) {
+		{"commparallel", "communicator-level parallelism (§VI top level)", func(w io.Writer, csv bool) error {
 			rows := simtmp.CommParallel()
-			if csv {
-				must(simtmp.WriteCSV(w, rows))
-				return
-			}
-			simtmp.PrintCommParallel(w, rows)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintCommParallel(w, rows) })(w, csv)
 		}},
-		{"ablation", "ablation studies (compaction, fraction, order, hash, wildcards, window)", func(w io.Writer, csv bool) {
+		{"ablation", "ablation studies (compaction, fraction, order, hash, wildcards, window)", func(w io.Writer, csv bool) error {
 			if csv {
-				must(simtmp.WriteCSV(w, simtmp.AblationCompaction()))
-				must(simtmp.WriteCSV(w, simtmp.AblationFraction()))
-				must(simtmp.WriteCSV(w, simtmp.OrderSensitivity()))
-				must(simtmp.WriteCSV(w, simtmp.HashAblation()))
-				must(simtmp.WriteCSV(w, simtmp.AblationWildcardHash()))
-				must(simtmp.WriteCSV(w, simtmp.AblationWindow()))
-				return
+				for _, rows := range []any{
+					simtmp.AblationCompaction(),
+					simtmp.AblationFraction(),
+					simtmp.OrderSensitivity(),
+					simtmp.HashAblation(),
+					simtmp.AblationWildcardHash(),
+					simtmp.AblationWindow(),
+				} {
+					if err := simtmp.WriteCSV(w, rows); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
 			simtmp.PrintAblations(w)
+			return nil
 		}},
 	}
+}
 
-	enabled := make(map[string]*bool, len(sections))
-	for _, s := range sections {
-		enabled[s.flagName] = flag.Bool(s.flagName, false, s.help)
+// run is the testable entry point: it parses args (without the program
+// name), writes results to stdout and diagnostics to stderr, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matchbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csvOut := fs.Bool("csv", false, "emit CSV instead of formatted tables")
+	all := fs.Bool("all", false, "run everything")
+
+	secs := sections()
+	enabled := make(map[string]*bool, len(secs))
+	for _, s := range secs {
+		enabled[s.flagName] = fs.Bool(s.flagName, false, s.help)
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ran := false
-	for _, s := range sections {
+	for _, s := range secs {
 		if !*enabled[s.flagName] && !*all {
 			continue
 		}
-		s.run(os.Stdout, *csvOut)
+		if err := s.run(stdout, *csvOut); err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
 		if !*csvOut {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		ran = true
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func must(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "matchbench:", err)
-		os.Exit(1)
-	}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTable2CSV is the golden-output smoke test: the Table II
+// section in CSV mode must emit a header row and one line per
+// semantic level.
+func TestRunTable2CSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table2", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want a CSV header plus data rows, got %q", got)
+	}
+	header := strings.ToLower(lines[0])
+	if !strings.Contains(header, ",") {
+		t.Fatalf("first line is not a CSV header: %q", lines[0])
+	}
+	for _, want := range []string{"full", "hash"} {
+		if !strings.Contains(strings.ToLower(got), want) {
+			t.Errorf("Table II output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunFig6bCSV smoke-tests a second section so a regression in the
+// shared section plumbing cannot hide behind a single golden case.
+func TestRunFig6bCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig6b", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) < 2 {
+		t.Fatalf("want CSV rows, got %q", out.String())
+	}
+}
+
+// TestRunTable2Formatted: without -csv the section prints the human
+// table followed by a blank separator line.
+func TestRunTable2Formatted(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table II") && !strings.Contains(strings.ToLower(out.String()), "relax") {
+		t.Errorf("formatted output does not look like Table II:\n%s", out.String())
+	}
+	if !strings.HasSuffix(out.String(), "\n\n") {
+		t.Error("formatted sections must end with a separator blank line")
+	}
+}
+
+// TestRunNoSections: invoking without any section flag prints usage
+// and exits 2 — the historical CLI contract scripts rely on.
+func TestRunNoSections(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-table2") {
+		t.Errorf("usage output missing section flags:\n%s", errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("usage must go to stderr, stdout got %q", out.String())
+	}
+}
+
+// TestRunUnknownFlag: a bad flag is a usage error, not a crash.
+func TestRunUnknownFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-section"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-section") {
+		t.Errorf("error output does not name the bad flag:\n%s", errOut.String())
+	}
+}
+
+// TestSectionFlagsUnique guards the section registry against duplicate
+// flag names, which would panic at flag registration in production.
+func TestSectionFlagsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range sections() {
+		if seen[s.flagName] {
+			t.Errorf("duplicate section flag %q", s.flagName)
+		}
+		seen[s.flagName] = true
+		if s.help == "" {
+			t.Errorf("section %q has no help text", s.flagName)
+		}
+	}
+}

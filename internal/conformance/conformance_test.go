@@ -1,0 +1,256 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/match"
+)
+
+var (
+	confSeed = flag.Int64("conformance.seed", 1, "seed for the randomized conformance run")
+	confN    = flag.Int("conformance.n", 10000, "workloads per engine in the conformance run")
+)
+
+// TestEngineConformance is the tentpole: every engine on the same
+// stream of ≥10k seeded workloads, each result verified under the
+// engine's declared contract. Workloads are generated once and shared;
+// engines run as parallel subtests so wall time is the slowest engine,
+// not the sum.
+func TestEngineConformance(t *testing.T) {
+	n := *confN
+	if testing.Short() {
+		n = 500
+	}
+	workloads := make([]Workload, n)
+	for i := range workloads {
+		workloads[i] = WorkloadAt(*confSeed, i)
+	}
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			m := e.New()
+			failures := 0
+			for i, w := range workloads {
+				if err := Check(m, w); err != nil {
+					failures++
+					t.Errorf("workload %d (replay: conformance.WorkloadAt(%d, %d)): %v",
+						i, *confSeed, i, err)
+					if failures >= 5 {
+						t.Fatalf("aborting after %d failures", failures)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunReportsClean exercises the Run entry point end to end on a
+// smaller batch and asserts a clean report for every engine.
+func TestRunReportsClean(t *testing.T) {
+	reports := Run(42, 300)
+	if len(reports) != len(Engines()) {
+		t.Fatalf("got %d reports for %d engines", len(reports), len(Engines()))
+	}
+	for _, r := range reports {
+		if r.Workloads != 300 {
+			t.Errorf("%s: ran %d workloads, want 300", r.Engine, r.Workloads)
+		}
+		for _, f := range r.Failures {
+			t.Errorf("unexpected failure: %s", f)
+		}
+	}
+}
+
+// badEngine lets the harness-sensitivity tests declare an arbitrary
+// contract over arbitrary behavior.
+type badEngine struct {
+	name     string
+	contract match.Contract
+	fn       func([]envelope.Envelope, []envelope.Request) (*match.Result, error)
+}
+
+func (b badEngine) Name() string             { return b.name }
+func (b badEngine) Contract() match.Contract { return b.contract }
+func (b badEngine) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*match.Result, error) {
+	return b.fn(msgs, reqs)
+}
+
+// TestCheckDetectsViolations proves the harness has teeth: engines that
+// are too permissive, reject with the wrong error, diverge from the
+// oracle, or under-match must all be flagged.
+func TestCheckDetectsViolations(t *testing.T) {
+	msgs := []envelope.Envelope{{Src: 1, Tag: 5}, {Src: 1, Tag: 5}}
+	wildReqs := []envelope.Request{{Src: envelope.AnySource, Tag: 5}}
+	plainReqs := []envelope.Request{{Src: 1, Tag: 5}, {Src: 1, Tag: 5}}
+	noWild := match.Contract{Semantics: match.Unordered}
+	oracle := func(m []envelope.Envelope, r []envelope.Request) (*match.Result, error) {
+		return &match.Result{Assignment: match.Reference(m, r)}, nil
+	}
+
+	cases := []struct {
+		name string
+		eng  match.Matcher
+		w    Workload
+	}{
+		{
+			// Declares no wildcards but accepts them anyway.
+			"too-permissive",
+			badEngine{"perm", noWild, oracle},
+			Workload{Msgs: msgs, Reqs: wildReqs},
+		},
+		{
+			// Rejects, but not with the contract's sentinel.
+			"wrong-sentinel",
+			badEngine{"sentinel", noWild, func([]envelope.Envelope, []envelope.Request) (*match.Result, error) {
+				return nil, fmt.Errorf("computer says no")
+			}},
+			Workload{Msgs: msgs, Reqs: wildReqs},
+		},
+		{
+			// Ordered contract but swaps the two duplicate claims.
+			"order-divergence",
+			badEngine{"swap", match.Contract{Semantics: match.Ordered, SrcWildcard: true, TagWildcard: true},
+				func(m []envelope.Envelope, r []envelope.Request) (*match.Result, error) {
+					return &match.Result{Assignment: match.Assignment{1, 0}}, nil
+				}},
+			Workload{Msgs: msgs, Reqs: plainReqs},
+		},
+		{
+			// Unordered contract but leaves matchable pairs unmatched.
+			"under-matching",
+			badEngine{"lazy", noWild, func(m []envelope.Envelope, r []envelope.Request) (*match.Result, error) {
+				a := make(match.Assignment, len(r))
+				for i := range a {
+					a[i] = match.NoMatch
+				}
+				return &match.Result{Assignment: a}, nil
+			}},
+			Workload{Msgs: msgs, Reqs: plainReqs},
+		},
+		{
+			// Claims the same message for both requests.
+			"double-claim",
+			badEngine{"greedy", noWild, func(m []envelope.Envelope, r []envelope.Request) (*match.Result, error) {
+				return &match.Result{Assignment: match.Assignment{0, 0}}, nil
+			}},
+			Workload{Msgs: msgs, Reqs: plainReqs},
+		},
+		{
+			// Rejecting an admissible workload is a violation too.
+			"spurious-rejection",
+			badEngine{"refuser", noWild, func([]envelope.Envelope, []envelope.Request) (*match.Result, error) {
+				return nil, match.ErrWildcard
+			}},
+			Workload{Msgs: msgs, Reqs: plainReqs},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Check(tc.eng, tc.w); err == nil {
+				t.Fatal("Check accepted a non-conforming engine")
+			}
+		})
+	}
+}
+
+// TestCheckRequiresContract: an engine without a declared contract
+// cannot be conformance-tested.
+func TestCheckRequiresContract(t *testing.T) {
+	if err := Check(contractless{}, Workload{}); err == nil {
+		t.Fatal("Check accepted an engine with no contract")
+	}
+}
+
+type contractless struct{}
+
+func (contractless) Name() string { return "bare" }
+func (contractless) Match([]envelope.Envelope, []envelope.Request) (*match.Result, error) {
+	return &match.Result{}, nil
+}
+
+// TestWorkloadAtDeterministic pins the replay contract: the same
+// (seed, index) must regenerate the identical workload.
+func TestWorkloadAtDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, b := WorkloadAt(7, i), WorkloadAt(7, i)
+		if len(a.Msgs) != len(b.Msgs) || len(a.Reqs) != len(b.Reqs) {
+			t.Fatalf("workload %d: shapes differ", i)
+		}
+		for j := range a.Msgs {
+			if a.Msgs[j] != b.Msgs[j] {
+				t.Fatalf("workload %d: message %d differs", i, j)
+			}
+		}
+		for j := range a.Reqs {
+			if a.Reqs[j] != b.Reqs[j] {
+				t.Fatalf("workload %d: request %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestGenerateProducesValidWorkloads: everything the generator emits
+// must pass envelope validation, across the whole config space.
+func TestGenerateProducesValidWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		w := Generate(rng, DrawConfig(rng))
+		for _, m := range w.Msgs {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("invalid message %v: %v", m, err)
+			}
+		}
+		for _, r := range w.Reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("invalid request %v: %v", r, err)
+			}
+		}
+	}
+}
+
+// TestDecodeWorkloadTotal: every byte string decodes to a valid
+// workload (the fuzz front end must never reject an input).
+func TestDecodeWorkloadTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		data := make([]byte, rng.Intn(600))
+		rng.Read(data)
+		w := DecodeWorkload(data)
+		for _, m := range w.Msgs {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("invalid decoded message %v: %v", m, err)
+			}
+		}
+		for _, r := range w.Reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("invalid decoded request %v: %v", r, err)
+			}
+		}
+	}
+	// Truncated input: depths promised but bytes missing → zero-filled.
+	w := DecodeWorkload([]byte{63, 63})
+	if len(w.Msgs) != 63 || len(w.Reqs) != 63 {
+		t.Fatalf("truncated decode: got %d/%d entries", len(w.Msgs), len(w.Reqs))
+	}
+}
+
+// TestDrawConfigCoversDepthTail: the depth sampler must actually reach
+// the large-queue buckets (the §IV tail), not just the common case.
+func TestDrawConfigCoversDepthTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sawDeep := false
+	for i := 0; i < 2000 && !sawDeep; i++ {
+		cfg := DrawConfig(rng)
+		if cfg.UMQDepth > 64 || cfg.PRQDepth > 64 {
+			sawDeep = true
+		}
+	}
+	if !sawDeep {
+		t.Fatal("2000 draws never produced a queue deeper than 64")
+	}
+}

@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/match"
+	"simtmp/internal/mpx"
+)
+
+// FuzzEngines decodes arbitrary bytes into a matching workload and
+// checks every engine against its declared contract — the oracle
+// differential as a fuzz target. Reproduce a crash with:
+//
+//	go test ./internal/conformance -run=FuzzEngines/<corpusfile>
+func FuzzEngines(f *testing.F) {
+	// Exact-match pairs, a duplicate tuple, and all wildcard kinds.
+	f.Add([]byte("\x04\x04" +
+		"\x01\x05\x00\x00" + "\x01\x05\x00\x00" + "\x02\x07\x00\x01" + "\x03\x01\x00\x00" +
+		"\x01\x05\x00\x00\x00" + "\x01\x05\x00\x00\x02" + "\x0f\x00\x00\x00\x01" + "\x03\x01\x00\x00\x03"))
+	f.Add([]byte("\x00\x00"))             // empty queues
+	f.Add([]byte("\x3f\x3f"))             // max depths, zero-filled tuples
+	f.Add([]byte("\x02\x00\xff\xff\x03")) // messages only, no requests
+
+	engines := Engines()
+	matchers := make([]match.Matcher, len(engines))
+	for i, e := range engines {
+		matchers[i] = e.New()
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := DecodeWorkload(data)
+		for i, m := range matchers {
+			if err := Check(m, w); err != nil {
+				t.Fatalf("engine %s: %v", engines[i].Name, err)
+			}
+		}
+	})
+}
+
+// FuzzRuntimeProgress decodes bytes into a stream of runtime
+// operations (send / post-recv / progress / poll) against an mpx
+// cluster at a fuzzed semantic level, asserting no panics, no
+// unexpected errors, delivery correctness, and stats conservation
+// under arbitrary interleavings.
+func FuzzRuntimeProgress(f *testing.F) {
+	// full-mpi, 2 GPUs: send 0→1 tag 3, matching recv, progress.
+	f.Add([]byte("\x00\x01" + "\x00\x00\x01\x03\x00" + "\x01\x01\x00\x03\x00" + "\x02\x00\x00\x00\x00"))
+	// unordered, 3 GPUs: a wildcard post (must be rejected) between sends.
+	f.Add([]byte("\x03\x02" + "\x00\x01\x02\x07\x01" + "\x01\x02\x81\x07\x00" + "\x01\x02\x01\x07\x00" + "\x02\x00\x00\x00\x00"))
+	// no-unexpected, 1 GPU: message before its receive → ErrUnexpectedMessage path.
+	f.Add([]byte("\x02\x00" + "\x00\x00\x00\x01\x00" + "\x02\x00\x00\x00\x00"))
+	f.Add([]byte("\x01\x03")) // no ops at all
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		level := mpx.Level(int(data[0]) % 4)
+		gpus := 1 + int(data[1])%4
+		rt := mpx.New(mpx.Config{Level: level, GPUs: gpus, QueueCap: 64})
+		type pr struct {
+			h   *mpx.Recv
+			req envelope.Request
+		}
+		var posted []pr
+		data = data[2:]
+		poisoned := false // NoUnexpected contract violated; runtime state undefined
+		for len(data) >= 5 && !poisoned {
+			op, a, b, c, d := data[0]&3, data[1], data[2], data[3], data[4]
+			data = data[5:]
+			switch op {
+			case 0: // send
+				err := rt.Send(int(a)%gpus, int(b)%gpus, envelope.Tag(c&0x0F), 0, make([]byte, int(d&7)))
+				if err != nil {
+					// Queue-full back-pressure is legal; anything else is not.
+					if !isQueueFull(err) {
+						t.Fatalf("Send: %v", err)
+					}
+				}
+			case 1: // post receive
+				src := envelope.Rank(int(b) % gpus)
+				if b&0x80 != 0 {
+					src = envelope.AnySource
+				}
+				tag := envelope.Tag(c & 0x0F)
+				if c&0x80 != 0 {
+					tag = envelope.AnyTag
+				}
+				h, err := rt.PostRecv(int(a)%gpus, src, tag, 0)
+				if err != nil {
+					// Levels must reject exactly their prohibited wildcards.
+					if errors.Is(err, match.ErrWildcard) || errors.Is(err, match.ErrSourceWildcard) {
+						continue
+					}
+					t.Fatalf("PostRecv: %v", err)
+				}
+				posted = append(posted, pr{h, envelope.Request{Src: src, Tag: tag}})
+			case 2: // progress
+				if err := rt.Progress(); err != nil {
+					if level == mpx.NoUnexpected && errors.Is(err, mpx.ErrUnexpectedMessage) {
+						poisoned = true
+						continue
+					}
+					t.Fatalf("Progress: %v", err)
+				}
+			case 3: // poll handles and stats mid-stream
+				_ = rt.Stats()
+				if len(posted) > 0 {
+					p := posted[int(a)%len(posted)]
+					if p.h.Done() {
+						msg, err := p.h.Message()
+						if err != nil {
+							t.Fatalf("Done handle refused Message: %v", err)
+						}
+						if !p.req.Matches(msg.Env) {
+							t.Fatalf("recv %v delivered non-matching %v", p.req, msg.Env)
+						}
+					}
+				}
+			}
+		}
+		if !poisoned {
+			if _, err := rt.Drain(16); err != nil {
+				if !(level == mpx.NoUnexpected && errors.Is(err, mpx.ErrUnexpectedMessage)) {
+					t.Fatalf("Drain: %v", err)
+				}
+				poisoned = true
+			}
+		}
+		st := rt.Stats()
+		if st.Matches > st.Sends || st.Matches > st.PostedRecvs {
+			t.Fatalf("conservation violated: matches=%d sends=%d recvs=%d",
+				st.Matches, st.Sends, st.PostedRecvs)
+		}
+		if poisoned {
+			return // delivery below assumes an intact runtime
+		}
+		for _, p := range posted {
+			if msg, err := p.h.Message(); err == nil {
+				if !p.req.Matches(msg.Env) {
+					t.Fatalf("recv %v delivered non-matching %v", p.req, msg.Env)
+				}
+			}
+		}
+	})
+}
+
+// isQueueFull matches the queue package's back-pressure error, which
+// is (deliberately) not a sentinel: a full remote queue is flow
+// control, not a bug.
+func isQueueFull(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "full")
+}

@@ -223,6 +223,34 @@ func MatchesPacked(req, env uint64) bool {
 	return true
 }
 
+// SanitizeEnvelope deterministically maps arbitrary raw values into a
+// valid Envelope: the source is forced non-negative, the tag and
+// communicator masked into their packed-field widths. Generators and
+// fuzzers use it to turn untrusted bytes into legal send-side
+// envelopes without rejection sampling.
+func SanitizeEnvelope(src, tag, comm int32) Envelope {
+	return Envelope{
+		Src:  Rank(src) & (1<<31 - 1),
+		Tag:  Tag(tag) & MaxTag,
+		Comm: Comm(comm) & MaxComm,
+	}
+}
+
+// SanitizeRequest is SanitizeEnvelope for receive requests: the low
+// two bits of wild select the wildcards (bit 0 → AnySource, bit 1 →
+// AnyTag), overriding the sanitized concrete values.
+func SanitizeRequest(src, tag, comm int32, wild uint8) Request {
+	e := SanitizeEnvelope(src, tag, comm)
+	r := Request{Src: e.Src, Tag: e.Tag, Comm: e.Comm}
+	if wild&1 != 0 {
+		r.Src = AnySource
+	}
+	if wild&2 != 0 {
+		r.Tag = AnyTag
+	}
+	return r
+}
+
 // Key returns the hash key for the envelope's {src, tag, comm} tuple —
 // the value the relaxed (unordered) matcher hashes. Wildcard-free
 // requests produce the same key for equal tuples.

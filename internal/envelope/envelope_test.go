@@ -177,3 +177,141 @@ func TestStrings(t *testing.T) {
 		t.Errorf("Request.String() = %q, want wildcards spelled out", s)
 	}
 }
+
+// TestMatchesEdgeCases is the table-driven edge sweep over the corners
+// of the matching predicate: both wildcards combined, tag values at
+// the 16-bit ceiling, and zero/negative communicator handling.
+func TestMatchesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Request
+		e    Envelope
+		want bool
+	}{
+		{"combined wildcards any message",
+			Request{AnySource, AnyTag, 0}, Envelope{12345, 999, 0}, true},
+		{"combined wildcards max tag",
+			Request{AnySource, AnyTag, 0}, Envelope{0, MaxTag, 0}, true},
+		{"combined wildcards still comm-gated",
+			Request{AnySource, AnyTag, 3}, Envelope{7, 7, 4}, false},
+		{"combined wildcards max comm",
+			Request{AnySource, AnyTag, MaxComm}, Envelope{1, 1, MaxComm}, true},
+		{"max tag exact match",
+			Request{5, MaxTag, 0}, Envelope{5, MaxTag, 0}, true},
+		{"max tag vs max-1",
+			Request{5, MaxTag, 0}, Envelope{5, MaxTag - 1, 0}, false},
+		{"any source at max tag",
+			Request{AnySource, MaxTag, 0}, Envelope{9999, MaxTag, 0}, true},
+		{"any tag ignores tag entirely",
+			Request{5, AnyTag, 0}, Envelope{5, MaxTag, 0}, true},
+		{"zero comm matches zero comm",
+			Request{1, 1, 0}, Envelope{1, 1, 0}, true},
+		{"zero comm vs nonzero comm",
+			Request{1, 1, 0}, Envelope{1, 1, 1}, false},
+		{"rank zero concrete",
+			Request{0, 0, 0}, Envelope{0, 0, 0}, true},
+		{"rank zero vs any source",
+			Request{AnySource, 0, 0}, Envelope{0, 0, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.r.Matches(c.e); got != c.want {
+			t.Errorf("%s: %v.Matches(%v) = %v, want %v", c.name, c.r, c.e, got, c.want)
+		}
+		// The packed predicate must agree wherever both sides are
+		// packable (always, for these valid tuples).
+		if got := MatchesPacked(c.r.Pack(), c.e.Pack()); got != c.want {
+			t.Errorf("%s: MatchesPacked = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestValidateEdgeCases pins the boundary behavior of validation for
+// negative and zero comm IDs and the 16-bit tag ceiling, which the
+// packed representation depends on.
+func TestValidateEdgeCases(t *testing.T) {
+	envCases := []struct {
+		name string
+		e    Envelope
+		ok   bool
+	}{
+		{"zero everything", Envelope{0, 0, 0}, true},
+		{"tag at 16-bit max", Envelope{0, MaxTag, 0}, true},
+		{"tag one past max", Envelope{0, MaxTag + 1, 0}, false},
+		{"comm zero", Envelope{0, 0, 0}, true},
+		{"comm negative", Envelope{0, 0, -1}, false},
+		{"comm deeply negative", Envelope{0, 0, -4096}, false},
+		{"wildcard-valued src illegal on send side", Envelope{Rank(AnySource), 0, 0}, false},
+		{"wildcard-valued tag illegal on send side", Envelope{0, Tag(AnyTag), 0}, false},
+	}
+	for _, c := range envCases {
+		if err := c.e.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate(%v) = %v, want ok=%v", c.name, c.e, err, c.ok)
+		}
+	}
+	reqCases := []struct {
+		name string
+		r    Request
+		ok   bool
+	}{
+		{"combined wildcards", Request{AnySource, AnyTag, 0}, true},
+		{"combined wildcards max comm", Request{AnySource, AnyTag, MaxComm}, true},
+		{"combined wildcards negative comm", Request{AnySource, AnyTag, -1}, false},
+		{"tag at max", Request{0, MaxTag, 0}, true},
+		{"tag past max", Request{0, MaxTag + 1, 0}, false},
+		{"src -2 is not a wildcard", Request{-2, 0, 0}, false},
+		{"tag -2 is not a wildcard", Request{0, -2, 0}, false},
+	}
+	for _, c := range reqCases {
+		if err := c.r.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate(%v) = %v, want ok=%v", c.name, c.r, err, c.ok)
+		}
+	}
+}
+
+// TestCombinedWildcardPackRoundTrip checks both wildcards survive the
+// packed encoding together with a max-width tag and comm underneath.
+func TestCombinedWildcardPackRoundTrip(t *testing.T) {
+	r := Request{AnySource, AnyTag, MaxComm}
+	got, ok := UnpackRequest(r.Pack())
+	if !ok || got != r {
+		t.Errorf("round trip = %v, %v; want %v", got, ok, r)
+	}
+	if !r.HasWildcard() {
+		t.Error("combined wildcard request reports no wildcard")
+	}
+}
+
+func TestSanitizeEnvelope(t *testing.T) {
+	raw := []struct{ src, tag, comm int32 }{
+		{0, 0, 0},
+		{-1, -1, -1},
+		{1 << 30, 1 << 20, 1 << 20},
+		{-2147483648, 65536, 4096},
+		{12345, int32(MaxTag), int32(MaxComm)},
+	}
+	for _, c := range raw {
+		e := SanitizeEnvelope(c.src, c.tag, c.comm)
+		if err := e.Validate(); err != nil {
+			t.Errorf("SanitizeEnvelope(%d,%d,%d) = %v: %v", c.src, c.tag, c.comm, e, err)
+		}
+	}
+	// Already-valid tuples pass through unchanged.
+	if e := SanitizeEnvelope(7, 42, 3); (e != Envelope{7, 42, 3}) {
+		t.Errorf("valid tuple altered: %v", e)
+	}
+}
+
+func TestSanitizeRequest(t *testing.T) {
+	for wild := uint8(0); wild < 8; wild++ {
+		r := SanitizeRequest(-7, 1<<17, -9, wild)
+		if err := r.Validate(); err != nil {
+			t.Errorf("SanitizeRequest(wild=%d) = %v: %v", wild, r, err)
+		}
+		if (wild&1 != 0) != (r.Src == AnySource) {
+			t.Errorf("wild=%d: Src = %v", wild, r.Src)
+		}
+		if (wild&2 != 0) != (r.Tag == AnyTag) {
+			t.Errorf("wild=%d: Tag = %v", wild, r.Tag)
+		}
+	}
+}

@@ -35,6 +35,10 @@ func (a *AutoMatrixMatcher) Name() string {
 	return fmt.Sprintf("gpu-matrix-auto(%s)", g)
 }
 
+// Contract implements Contractor: tuning launch parameters does not
+// change the matrix engine's full MPI semantics.
+func (a *AutoMatrixMatcher) Contract() Contract { return fullMPIContract() }
+
 // tune picks the launch configuration for a workload.
 func (a *AutoMatrixMatcher) tune(msgs, reqs int) MatrixConfig {
 	limit := a.MaxCTALimit

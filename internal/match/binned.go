@@ -37,6 +37,10 @@ func (b *BinnedListMatcher) Name() string {
 	return fmt.Sprintf("cpu-binned(%d)", b.Bins)
 }
 
+// Contract implements Contractor: the marker discipline keeps full MPI
+// semantics across bins.
+func (b *BinnedListMatcher) Contract() Contract { return fullMPIContract() }
+
 // binEntry is one message in a bin, with its arrival sequence number
 // (the "marker" that restores global order when wildcards force a
 // cross-bin scan).

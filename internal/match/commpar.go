@@ -36,6 +36,10 @@ func (c *CommParallelMatcher) Name() string {
 	return fmt.Sprintf("gpu-comm-parallel(%s)", c.cfg.Arch.Generation)
 }
 
+// Contract implements Contractor: communicator partitioning needs no
+// relaxation, so full MPI semantics hold.
+func (c *CommParallelMatcher) Contract() Contract { return fullMPIContract() }
+
 // Match implements Matcher with full MPI semantics: the partition key
 // is the communicator, which is always concrete on both sides.
 func (c *CommParallelMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {

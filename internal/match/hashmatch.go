@@ -107,6 +107,12 @@ func (h *HashMatcher) Name() string {
 	return fmt.Sprintf("gpu-hash(%s,%s,ctas=%d)", h.cfg.Arch.Generation, h.cfg.HashName, h.cfg.CTAs)
 }
 
+// Contract implements Contractor: no wildcards, no ordering — but the
+// matching must still be maximum-cardinality (§VI-C).
+func (h *HashMatcher) Contract() Contract {
+	return Contract{Semantics: Unordered, SrcWildcard: false, TagWildcard: false}
+}
+
 // tableSizes returns (primary, secondary) slot counts for a batch of n
 // elements: the secondary is the next power of two holding n/2, the
 // primary five times that (the paper's ratio).

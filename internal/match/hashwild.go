@@ -40,6 +40,13 @@ func (w *WildcardHashMatcher) Name() string {
 	return fmt.Sprintf("gpu-hash-wild(%s,ctas=%d)", w.inner.cfg.Arch.Generation, w.inner.cfg.CTAs)
 }
 
+// Contract implements Contractor: wildcards are admitted back, but
+// ordering stays relaxed and only greedy maximality is promised once
+// wildcard and concrete requests compete for messages.
+func (w *WildcardHashMatcher) Contract() Contract {
+	return Contract{Semantics: GreedyMaximal, SrcWildcard: true, TagWildcard: true}
+}
+
 // Match implements Matcher: concrete requests through the tables,
 // wildcard requests through the billed side list.
 func (w *WildcardHashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
@@ -127,24 +134,13 @@ func (w *WildcardHashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Re
 // guarantee the side-list scheme provides; a globally maximum matching
 // is not promised once wildcards overlap with concrete requests).
 func VerifyMaximal(msgs []envelope.Envelope, reqs []envelope.Request, a Assignment) error {
-	if len(a) != len(reqs) {
-		return fmt.Errorf("assignment has %d entries for %d requests", len(a), len(reqs))
+	if err := CheckAssignment(msgs, reqs, a); err != nil {
+		return err
 	}
 	used := make([]bool, len(msgs))
-	for i, mi := range a {
-		if mi == NoMatch {
-			continue
-		}
-		if mi < 0 || mi >= len(msgs) {
-			return fmt.Errorf("request %d: message index %d out of range", i, mi)
-		}
-		if used[mi] {
-			return fmt.Errorf("message %d claimed twice", mi)
-		}
-		used[mi] = true
-		if !reqs[i].Matches(msgs[mi]) {
-			return fmt.Errorf("request %d (%v) paired with non-matching message %d (%v)",
-				i, reqs[i], mi, msgs[mi])
+	for _, mi := range a {
+		if mi != NoMatch {
+			used[mi] = true
 		}
 	}
 	for i, mi := range a {

@@ -25,6 +25,9 @@ func NewListMatcher() *ListMatcher { return &ListMatcher{} }
 // Name implements Matcher.
 func (l *ListMatcher) Name() string { return "cpu-list" }
 
+// Contract implements Contractor: full MPI semantics.
+func (l *ListMatcher) Contract() Contract { return fullMPIContract() }
+
 // Match implements Matcher with full MPI semantics.
 func (l *ListMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
 	if err := validateInputs(msgs, reqs); err != nil {

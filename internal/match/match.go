@@ -122,27 +122,12 @@ func VerifyOrdered(msgs []envelope.Envelope, reqs []envelope.Request, a Assignme
 // twice, and the number of matches must equal the maximum possible
 // (per-tuple min of message and request multiplicities).
 func VerifyUnordered(msgs []envelope.Envelope, reqs []envelope.Request, a Assignment) error {
-	if len(a) != len(reqs) {
-		return fmt.Errorf("assignment has %d entries for %d requests", len(a), len(reqs))
+	if err := CheckAssignment(msgs, reqs, a); err != nil {
+		return err
 	}
-	used := make(map[int]bool, len(msgs))
 	for i, m := range a {
-		if m == NoMatch {
-			continue
-		}
-		if m < 0 || m >= len(msgs) {
-			return fmt.Errorf("request %d: message index %d out of range", i, m)
-		}
-		if used[m] {
-			return fmt.Errorf("message %d claimed twice", m)
-		}
-		used[m] = true
-		if reqs[i].HasWildcard() {
+		if m != NoMatch && reqs[i].HasWildcard() {
 			return fmt.Errorf("request %d: wildcard present under unordered semantics", i)
-		}
-		if !reqs[i].Matches(msgs[m]) {
-			return fmt.Errorf("request %d (%v) paired with non-matching message %d (%v)",
-				i, reqs[i], m, msgs[m])
 		}
 	}
 	if got, want := a.Matched(), MaxMatchable(msgs, reqs); got != want {

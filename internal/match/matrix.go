@@ -86,6 +86,10 @@ func (m *MatrixMatcher) Name() string {
 	return fmt.Sprintf("gpu-matrix(%s)", m.cfg.Arch.Generation)
 }
 
+// Contract implements Contractor: the matrix algorithm is the paper's
+// fully MPI-compliant engine.
+func (m *MatrixMatcher) Contract() Contract { return fullMPIContract() }
+
 // footprint is the matrix kernel's per-CTA resource usage: 1024
 // threads, 32 registers/thread, and the vote matrix + request buffer in
 // shared memory.

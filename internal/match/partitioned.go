@@ -72,6 +72,12 @@ func (p *PartitionedMatcher) Name() string {
 	return fmt.Sprintf("gpu-partitioned(%s,q=%d)", p.cfg.Arch.Generation, p.cfg.Queues)
 }
 
+// Contract implements Contractor: ordering and tag wildcards are fully
+// honored; only MPI_ANY_SOURCE is prohibited (§VI-A).
+func (p *PartitionedMatcher) Contract() Contract {
+	return Contract{Semantics: Ordered, SrcWildcard: false, TagWildcard: true}
+}
+
 // queueOf maps a source rank to its partition.
 func (p *PartitionedMatcher) queueOf(src envelope.Rank) int {
 	return int(src) % p.cfg.Queues

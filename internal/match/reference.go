@@ -32,6 +32,10 @@ type ReferenceMatcher struct{}
 // Name implements Matcher.
 func (ReferenceMatcher) Name() string { return "reference" }
 
+// Contract implements Contractor: the oracle trivially satisfies its
+// own semantics.
+func (ReferenceMatcher) Contract() Contract { return fullMPIContract() }
+
 // Match implements Matcher.
 func (ReferenceMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
 	if err := validateInputs(msgs, reqs); err != nil {

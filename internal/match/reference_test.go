@@ -1,0 +1,61 @@
+package match
+
+import (
+	"testing"
+
+	"simtmp/internal/envelope"
+)
+
+// TestReferenceDuplicateTuplesEarliestWins pins the oracle's behavior
+// on duplicate {src,tag,comm} tuples: each request claims the EARLIEST
+// unclaimed matching message, in arrival order. Every engine's
+// conformance is defined relative to this, so the behavior itself must
+// never drift.
+func TestReferenceDuplicateTuplesEarliestWins(t *testing.T) {
+	dup := env(3, 7) // the duplicated tuple
+	msgs := []envelope.Envelope{
+		dup,       // 0
+		env(1, 1), // 1
+		dup,       // 2
+		dup,       // 3
+	}
+	reqs := []envelope.Request{
+		{Src: 3, Tag: 7}, // wants dup → msg 0 (earliest)
+		{Src: 3, Tag: 7}, // wants dup → msg 2 (0 claimed)
+		{Src: 1, Tag: 1}, // → msg 1
+		{Src: 3, Tag: 7}, // wants dup → msg 3
+		{Src: 3, Tag: 7}, // no dup left → NoMatch
+	}
+	want := Assignment{0, 2, 1, 3, NoMatch}
+	got := Reference(msgs, reqs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reference = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReferenceDuplicateTuplesWildcards extends the pin to wildcard
+// requests competing with concrete ones over duplicates: posted order
+// decides who claims first, and each claim takes the earliest
+// remaining arrival, wildcard or not.
+func TestReferenceDuplicateTuplesWildcards(t *testing.T) {
+	msgs := []envelope.Envelope{
+		env(2, 5), // 0
+		env(2, 5), // 1
+		env(4, 5), // 2
+	}
+	reqs := []envelope.Request{
+		{Src: envelope.AnySource, Tag: 5}, // posted first → msg 0
+		{Src: 2, Tag: 5},                  // → msg 1 (0 already claimed)
+		{Src: envelope.AnySource, Tag: envelope.AnyTag}, // → msg 2
+		{Src: 2, Tag: 5}, // nothing left → NoMatch
+	}
+	want := Assignment{0, 1, 2, NoMatch}
+	got := Reference(msgs, reqs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reference = %v, want %v", got, want)
+		}
+	}
+}

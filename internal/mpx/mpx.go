@@ -17,6 +17,7 @@ package mpx
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"simtmp/internal/arch"
 	"simtmp/internal/envelope"
@@ -91,8 +92,11 @@ type Config struct {
 	Protocol proto.Policy
 }
 
-// Recv is a posted receive handle.
+// Recv is a posted receive handle. Its accessors synchronize with the
+// owning runtime, so a handle may be polled while other goroutines
+// drive Send/PostRecv/Progress.
 type Recv struct {
+	rt        *Runtime
 	gpu       int
 	req       envelope.Request
 	seq       uint64
@@ -103,14 +107,24 @@ type Recv struct {
 
 // Transfer reports the simulated data movement of the delivered
 // message (zero before delivery).
-func (r *Recv) Transfer() proto.Transfer { return r.transfer }
+func (r *Recv) Transfer() proto.Transfer {
+	r.rt.mu.Lock()
+	defer r.rt.mu.Unlock()
+	return r.transfer
+}
 
 // Done reports whether the receive was matched.
-func (r *Recv) Done() bool { return r.delivered }
+func (r *Recv) Done() bool {
+	r.rt.mu.Lock()
+	defer r.rt.mu.Unlock()
+	return r.delivered
+}
 
 // Message returns the delivered message; it fails with ErrNotDelivered
 // before a Progress call matched the receive.
 func (r *Recv) Message() (gas.Message, error) {
+	r.rt.mu.Lock()
+	defer r.rt.mu.Unlock()
 	if !r.delivered {
 		return gas.Message{}, ErrNotDelivered
 	}
@@ -143,9 +157,18 @@ func (s Stats) Rate() float64 {
 	return float64(s.Matches) / s.SimSeconds
 }
 
-// Runtime is a GAS cluster with per-GPU matching engines.
+// Runtime is a GAS cluster with per-GPU matching engines. It is safe
+// for concurrent use: senders, receivers and a progress driver may run
+// on separate goroutines. One mutex serializes all state transitions —
+// the simulated device does the heavy lifting inside one Progress
+// call, which models the single communication kernel per GPU the paper
+// describes, so finer-grained locking would buy nothing.
 type Runtime struct {
-	cfg     Config
+	cfg Config
+
+	// mu guards every field below, the pending queues, the accumulated
+	// stats, and the delivery fields of issued Recv handles.
+	mu      sync.Mutex
 	cluster *gas.Cluster
 	engines []match.Matcher
 
@@ -214,6 +237,8 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 		return fmt.Errorf("mpx: source GPU %d outside [0,%d)", src, rt.cluster.Size())
 	}
 	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.seq++
 	if err := rt.cluster.PutSeq(dst, env, payload, rt.seq); err != nil {
 		return err
@@ -243,8 +268,10 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 			return nil, match.ErrWildcard
 		}
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.seq++
-	r := &Recv{gpu: dst, req: req, seq: rt.seq}
+	r := &Recv{rt: rt, gpu: dst, req: req, seq: rt.seq}
 	rt.pendingRecvs[dst] = append(rt.pendingRecvs[dst], r)
 	rt.stats.PostedRecvs++
 	return r, nil
@@ -256,6 +283,13 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 // stays unmatched (it arrived before its receive was posted and no
 // receive of this step claims it).
 func (rt *Runtime) Progress() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.progressLocked()
+}
+
+// progressLocked is Progress with rt.mu held.
+func (rt *Runtime) progressLocked() error {
 	for g := 0; g < rt.cluster.Size(); g++ {
 		rt.pendingMsgs[g] = append(rt.pendingMsgs[g], rt.cluster.GPU(g).Drain()...)
 		msgs := rt.pendingMsgs[g]
@@ -333,8 +367,10 @@ func (rt *Runtime) Progress() error {
 // anymore or maxSteps is hit. It reports whether all posted receives
 // were delivered.
 func (rt *Runtime) Drain(maxSteps int) (bool, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	for step := 0; step < maxSteps; step++ {
-		if err := rt.Progress(); err != nil {
+		if err := rt.progressLocked(); err != nil {
 			return false, err
 		}
 		open := 0
@@ -349,7 +385,11 @@ func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 }
 
 // Stats returns the accumulated simulated-work statistics.
-func (rt *Runtime) Stats() Stats { return rt.stats }
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
 
 // EngineName reports the matching engine backing this runtime.
 func (rt *Runtime) EngineName() string { return rt.engines[0].Name() }

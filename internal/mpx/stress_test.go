@@ -1,0 +1,255 @@
+package mpx
+
+// The concurrent stress driver: many goroutines drive
+// Send/PostRecv/Progress/Done/Stats against one Runtime while the
+// progress kernel runs, exercising the runtime's locking under
+// `go test -race`. Workloads are constructed so that every posted
+// receive is eventually satisfiable regardless of interleaving; the
+// final drain then asserts full delivery and stats conservation.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"simtmp/internal/envelope"
+)
+
+// recvMode selects the request shape every poster targeting one GPU
+// uses. Keeping the mode uniform per destination keeps the workload
+// drainable under ordered matching: mixing AnySource with concrete
+// sources on one destination can strand a concrete request whose
+// message a wildcard already consumed.
+type recvMode int
+
+const (
+	modeConcrete recvMode = iota // {src, tag} exact
+	modeAnyTag                   // {src, ANY_TAG}
+	modeAnySrc                   // {ANY_SOURCE, tag}
+)
+
+// stressPlan fixes the per-destination request modes for a level.
+func stressPlan(level Level, gpus int) []recvMode {
+	modes := make([]recvMode, gpus)
+	for d := range modes {
+		switch level {
+		case FullMPI:
+			modes[d] = []recvMode{modeConcrete, modeAnyTag, modeAnySrc}[d%3]
+		case NoSourceWildcard:
+			modes[d] = []recvMode{modeConcrete, modeAnyTag}[d%2]
+		default: // Unordered: concrete only, tags unique per source
+			modes[d] = modeConcrete
+		}
+	}
+	return modes
+}
+
+func TestRuntimeConcurrentStress(t *testing.T) {
+	for _, level := range []Level{FullMPI, NoSourceWildcard, Unordered} {
+		t.Run(level.String(), func(t *testing.T) {
+			runConcurrentStress(t, level)
+		})
+	}
+}
+
+func runConcurrentStress(t *testing.T, level Level) {
+	const (
+		gpus       = 3
+		msgsPerSrc = 40 // per (src,dst) pair
+	)
+	rt := New(Config{Level: level, GPUs: gpus, QueueCap: 2048})
+	modes := stressPlan(level, gpus)
+
+	type posted struct {
+		h   *Recv
+		req envelope.Request
+	}
+	var (
+		mu      sync.Mutex
+		handles []posted
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, gpus*gpus*2+4) // every worker + observers may report once
+
+	// One sender and one poster goroutine per (src,dst) pair; they run
+	// concurrently with each other and with the progress driver.
+	for src := 0; src < gpus; src++ {
+		for dst := 0; dst < gpus; dst++ {
+			src, dst := src, dst
+			wg.Add(2)
+			go func() { // sender
+				defer wg.Done()
+				for j := 0; j < msgsPerSrc; j++ {
+					payload := []byte{byte(src), byte(dst), byte(j)}
+					if err := rt.Send(src, dst, envelope.Tag(j), 0, payload); err != nil {
+						errs <- fmt.Errorf("send %d->%d tag %d: %w", src, dst, j, err)
+						return
+					}
+					if j%8 == 0 {
+						runtime.Gosched()
+					}
+				}
+			}()
+			go func() { // poster
+				defer wg.Done()
+				for j := 0; j < msgsPerSrc; j++ {
+					req := envelope.Request{Src: envelope.Rank(src), Tag: envelope.Tag(j), Comm: 0}
+					switch modes[dst] {
+					case modeAnyTag:
+						req.Tag = envelope.AnyTag
+					case modeAnySrc:
+						req.Src = envelope.AnySource
+					}
+					h, err := rt.PostRecv(dst, req.Src, req.Tag, req.Comm)
+					if err != nil {
+						errs <- fmt.Errorf("post on %d (%v): %w", dst, req, err)
+						return
+					}
+					mu.Lock()
+					handles = append(handles, posted{h: h, req: req})
+					mu.Unlock()
+					if j%8 == 0 {
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+	}
+
+	// Progress driver plus two observers hammering the read-side API
+	// while matching is in flight.
+	var stop atomic.Bool
+	var obsWG sync.WaitGroup
+	obsWG.Add(3)
+	go func() {
+		defer obsWG.Done()
+		for !stop.Load() {
+			if err := rt.Progress(); err != nil {
+				errs <- fmt.Errorf("progress: %w", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	go func() {
+		defer obsWG.Done()
+		for !stop.Load() {
+			_ = rt.Stats()
+			runtime.Gosched()
+		}
+	}()
+	go func() {
+		defer obsWG.Done()
+		for !stop.Load() {
+			mu.Lock()
+			n := len(handles)
+			if n > 0 {
+				h := handles[n-1].h
+				mu.Unlock()
+				h.Done()
+				_, _ = h.Message()
+				_ = h.Transfer()
+			} else {
+				mu.Unlock()
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	obsWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: drain the remainder and verify the contract held.
+	ok, err := rt.Drain(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("traffic did not drain: stats %+v", rt.Stats())
+	}
+	total := gpus * gpus * msgsPerSrc
+	for _, p := range handles {
+		msg, err := p.h.Message()
+		if err != nil {
+			t.Fatalf("undelivered recv %v: %v", p.req, err)
+		}
+		if !p.req.Matches(msg.Env) {
+			t.Fatalf("recv %v delivered non-matching %v", p.req, msg.Env)
+		}
+		if len(msg.Payload) != 3 || int(msg.Payload[0]) != int(msg.Env.Src) {
+			t.Fatalf("payload/envelope mismatch: %v / %v", msg.Payload, msg.Env)
+		}
+	}
+	st := rt.Stats()
+	if st.Matches != total || st.Sends != total || st.PostedRecvs != total {
+		t.Errorf("conservation violated: matches=%d sends=%d recvs=%d want %d",
+			st.Matches, st.Sends, st.PostedRecvs, total)
+	}
+	if st.Unmatched != 0 {
+		t.Errorf("%d messages left pending after drain", st.Unmatched)
+	}
+	if st.SimSeconds <= 0 {
+		t.Error("no simulated matching time accumulated")
+	}
+}
+
+// TestRuntimeConcurrentSingleGPU exercises the degenerate self-traffic
+// case (one GPU sending to itself from many goroutines) where every
+// operation contends on the same queues.
+func TestRuntimeConcurrentSingleGPU(t *testing.T) {
+	const workers, per = 8, 25
+	rt := New(Config{Level: FullMPI, GPUs: 1, QueueCap: 1024})
+	var wg sync.WaitGroup
+	var recvs [workers][per]*Recv
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				// Tag encodes (worker, j) so tuples stay disjoint.
+				tag := envelope.Tag(w*per + j)
+				if err := rt.Send(0, 0, tag, 0, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				h, err := rt.PostRecv(0, 0, tag, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				recvs[w][j] = h
+				if j%4 == 0 {
+					if err := rt.Progress(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if ok, err := rt.Drain(20); err != nil || !ok {
+		t.Fatalf("Drain = %v, %v", ok, err)
+	}
+	for w := range recvs {
+		for j, h := range recvs[w][:] {
+			if !h.Done() {
+				t.Fatalf("worker %d recv %d undelivered", w, j)
+			}
+		}
+	}
+	if st := rt.Stats(); st.Matches != workers*per {
+		t.Errorf("Matches = %d, want %d", st.Matches, workers*per)
+	}
+}

@@ -94,6 +94,42 @@ func (q *Queue) Live() int {
 	return n
 }
 
+// Invariants checks the queue's structural consistency: the entry
+// count within [0, capacity] and every slot past the count zeroed
+// (no header may live outside the logical queue). The conformance
+// harness asserts it around every mutation; it is cheap enough for
+// production assertions too.
+func (q *Queue) Invariants() error {
+	if q.count < 0 || q.count > q.cap {
+		return fmt.Errorf("queue: count %d outside [0,%d]", q.count, q.cap)
+	}
+	for i := q.count; i < q.cap; i++ {
+		if q.mem.Load(q.base+i) != 0 {
+			return fmt.Errorf("queue: slot %d past count %d holds %#x", i, q.count, q.mem.Load(q.base+i))
+		}
+	}
+	return nil
+}
+
+// VerifyCompacted checks the length-conservation contract of a
+// completed compaction: exactly liveBefore entries remain, all of them
+// valid headers (no bubbles survive), and the structural invariants
+// hold. liveBefore is the Live() count captured before compacting.
+func (q *Queue) VerifyCompacted(liveBefore int) error {
+	if err := q.Invariants(); err != nil {
+		return err
+	}
+	if q.count != liveBefore {
+		return fmt.Errorf("queue: compaction kept %d entries, %d were live", q.count, liveBefore)
+	}
+	for i := 0; i < q.count; i++ {
+		if !q.Valid(i) {
+			return fmt.Errorf("queue: bubble at %d survived compaction", i)
+		}
+	}
+	return nil
+}
+
 // CompactHost removes bubbles preserving order, host-side (the
 // reference the SIMT kernel is tested against). It returns the new
 // length.

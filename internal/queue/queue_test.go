@@ -210,3 +210,86 @@ func TestCompactProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestInvariantsHoldThroughLifecycle(t *testing.T) {
+	m := simt.NewMemory(64)
+	q := New(m, 8, 16)
+	check := func(stage string) {
+		t.Helper()
+		if err := q.Invariants(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	check("fresh")
+	for i := 0; i < 12; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	check("pushed")
+	q.Clear(2)
+	q.Clear(9)
+	check("cleared")
+	live := q.Live()
+	q.CompactHost()
+	check("compacted")
+	if err := q.VerifyCompacted(live); err != nil {
+		t.Fatal(err)
+	}
+	q.Reset()
+	check("reset")
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	m := simt.NewMemory(32)
+	q := New(m, 0, 16)
+	q.Push(packedEnv(1, 1))
+	// A header written past the logical count is a violation: the
+	// matching kernels scan [0, Len) and would silently miss it.
+	m.Store(q.Addr(5), packedEnv(9, 9))
+	if err := q.Invariants(); err == nil {
+		t.Error("stray header past count not detected")
+	}
+}
+
+func TestVerifyCompactedDetectsViolations(t *testing.T) {
+	m := simt.NewMemory(32)
+	q := New(m, 0, 16)
+	for i := 0; i < 6; i++ {
+		q.Push(packedEnv(i, 0))
+	}
+	q.Clear(1)
+	// Not compacted yet: a surviving bubble must be reported.
+	if err := q.VerifyCompacted(5); err == nil {
+		t.Error("surviving bubble not detected")
+	}
+	q.CompactHost()
+	if err := q.VerifyCompacted(5); err != nil {
+		t.Errorf("clean compaction rejected: %v", err)
+	}
+	// Wrong expected count: conservation violation.
+	if err := q.VerifyCompacted(4); err == nil {
+		t.Error("length-conservation violation not detected")
+	}
+}
+
+func TestCompactSIMTConservesLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(200) + 1
+		m := simt.NewMemory(n + 8)
+		q := New(m, 0, n)
+		for i := 0; i < n; i++ {
+			q.Push(packedEnv(i, rng.Intn(50)))
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q.Clear(i)
+			}
+		}
+		live := q.Live()
+		cta := simt.NewCTA(0, 256, 16)
+		q.Compact(cta)
+		if err := q.VerifyCompacted(live); err != nil {
+			t.Fatalf("trial %d (n=%d live=%d): %v", trial, n, live, err)
+		}
+	}
+}
