@@ -84,6 +84,10 @@ func sections() []section {
 			rows := simtmp.CommParallel()
 			return csvOr(rows, func(w io.Writer) { simtmp.PrintCommParallel(w, rows) })(w, csv)
 		}},
+		{"chaos", "chaos conformance: exactly-once delivery under fault injection", func(w io.Writer, csv bool) error {
+			rows := simtmp.Chaos(1, 250)
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintChaos(w, rows) })(w, csv)
+		}},
 		{"ablation", "ablation studies (compaction, fraction, order, hash, wildcards, window)", func(w io.Writer, csv bool) error {
 			if csv {
 				for _, rows := range []any{

@@ -56,6 +56,27 @@ func TestRunTable2Formatted(t *testing.T) {
 	}
 }
 
+// TestRunChaosCSV smoke-tests the chaos section: CSV mode must emit
+// one row per semantic level, every row reporting zero failures.
+func TestRunChaosCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-chaos", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header + 4 level rows, got %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(strings.ToLower(lines[0]), "failures") {
+		t.Fatalf("header missing failures column: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",0") {
+			t.Errorf("chaos row reports failures: %q", line)
+		}
+	}
+}
+
 // TestRunNoSections: invoking without any section flag prints usage
 // and exits 2 — the historical CLI contract scripts rely on.
 func TestRunNoSections(t *testing.T) {

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"simtmp/internal/conformance"
+)
+
+// ChaosRow summarizes one semantic level's chaos-conformance run: the
+// fault volume injected, the recovery work the reliable layer did, and
+// the verdict (delivered = exactly-once deliveries verified).
+type ChaosRow struct {
+	Level      string
+	Engine     string
+	Workloads  int
+	Messages   int
+	Drops      int
+	Corrupt    int
+	Duplicates int
+	Retries    int
+	Acks       int
+	StallSteps int
+	Failures   int
+}
+
+// Chaos runs the chaos-conformance harness (n workloads per level,
+// default fault mix) and returns one row per semantic level.
+func Chaos(seed int64, n int) []ChaosRow {
+	reports := conformance.RunChaos(seed, n, conformance.ChaosMix())
+	rows := make([]ChaosRow, len(reports))
+	for i, rep := range reports {
+		rows[i] = ChaosRow{
+			Level:      rep.Level.String(),
+			Engine:     rep.Engine,
+			Workloads:  rep.Workloads,
+			Messages:   rep.Messages,
+			Drops:      rep.Stats.Drops,
+			Corrupt:    rep.Stats.Corrupt,
+			Duplicates: rep.Stats.Duplicates,
+			Retries:    rep.Stats.Retries,
+			Acks:       rep.Stats.Acks,
+			StallSteps: rep.Stats.StallSteps,
+			Failures:   len(rep.Failures),
+		}
+	}
+	return rows
+}
+
+// PrintChaos renders the chaos run as a table.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	header(w, "Chaos conformance: exactly-once delivery under an adversarial wire")
+	fmt.Fprintln(w, "level            workloads   msgs  drops  corrupt   dups  retries    acks  stallsteps  failures")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %9d %6d %6d %8d %6d %8d %7d %11d %9d\n",
+			r.Level, r.Workloads, r.Messages, r.Drops, r.Corrupt, r.Duplicates,
+			r.Retries, r.Acks, r.StallSteps, r.Failures)
+	}
+}

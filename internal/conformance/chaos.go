@@ -1,0 +1,313 @@
+// Chaos mode: end-to-end conformance of the full runtime under fault
+// injection. Where the base harness checks one Match call against the
+// oracle, chaos mode drives complete send/recv workloads through the
+// mpx runtime — per semantic level, so every matching engine is
+// exercised — over a wire that drops, duplicates, corrupts, delays,
+// stalls and starves, and asserts the reliability contract end to end:
+//
+//   - exactly-once delivery: every sent message is delivered to
+//     exactly one receive, none lost, none duplicated;
+//   - envelope integrity: each delivered message satisfies the receive
+//     it was matched to (corruption never leaks through);
+//   - per-flow ordering (ordered levels): messages of one
+//     (src,dst,tag) class are delivered in send order despite wire
+//     reordering;
+//   - liveness: the drain converges instead of stalling or spinning.
+//
+// Workloads are deterministic per (seed, index, level): a failure
+// replays exactly via the reported handle.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/fault"
+	"simtmp/internal/mpx"
+)
+
+// ChaosMix is the default fault brew: every fault class enabled at
+// rates high enough that a ~1000-workload run exercises each hundreds
+// of times, low enough that retry budgets are never honestly exhausted.
+func ChaosMix() fault.Config {
+	return fault.Config{
+		Drop: 0.05, Duplicate: 0.05, Corrupt: 0.05, Delay: 0.05,
+		AckDrop: 0.10, Stall: 0.04, Pause: 0.01, CreditStarve: 0.03,
+	}
+}
+
+// ChaosLevels returns the semantic levels a chaos run covers — all
+// four, so the matrix, partitioned and hash engines all sit under the
+// faulty wire.
+func ChaosLevels() []mpx.Level {
+	return []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered}
+}
+
+// ChaosFailure records one violated workload with its replay handle.
+type ChaosFailure struct {
+	Level mpx.Level
+	Index int
+	Seed  int64
+	Err   error
+}
+
+// String formats the failure with the replay recipe.
+func (f ChaosFailure) String() string {
+	return fmt.Sprintf("%v: workload %d (replay: conformance.ChaosWorkload(%v, %d, %d, conformance.ChaosMix())): %v",
+		f.Level, f.Index, f.Level, f.Seed, f.Index, f.Err)
+}
+
+// ChaosReport summarizes one level's chaos run. Stats aggregates the
+// runtimes' merged statistics across all workloads, so a clean run can
+// additionally be checked for nonzero injection/recovery counters per
+// enabled fault class.
+type ChaosReport struct {
+	Level     mpx.Level
+	Engine    string // matching engine backing the level
+	Workloads int
+	Messages  int // total messages sent across workloads
+	Stats     mpx.Stats
+	Failures  []ChaosFailure
+}
+
+// recv pairs a posted handle with its request for post-hoc checks.
+type chaosRecv struct {
+	handle *mpx.Recv
+	req    envelope.Request
+	dst    int
+}
+
+// ChaosWorkload runs workload i of a seeded chaos run at one level and
+// returns the runtime's merged stats plus the number of messages sent;
+// a non-nil error is a conformance violation. It is the replay handle
+// reported by failures.
+func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.Stats, int, error) {
+	const mixMul = int64(-0x61C8864680B583EB) // golden-ratio multiplier (2^64/φ)
+	sub := seed ^ int64(i)*mixMul ^ int64(level)
+	rng := rand.New(rand.NewSource(sub))
+	mix.Seed = sub + 1
+
+	gpus := 2 + rng.Intn(3)
+	n := 4 + rng.Intn(29)
+	rt := mpx.New(mpx.Config{
+		Level: level, GPUs: gpus, QueueCap: 8 + rng.Intn(24),
+		Fault: &mix,
+	})
+
+	// Receive shape per destination, uniform so that class counts stay
+	// balanced and any arrival interleaving admits a perfect matching:
+	// 0 = concrete (src,tag), 1 = anyTag (src,ANY), 2 = anySrc (ANY,tag).
+	modes := make([]int, gpus)
+	for g := range modes {
+		switch level {
+		case mpx.FullMPI:
+			modes[g] = rng.Intn(3)
+		case mpx.NoSourceWildcard, mpx.NoUnexpected:
+			modes[g] = rng.Intn(2)
+		default: // Unordered: concrete only, tags unique per flow
+			modes[g] = 0
+		}
+	}
+
+	type send struct {
+		src, dst int
+		tag      envelope.Tag
+	}
+	sends := make([]send, n)
+	for k := range sends {
+		s := send{src: rng.Intn(gpus), dst: rng.Intn(gpus)}
+		if level == mpx.Unordered {
+			s.tag = envelope.Tag(k) // unique within every flow
+		} else {
+			s.tag = envelope.Tag(rng.Intn(3))
+		}
+		sends[k] = s
+	}
+	reqFor := func(s send) envelope.Request {
+		switch modes[s.dst] {
+		case 1:
+			return envelope.Request{Src: envelope.Rank(s.src), Tag: envelope.AnyTag}
+		case 2:
+			return envelope.Request{Src: envelope.AnySource, Tag: s.tag}
+		default:
+			return envelope.Request{Src: envelope.Rank(s.src), Tag: s.tag}
+		}
+	}
+	post := func(k int) (chaosRecv, error) {
+		req := reqFor(sends[k])
+		h, err := rt.PostRecv(sends[k].dst, req.Src, req.Tag, req.Comm)
+		if err != nil {
+			return chaosRecv{}, fmt.Errorf("post recv %d: %w", k, err)
+		}
+		return chaosRecv{handle: h, req: req, dst: sends[k].dst}, nil
+	}
+
+	// NoUnexpected requires every receive on the wall before the first
+	// message can arrive; the other levels interleave posting with
+	// sending (and sprinkle Progress calls) to also exercise the
+	// unexpected-message path under faults.
+	recvs := make([]chaosRecv, 0, n) // in posted order
+	var deferred []int
+	if level == mpx.NoUnexpected {
+		for k := range sends {
+			r, err := post(k)
+			if err != nil {
+				return mpx.Stats{}, n, err
+			}
+			recvs = append(recvs, r)
+		}
+	}
+	for k, s := range sends {
+		payload := []byte{byte(k)}
+		if err := rt.Send(s.src, s.dst, s.tag, 0, payload); err != nil {
+			return rt.Stats(), n, fmt.Errorf("send %d: %w", k, err)
+		}
+		if level != mpx.NoUnexpected {
+			if rng.Float64() < 0.5 {
+				r, err := post(k)
+				if err != nil {
+					return rt.Stats(), n, err
+				}
+				recvs = append(recvs, r)
+			} else {
+				deferred = append(deferred, k)
+			}
+			if rng.Float64() < 0.3 {
+				if err := rt.Progress(); err != nil {
+					return rt.Stats(), n, fmt.Errorf("mid-workload progress: %w", err)
+				}
+			}
+		}
+	}
+	for _, k := range deferred {
+		r, err := post(k)
+		if err != nil {
+			return rt.Stats(), n, err
+		}
+		recvs = append(recvs, r)
+	}
+
+	ok, err := rt.Drain(600)
+	if err != nil {
+		return rt.Stats(), n, fmt.Errorf("drain: %w", err)
+	}
+	if !ok {
+		return rt.Stats(), n, fmt.Errorf("drain left receives open (stats %+v)", rt.Stats())
+	}
+
+	// Exactly-once: the delivered payload indices must be precisely
+	// {0..n-1}, each message satisfying the receive it landed on.
+	seen := make([]int, n)
+	perFlow := make(map[[3]int][]int) // (dst, src, tag) -> send indices in recv-posted order
+	for ri, r := range recvs {
+		m, err := r.handle.Message()
+		if err != nil {
+			return rt.Stats(), n, fmt.Errorf("recv %d unread after clean drain: %w", ri, err)
+		}
+		if len(m.Payload) != 1 {
+			return rt.Stats(), n, fmt.Errorf("recv %d: payload %v mangled", ri, m.Payload)
+		}
+		k := int(m.Payload[0])
+		if k >= n {
+			return rt.Stats(), n, fmt.Errorf("recv %d: payload index %d out of range", ri, k)
+		}
+		seen[k]++
+		if !r.req.Matches(m.Env) {
+			return rt.Stats(), n, fmt.Errorf("recv %d: delivered %v does not satisfy %v", ri, m.Env, r.req)
+		}
+		if sends[k].src != int(m.Env.Src) || sends[k].tag != m.Env.Tag {
+			return rt.Stats(), n, fmt.Errorf("recv %d: envelope %v does not match send %d", ri, m.Env, k)
+		}
+		fk := [3]int{r.dst, int(m.Env.Src), int(m.Env.Tag)}
+		perFlow[fk] = append(perFlow[fk], k)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			return rt.Stats(), n, fmt.Errorf("send %d delivered %d times, want exactly once", k, c)
+		}
+	}
+	// Per-flow ordering: under the ordered levels, same-class messages
+	// must reach their receives in send order despite wire reordering.
+	if level != mpx.Unordered {
+		for fk, ks := range perFlow {
+			for j := 1; j < len(ks); j++ {
+				if ks[j] < ks[j-1] {
+					return rt.Stats(), n, fmt.Errorf("flow %v delivered send %d before %d: ordering violated",
+						fk, ks[j], ks[j-1])
+				}
+			}
+		}
+	}
+	return rt.Stats(), n, nil
+}
+
+// addStats accumulates the counters of b into a.
+func addStats(a *mpx.Stats, b mpx.Stats) {
+	a.Matches += b.Matches
+	a.SimSeconds += b.SimSeconds
+	a.Iterations += b.Iterations
+	a.PostedRecvs += b.PostedRecvs
+	a.Sends += b.Sends
+	a.Retries += b.Retries
+	a.Acks += b.Acks
+	a.Duplicates += b.Duplicates
+	a.Drops += b.Drops
+	a.Corrupt += b.Corrupt
+	a.Invalid += b.Invalid
+	a.StallSteps += b.StallSteps
+	a.ProgressSteps += b.ProgressSteps
+}
+
+// RunChaos runs n seeded chaos workloads per semantic level with the
+// given fault mix and returns one report per level. A clean run has
+// empty Failures everywhere; callers asserting full fault coverage
+// additionally check the aggregated Stats counters (see
+// CheckChaosCoverage).
+func RunChaos(seed int64, n int, mix fault.Config) []ChaosReport {
+	levels := ChaosLevels()
+	reports := make([]ChaosReport, len(levels))
+	for li, level := range levels {
+		rep := ChaosReport{
+			Level:     level,
+			Engine:    mpx.New(mpx.Config{Level: level, GPUs: 2}).EngineName(),
+			Workloads: n,
+		}
+		for i := 0; i < n; i++ {
+			st, msgs, err := ChaosWorkload(level, seed, i, mix)
+			rep.Messages += msgs
+			addStats(&rep.Stats, st)
+			if err != nil {
+				rep.Failures = append(rep.Failures, ChaosFailure{Level: level, Index: i, Seed: seed, Err: err})
+			}
+		}
+		reports[li] = rep
+	}
+	return reports
+}
+
+// CheckChaosCoverage verifies that a report's aggregated stats show a
+// nonzero counter for every fault class the mix enables — i.e. the run
+// actually injected and survived each class, rather than passing
+// vacuously.
+func CheckChaosCoverage(rep ChaosReport, mix fault.Config) error {
+	checks := []struct {
+		name    string
+		enabled bool
+		count   int
+	}{
+		{"Drops", mix.Drop > 0, rep.Stats.Drops},
+		{"Retries", mix.Drop > 0 || mix.AckDrop > 0, rep.Stats.Retries},
+		{"Duplicates", mix.Duplicate > 0 || mix.AckDrop > 0, rep.Stats.Duplicates},
+		{"Corrupt", mix.Corrupt > 0, rep.Stats.Corrupt},
+		{"StallSteps", mix.Stall > 0, rep.Stats.StallSteps},
+		{"Acks", true, rep.Stats.Acks},
+	}
+	for _, c := range checks {
+		if c.enabled && c.count == 0 {
+			return fmt.Errorf("%v: fault class left no trace: %s = 0 after %d workloads (stats %+v)",
+				rep.Level, c.name, rep.Workloads, rep.Stats)
+		}
+	}
+	return nil
+}

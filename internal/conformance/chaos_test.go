@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"flag"
+	"testing"
+
+	"simtmp/internal/fault"
+	"simtmp/internal/mpx"
+)
+
+var chaosSeed = flag.Int64("chaos.seed", 1, "seed for the chaos conformance run")
+
+// TestChaosConformance is the acceptance gate: ≥1000 seeded workloads
+// per semantic level (hence per matching engine) under the full fault
+// mix, every one delivering exactly once, and every enabled fault
+// class leaving a nonzero trace in the aggregated stats.
+func TestChaosConformance(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 120
+	}
+	mix := ChaosMix()
+	for _, rep := range RunChaos(*chaosSeed, n, mix) {
+		rep := rep
+		t.Run(rep.Level.String(), func(t *testing.T) {
+			for i, f := range rep.Failures {
+				if i >= 5 {
+					t.Errorf("... and %d more failures", len(rep.Failures)-i)
+					break
+				}
+				t.Error(f.String())
+			}
+			if len(rep.Failures) > 0 {
+				return
+			}
+			if err := CheckChaosCoverage(rep, mix); err != nil {
+				t.Error(err)
+			}
+			if rep.Stats.Matches != rep.Messages {
+				t.Errorf("matches %d != messages sent %d", rep.Stats.Matches, rep.Messages)
+			}
+			t.Logf("%s engine: %d workloads, %d msgs, retries %d drops %d corrupt %d dups %d stallsteps %d",
+				rep.Engine, rep.Workloads, rep.Messages, rep.Stats.Retries,
+				rep.Stats.Drops, rep.Stats.Corrupt, rep.Stats.Duplicates, rep.Stats.StallSteps)
+		})
+	}
+}
+
+// TestChaosWorkloadReplayDeterminism: the replay handle reproduces a
+// workload bit-for-bit — same stats, same verdict.
+func TestChaosWorkloadReplayDeterminism(t *testing.T) {
+	mix := ChaosMix()
+	for _, level := range ChaosLevels() {
+		for i := 0; i < 5; i++ {
+			s1, n1, e1 := ChaosWorkload(level, 77, i, mix)
+			s2, n2, e2 := ChaosWorkload(level, 77, i, mix)
+			if s1 != s2 || n1 != n2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("%v workload %d replay diverged:\n%+v %d %v\n%+v %d %v",
+					level, i, s1, n1, e1, s2, n2, e2)
+			}
+		}
+	}
+}
+
+// TestChaosSingleFaultClasses isolates each fault class: the reliable
+// layer must deliver exactly-once under each one alone, not only under
+// the blended mix (which can mask a class-specific bug).
+func TestChaosSingleFaultClasses(t *testing.T) {
+	classes := map[string]fault.Config{
+		"drop":      {Drop: 0.15},
+		"duplicate": {Duplicate: 0.15},
+		"corrupt":   {Corrupt: 0.15},
+		"delay":     {Delay: 0.2, MaxDelaySteps: 6},
+		"ackdrop":   {AckDrop: 0.3},
+		"stall":     {Stall: 0.08},
+		"starve":    {CreditStarve: 0.1},
+	}
+	for name, mix := range classes {
+		mix := mix
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				if _, _, err := ChaosWorkload(mpx.FullMPI, 9, i, mix); err != nil {
+					t.Fatalf("workload %d under %s-only faults: %v", i, name, err)
+				}
+			}
+		})
+	}
+}

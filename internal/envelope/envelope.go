@@ -2,9 +2,15 @@
 // works with: the {source, tag, communicator} tuple, the two MPI
 // wildcards, and the packed 64-bit header encoding. The paper observes
 // (§IV) that no analyzed application needs tags longer than 16 bits, so
-// the entire header — 32-bit source, 16-bit tag, communicator and
-// flags — fits into a single 64-bit word, which is what the GPU
-// matchers load.
+// the entire header — source, 16-bit tag, communicator and flags —
+// fits into a single 64-bit word, which is what the GPU matchers load.
+//
+// The source field is 24 bits (16M ranks; the traced applications use
+// at most a few thousand), which leaves room for an 8-bit checksum
+// sealed into every packed word. The checksum makes each wire word
+// self-checking: the GAS transport verifies it on receive, so a
+// bit-flipped header is detected and counted instead of silently
+// matching the wrong receive.
 package envelope
 
 import "fmt"
@@ -31,6 +37,7 @@ const (
 
 // Limits of the packed representation.
 const (
+	MaxRank Rank = 1<<24 - 1
 	MaxTag  Tag  = 1<<16 - 1
 	MaxComm Comm = 1<<12 - 1
 )
@@ -49,10 +56,14 @@ func (e Envelope) String() string {
 }
 
 // Validate reports whether the envelope is legal to send: concrete
-// non-negative source, tag within 16 bits, communicator within 12 bits.
+// non-negative source within 24 bits, tag within 16 bits, communicator
+// within 12 bits.
 func (e Envelope) Validate() error {
 	if e.Src < 0 {
 		return fmt.Errorf("envelope: source %d is negative (wildcards are receive-only)", e.Src)
+	}
+	if e.Src > MaxRank {
+		return fmt.Errorf("envelope: source %d outside [0,%d]", e.Src, MaxRank)
 	}
 	if e.Tag < 0 || e.Tag > MaxTag {
 		return fmt.Errorf("envelope: tag %d outside [0,%d]", e.Tag, MaxTag)
@@ -88,6 +99,9 @@ func (r Request) Validate() error {
 	if r.Src < 0 && r.Src != AnySource {
 		return fmt.Errorf("request: source %d is neither a rank nor AnySource", r.Src)
 	}
+	if r.Src > MaxRank {
+		return fmt.Errorf("request: source %d outside [0,%d]", r.Src, MaxRank)
+	}
 	if (r.Tag < 0 && r.Tag != AnyTag) || r.Tag > MaxTag {
 		return fmt.Errorf("request: tag %d is neither in [0,%d] nor AnyTag", r.Tag, MaxTag)
 	}
@@ -118,7 +132,8 @@ func (r Request) Matches(e Envelope) bool {
 
 // Packed header layout (64 bits):
 //
-//	bits  0..31  source rank
+//	bits  0..23  source rank (24 bits)
+//	bits 24..31  checksum (8-bit XOR fold of the other 7 bytes)
 //	bits 32..47  tag (16 bits)
 //	bits 48..59  communicator (12 bits)
 //	bit  60      any-source wildcard
@@ -127,37 +142,66 @@ func (r Request) Matches(e Envelope) bool {
 //	bit  63      reserved
 const (
 	srcShift   = 0
+	cksShift   = 24
 	tagShift   = 32
 	commShift  = 48
 	anySrcBit  = 1 << 60
 	anyTagBit  = 1 << 61
 	validBit   = 1 << 62
-	srcMask64  = 0xFFFFFFFF
+	srcMask64  = 0xFFFFFF
+	cksMask64  = 0xFF
 	tagMask64  = 0xFFFF
 	commMask64 = 0xFFF
 )
 
+// Checksum returns the 8-bit XOR fold of w's seven non-checksum bytes.
+// It ignores the checksum field itself, so Checksum(Seal(w)) ==
+// Checksum(w).
+func Checksum(w uint64) uint8 {
+	w &^= uint64(cksMask64) << cksShift
+	w ^= w >> 32
+	w ^= w >> 16
+	w ^= w >> 8
+	return uint8(w)
+}
+
+// Seal stamps w's checksum field with the checksum of its contents,
+// making the word self-checking on the wire.
+func Seal(w uint64) uint64 {
+	w &^= uint64(cksMask64) << cksShift
+	return w | uint64(Checksum(w))<<cksShift
+}
+
+// ChecksumOK reports whether w's embedded checksum matches its
+// contents. The XOR fold detects every single-bit corruption: a flip
+// in any non-checksum byte changes the fold, and a flip in the
+// checksum field changes the stored value.
+func ChecksumOK(w uint64) bool {
+	return uint8(w>>cksShift)&cksMask64 == Checksum(w)
+}
+
 // Pack encodes the envelope into the 64-bit header the GPU matchers
-// load. Pack panics if the envelope is invalid; callers are expected to
-// Validate at the API boundary.
+// load, with the checksum field sealed. Pack panics if the envelope is
+// invalid; callers are expected to Validate at the API boundary.
 func (e Envelope) Pack() uint64 {
 	if err := e.Validate(); err != nil {
 		panic("envelope: Pack on invalid envelope: " + err.Error())
 	}
-	return validBit |
-		uint64(uint32(e.Src))<<srcShift |
+	return Seal(validBit |
+		(uint64(e.Src)&srcMask64)<<srcShift |
 		(uint64(e.Tag)&tagMask64)<<tagShift |
-		(uint64(e.Comm)&commMask64)<<commShift
+		(uint64(e.Comm)&commMask64)<<commShift)
 }
 
 // UnpackEnvelope decodes a packed header into an Envelope. The second
 // return value is false if the word does not carry a valid header.
+// It does not verify the checksum; transports use ChecksumOK for that.
 func UnpackEnvelope(w uint64) (Envelope, bool) {
 	if w&validBit == 0 {
 		return Envelope{}, false
 	}
 	return Envelope{
-		Src:  Rank(uint32(w >> srcShift)),
+		Src:  Rank((w >> srcShift) & srcMask64),
 		Tag:  Tag((w >> tagShift) & tagMask64),
 		Comm: Comm((w >> commShift) & commMask64),
 	}, true
@@ -173,7 +217,7 @@ func (r Request) Pack() uint64 {
 	if r.Src == AnySource {
 		w |= anySrcBit
 	} else {
-		w |= uint64(uint32(r.Src)) << srcShift
+		w |= (uint64(r.Src) & srcMask64) << srcShift
 	}
 	if r.Tag == AnyTag {
 		w |= anyTagBit
@@ -181,7 +225,7 @@ func (r Request) Pack() uint64 {
 		w |= (uint64(r.Tag) & tagMask64) << tagShift
 	}
 	w |= (uint64(r.Comm) & commMask64) << commShift
-	return w
+	return Seal(w)
 }
 
 // UnpackRequest decodes a packed header into a Request. The second
@@ -191,7 +235,7 @@ func UnpackRequest(w uint64) (Request, bool) {
 		return Request{}, false
 	}
 	r := Request{
-		Src:  Rank(uint32(w >> srcShift)),
+		Src:  Rank((w >> srcShift) & srcMask64),
 		Tag:  Tag((w >> tagShift) & tagMask64),
 		Comm: Comm((w >> commShift) & commMask64),
 	}
@@ -230,7 +274,7 @@ func MatchesPacked(req, env uint64) bool {
 // envelopes without rejection sampling.
 func SanitizeEnvelope(src, tag, comm int32) Envelope {
 	return Envelope{
-		Src:  Rank(src) & (1<<31 - 1),
+		Src:  Rank(src) & MaxRank,
 		Tag:  Tag(tag) & MaxTag,
 		Comm: Comm(comm) & MaxComm,
 	}

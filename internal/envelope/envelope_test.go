@@ -18,6 +18,8 @@ func TestEnvelopeValidate(t *testing.T) {
 		{Envelope{0, MaxTag + 1, 0}, false},
 		{Envelope{0, 0, -1}, false},
 		{Envelope{0, 0, MaxComm + 1}, false},
+		{Envelope{MaxRank, 0, 0}, true},
+		{Envelope{MaxRank + 1, 0, 0}, false},
 	}
 	for _, c := range cases {
 		err := c.e.Validate()
@@ -38,6 +40,8 @@ func TestRequestValidate(t *testing.T) {
 		{Request{0, -2, 0}, false},
 		{Request{0, MaxTag + 1, 0}, false},
 		{Request{0, 0, MaxComm + 1}, false},
+		{Request{MaxRank, 0, 0}, true},
+		{Request{MaxRank + 1, 0, 0}, false},
 	}
 	for _, c := range cases {
 		err := c.r.Validate()
@@ -80,7 +84,7 @@ func TestHasWildcard(t *testing.T) {
 
 func TestPackUnpackEnvelopeRoundTrip(t *testing.T) {
 	f := func(src uint32, tag uint16, comm uint16) bool {
-		e := Envelope{Src: Rank(src % (1 << 30)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
+		e := Envelope{Src: Rank(src % (1 << 24)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
 		got, ok := UnpackEnvelope(e.Pack())
 		return ok && got == e
 	}
@@ -91,7 +95,7 @@ func TestPackUnpackEnvelopeRoundTrip(t *testing.T) {
 
 func TestPackUnpackRequestRoundTrip(t *testing.T) {
 	f := func(src uint32, tag uint16, comm uint16, anySrc, anyTag bool) bool {
-		r := Request{Src: Rank(src % (1 << 30)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
+		r := Request{Src: Rank(src % (1 << 24)), Tag: Tag(tag), Comm: Comm(comm % (1 << 12))}
 		if anySrc {
 			r.Src = AnySource
 		}
@@ -278,6 +282,43 @@ func TestCombinedWildcardPackRoundTrip(t *testing.T) {
 	}
 	if !r.HasWildcard() {
 		t.Error("combined wildcard request reports no wildcard")
+	}
+}
+
+// TestChecksumSealedOnPack: every packed word carries a matching
+// checksum, and flipping any single bit breaks it — the property the
+// GAS transport's corruption detection rests on.
+func TestChecksumSealedOnPack(t *testing.T) {
+	words := []uint64{
+		Envelope{0, 0, 0}.Pack(),
+		Envelope{MaxRank, MaxTag, MaxComm}.Pack(),
+		Envelope{12345, 77, 3}.Pack(),
+		Request{AnySource, AnyTag, MaxComm}.Pack(),
+		Request{9, 5, 0}.Pack(),
+	}
+	for _, w := range words {
+		if !ChecksumOK(w) {
+			t.Fatalf("freshly packed word %#x fails its own checksum", w)
+		}
+		for bit := 0; bit < 64; bit++ {
+			if flipped := w ^ 1<<bit; ChecksumOK(flipped) {
+				t.Errorf("word %#x with bit %d flipped passes the checksum", w, bit)
+			}
+		}
+	}
+}
+
+// TestSealIdempotent: sealing a sealed word is a no-op, and sealing
+// commutes with the fields the matchers read.
+func TestSealIdempotent(t *testing.T) {
+	e := Envelope{Src: 42, Tag: 17, Comm: 5}
+	w := e.Pack()
+	if Seal(w) != w {
+		t.Error("Seal not idempotent")
+	}
+	got, ok := UnpackEnvelope(w)
+	if !ok || got != e {
+		t.Errorf("checksum bits leaked into unpacked fields: %v", got)
 	}
 }
 

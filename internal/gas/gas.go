@@ -5,6 +5,11 @@
 // communication kernel per GPU performs matching in the background.
 // The ring is credit-flow-controlled: a sender that outruns the
 // receiver sees back-pressure, never data loss.
+//
+// The transport verifies the 8-bit checksum sealed into every packed
+// header (see internal/envelope): a corrupted or invalid wire word is
+// consumed, counted and discarded instead of delivered, so a faulty
+// interconnect surfaces as retransmissions rather than wrong matches.
 package gas
 
 import (
@@ -18,11 +23,25 @@ import (
 
 // Message is a delivered or in-flight message: the matching header
 // plus an opaque payload. Seq is the sender-side logical timestamp the
-// runtime uses to decide whether the matching receive was pre-posted.
+// runtime uses to decide whether the matching receive was pre-posted;
+// Flow is the per-(src,dst) wire sequence number the reliable layer
+// uses for deduplication and reordering.
 type Message struct {
 	Env     envelope.Envelope
 	Payload []byte
 	Seq     uint64
+	Flow    uint64
+}
+
+// LinkStats counts the transport-level anomalies one GPU's receive
+// path observed and discarded.
+type LinkStats struct {
+	// Invalid counts popped words without the valid header bit (a
+	// zeroed or clobbered slot).
+	Invalid int
+	// Corrupt counts words whose valid bit survived but whose embedded
+	// checksum failed — a detected bit flip.
+	Corrupt int
 }
 
 // GPU is one simulated device in the cluster: its SIMT device, its
@@ -35,11 +54,13 @@ type GPU struct {
 
 	incoming *ring.Ring
 	side     []sideEntry // payload+seq FIFO, parallel to the ring
+	stats    LinkStats
 }
 
 type sideEntry struct {
 	payload []byte
 	seq     uint64
+	flow    uint64
 }
 
 // Pending returns the number of undelivered messages in the GPU's
@@ -49,24 +70,48 @@ func (g *GPU) Pending() int { return g.incoming.Len() }
 // Ring exposes the transport ring (e.g. to inspect credits).
 func (g *GPU) Ring() *ring.Ring { return g.incoming }
 
-// Drain removes and returns all pending messages in arrival order and
-// returns the freed slots to the sender as credits.
+// LinkStats returns the receive-path anomaly counters.
+func (g *GPU) LinkStats() LinkStats { return g.stats }
+
+// Drain removes and returns all pending valid messages in arrival
+// order and returns the freed slots to the sender as credits. Words
+// failing validation or the checksum are consumed and counted, never
+// delivered.
 func (g *GPU) Drain() []Message {
+	out := g.DrainKeepingCredits()
+	g.incoming.ReturnCredits()
+	return out
+}
+
+// DrainKeepingCredits is Drain without the credit return: freed slots
+// stay pending until the caller flushes them via Ring().ReturnCredits.
+// The fault plane uses it to model a receiver starving its sender of
+// credits.
+func (g *GPU) DrainKeepingCredits() []Message {
 	out := make([]Message, 0, g.incoming.Len())
 	for {
 		w, ok := g.incoming.Pop()
 		if !ok {
 			break
 		}
-		env, valid := envelope.UnpackEnvelope(w)
-		side := g.side[0]
-		g.side = g.side[1:]
-		if !valid {
-			continue
+		// The side entry is consumed atomically with its header word:
+		// whatever the word's fate, header and payload stay in lockstep
+		// so one bad word cannot desynchronize the two queues.
+		var side sideEntry
+		if len(g.side) > 0 {
+			side = g.side[0]
+			g.side = g.side[1:]
 		}
-		out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq})
+		env, valid := envelope.UnpackEnvelope(w)
+		switch {
+		case !valid:
+			g.stats.Invalid++
+		case !envelope.ChecksumOK(w):
+			g.stats.Corrupt++
+		default:
+			out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq, Flow: side.flow})
+		}
 	}
-	g.incoming.ReturnCredits()
 	return out
 }
 
@@ -102,27 +147,53 @@ func (c *Cluster) Size() int { return len(c.gpus) }
 // GPU returns device i.
 func (c *Cluster) GPU(i int) *GPU { return c.gpus[i] }
 
-// Put performs the GAS send with a zero timestamp; see PutSeq.
+// Drain drains GPU i's ring (see GPU.Drain).
+func (c *Cluster) Drain(i int) []Message { return c.gpus[i].Drain() }
+
+// Pending returns GPU i's undelivered message count.
+func (c *Cluster) Pending(i int) int { return c.gpus[i].Pending() }
+
+// Idle reports whether every ring in the cluster is empty — no
+// undelivered transport state anywhere.
+func (c *Cluster) Idle() bool {
+	for _, g := range c.gpus {
+		if g.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Put performs the GAS send with zero timestamps; see PutSeq.
 func (c *Cluster) Put(dst int, env envelope.Envelope, payload []byte) error {
-	return c.PutSeq(dst, env, payload, 0)
+	return c.PutSeq(dst, env, payload, 0, 0)
 }
 
 // PutSeq performs the GAS send: a direct remote enqueue of the packed
 // header (and payload) into dst's message ring, no CPU involved. It
-// returns an error when the sender is out of credits — the
-// back-pressure a real flow-control protocol surfaces. seq is the
-// sender's logical timestamp, delivered with the message.
-func (c *Cluster) PutSeq(dst int, env envelope.Envelope, payload []byte, seq uint64) error {
-	if dst < 0 || dst >= len(c.gpus) {
-		return fmt.Errorf("gas: destination GPU %d outside [0,%d)", dst, len(c.gpus))
-	}
+// returns an error wrapping ring.ErrNoCredits when the sender is out
+// of credits — the back-pressure a real flow-control protocol
+// surfaces. seq is the sender's logical timestamp and flow the
+// per-peer wire sequence number, both delivered with the message.
+func (c *Cluster) PutSeq(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error {
 	if err := env.Validate(); err != nil {
 		return fmt.Errorf("gas: %w", err)
 	}
+	return c.PutWord(dst, env.Pack(), payload, seq, flow)
+}
+
+// PutWord is the raw wire path under PutSeq: it enqueues an arbitrary
+// 64-bit word with its side entry, without validation. The fault plane
+// uses it to inject corrupted headers; tests use it for malformed
+// words. Every word still consumes a ring slot and credit.
+func (c *Cluster) PutWord(dst int, w uint64, payload []byte, seq, flow uint64) error {
+	if dst < 0 || dst >= len(c.gpus) {
+		return fmt.Errorf("gas: destination GPU %d outside [0,%d)", dst, len(c.gpus))
+	}
 	g := c.gpus[dst]
-	if err := g.incoming.Push(env.Pack()); err != nil {
+	if err := g.incoming.Push(w); err != nil {
 		return fmt.Errorf("gas: GPU %d: %w", dst, err)
 	}
-	g.side = append(g.side, sideEntry{payload: payload, seq: seq})
+	g.side = append(g.side, sideEntry{payload: payload, seq: seq, flow: flow})
 	return nil
 }

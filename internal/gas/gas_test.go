@@ -91,3 +91,87 @@ func TestCreditsReturnedOnDrain(t *testing.T) {
 		t.Fatalf("post-drain put: %v", err)
 	}
 }
+
+// TestDrainDiscardsInvalidWordAtomically: an invalid word consumes its
+// side entry with it — the following valid message still pairs with
+// its own payload — and the anomaly is counted.
+func TestDrainDiscardsInvalidWordAtomically(t *testing.T) {
+	c := NewCluster(1, arch.PascalGTX1080(), 8)
+	if err := c.Put(0, envelope.Envelope{Src: 1, Tag: 1}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// A word without the valid bit, carrying its own side entry.
+	if err := c.PutWord(0, 0, []byte("junk"), 7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(0, envelope.Envelope{Src: 2, Tag: 2}, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.Drain(0)
+	if len(msgs) != 2 {
+		t.Fatalf("Drain delivered %d messages, want 2", len(msgs))
+	}
+	if string(msgs[0].Payload) != "a" || string(msgs[1].Payload) != "b" {
+		t.Fatalf("payloads desynchronized: %q, %q", msgs[0].Payload, msgs[1].Payload)
+	}
+	if msgs[1].Env.Src != 2 {
+		t.Errorf("second message header = %v", msgs[1].Env)
+	}
+	st := c.GPU(0).LinkStats()
+	if st.Invalid != 1 || st.Corrupt != 0 {
+		t.Errorf("LinkStats = %+v, want Invalid=1 Corrupt=0", st)
+	}
+}
+
+// TestDrainDetectsCorruptHeader: a single flipped bit in a sealed
+// header is caught by the checksum, counted, and the message dropped
+// rather than delivered with a wrong envelope.
+func TestDrainDetectsCorruptHeader(t *testing.T) {
+	for bit := 0; bit < 62; bit++ { // bit 62 clears the valid flag → Invalid path
+		c := NewCluster(1, arch.PascalGTX1080(), 4)
+		w := envelope.Envelope{Src: 3, Tag: 9, Comm: 1}.Pack() ^ 1<<bit
+		if err := c.PutWord(0, w, []byte("x"), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		msgs := c.Drain(0)
+		if len(msgs) != 0 {
+			t.Fatalf("bit %d: corrupted header delivered as %v", bit, msgs[0].Env)
+		}
+		if st := c.GPU(0).LinkStats(); st.Corrupt != 1 {
+			t.Fatalf("bit %d: LinkStats = %+v, want Corrupt=1", bit, st)
+		}
+	}
+}
+
+// TestDrainKeepingCredits: the receiver can withhold credits; the
+// sender stays back-pressured until ReturnCredits flushes them.
+func TestDrainKeepingCredits(t *testing.T) {
+	c := NewCluster(1, arch.PascalGTX1080(), 2)
+	for i := 0; i < 2; i++ {
+		if err := c.Put(0, envelope.Envelope{Src: 0, Tag: envelope.Tag(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.GPU(0).DrainKeepingCredits()); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	if err := c.Put(0, envelope.Envelope{Src: 0, Tag: 5}, nil); err == nil {
+		t.Fatal("send succeeded while credits were withheld")
+	}
+	c.GPU(0).Ring().ReturnCredits()
+	if err := c.Put(0, envelope.Envelope{Src: 0, Tag: 5}, nil); err != nil {
+		t.Fatalf("send after credit flush: %v", err)
+	}
+}
+
+// TestFlowAndSeqDelivered: both sequence numbers ride with the message.
+func TestFlowAndSeqDelivered(t *testing.T) {
+	c := NewCluster(2, arch.PascalGTX1080(), 4)
+	if err := c.PutSeq(1, envelope.Envelope{Src: 0, Tag: 1}, nil, 42, 7); err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.Drain(1)
+	if len(msgs) != 1 || msgs[0].Seq != 42 || msgs[0].Flow != 7 {
+		t.Fatalf("msgs = %+v, want Seq=42 Flow=7", msgs)
+	}
+}

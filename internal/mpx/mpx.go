@@ -21,10 +21,12 @@ import (
 
 	"simtmp/internal/arch"
 	"simtmp/internal/envelope"
+	"simtmp/internal/fault"
 	"simtmp/internal/gas"
 	"simtmp/internal/match"
 	"simtmp/internal/proto"
 	"simtmp/internal/simt"
+	"simtmp/internal/timing"
 )
 
 // Level selects the semantic contract.
@@ -90,6 +92,21 @@ type Config struct {
 	// Protocol selects eager/rendezvous per payload size (zero value:
 	// 8 KiB eager threshold).
 	Protocol proto.Policy
+
+	// Fault, when non-nil, wraps the cluster in the fault-injection
+	// plane (internal/fault) with this configuration. Nil means a
+	// lossless wire.
+	Fault *fault.Config
+	// Window bounds transmitted-but-unacked frames per (src,dst) flow
+	// (default 64).
+	Window int
+	// RetryLimit is the transmission budget per frame before Drain and
+	// Progress surface a *DropError (default 16).
+	RetryLimit int
+	// StallPatience is the number of consecutive progress-free steps
+	// Drain tolerates with work still in flight before returning a
+	// *StallError (default 100).
+	StallPatience int
 }
 
 // Recv is a posted receive handle. Its accessors synchronize with the
@@ -147,6 +164,17 @@ type Stats struct {
 	EagerMsgs       int
 	RendezvousMsgs  int
 	PrePostedMsgs   int // matched messages whose receive was posted first
+
+	// Reliability (the reliable transport layer; all zero on a
+	// fault-free wire).
+	Retries       int // frames retransmitted after an RTO expiry
+	Acks          int // transport-level acknowledgments processed
+	Duplicates    int // duplicate frames suppressed by the receiver
+	Drops         int // frames the fault plane dropped on the wire
+	Corrupt       int // headers discarded for a failed checksum
+	Invalid       int // wire words discarded for a missing valid bit
+	StallSteps    int // drain rounds suppressed by injected stalls
+	ProgressSteps int // progress steps executed (Progress + Drain)
 }
 
 // Rate returns cumulative matches per simulated second.
@@ -168,13 +196,26 @@ type Runtime struct {
 
 	// mu guards every field below, the pending queues, the accumulated
 	// stats, and the delivery fields of issued Recv handles.
-	mu      sync.Mutex
-	cluster *gas.Cluster
-	engines []match.Matcher
+	mu        sync.Mutex
+	cluster   *gas.Cluster
+	transport Transport
+	injector  *fault.Injector // nil on a lossless wire
+	engines   []match.Matcher
 
 	// Per-GPU pending state between progress steps.
 	pendingMsgs  [][]gas.Message
 	pendingRecvs [][]*Recv
+
+	// Reliable-layer state: sender flows tx[src][dst], receiver
+	// reassembly rx[dst][src], and the simulated transport clock (a
+	// separate clock from Stats.SimSeconds, which meters only matching
+	// work so fault-free rates stay unchanged).
+	tx      [][]*txFlow
+	rx      [][]*rxFlow
+	now     float64
+	poll    float64 // simulated seconds per progress step
+	rtoBase float64 // first retransmission deadline delta
+	rtoMax  float64 // backoff cap
 
 	// seq is the logical clock ordering sends against receive posts,
 	// deciding pre-postedness per message.
@@ -197,18 +238,50 @@ func New(cfg Config) *Runtime {
 	if cfg.Link.BandwidthGBs <= 0 {
 		cfg.Link = proto.NVLink()
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 16
+	}
+	if cfg.StallPatience <= 0 {
+		cfg.StallPatience = 100
+	}
 	rt := &Runtime{
 		cfg:          cfg,
 		cluster:      gas.NewCluster(cfg.GPUs, cfg.Arch, cfg.QueueCap),
 		engines:      make([]match.Matcher, cfg.GPUs),
 		pendingMsgs:  make([][]gas.Message, cfg.GPUs),
 		pendingRecvs: make([][]*Recv, cfg.GPUs),
+		tx:           make([][]*txFlow, cfg.GPUs),
+		rx:           make([][]*rxFlow, cfg.GPUs),
 	}
+	for g := 0; g < cfg.GPUs; g++ {
+		rt.tx[g] = make([]*txFlow, cfg.GPUs)
+		rt.rx[g] = make([]*rxFlow, cfg.GPUs)
+	}
+	if cfg.Fault != nil {
+		rt.injector = fault.New(rt.cluster, *cfg.Fault)
+		rt.transport = rt.injector
+	} else {
+		rt.transport = lossless{c: rt.cluster}
+	}
+	// The transport clock ticks one kernel-launch overhead per progress
+	// step; retransmission timers start at four polls and back off to a
+	// 32-poll cap.
+	model := timing.NewModel(cfg.Arch)
+	rt.poll = model.Seconds(model.P.LaunchOverhead)
+	rt.rtoBase = 4 * rt.poll
+	rt.rtoMax = 32 * rt.poll
 	for i := range rt.engines {
 		rt.engines[i] = rt.newEngine()
 	}
 	return rt
 }
+
+// Injector returns the fault-injection plane wrapping the transport,
+// or nil when the runtime runs on a lossless wire.
+func (rt *Runtime) Injector() *fault.Injector { return rt.injector }
 
 // newEngine picks the matching engine the level calls for.
 func (rt *Runtime) newEngine() match.Matcher {
@@ -231,20 +304,33 @@ func (rt *Runtime) Level() Level { return rt.cfg.Level }
 func (rt *Runtime) GPUs() int { return rt.cluster.Size() }
 
 // Send transmits payload from GPU src to GPU dst with the given tag
-// and communicator — a direct GAS write into dst's message queue.
+// and communicator — a direct GAS write into dst's message queue via
+// the reliable layer. Validation happens before any state changes, so
+// a rejected send burns no sequence number; an accepted send never
+// fails on transient back-pressure (the frame queues in the flow's
+// outbox and Progress transmits it when the wire has room).
 func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payload []byte) error {
 	if src < 0 || src >= rt.cluster.Size() {
 		return fmt.Errorf("mpx: source GPU %d outside [0,%d)", src, rt.cluster.Size())
 	}
+	if dst < 0 || dst >= rt.cluster.Size() {
+		return fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
+	}
 	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm}
+	if err := env.Validate(); err != nil {
+		return fmt.Errorf("mpx: %w", err)
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.seq++
-	if err := rt.cluster.PutSeq(dst, env, payload, rt.seq); err != nil {
-		return err
-	}
+	fl := rt.txFlowFor(src, dst)
+	fl.nextFlow++
+	fl.outbox = append(fl.outbox, &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
 	rt.stats.Sends++
-	return nil
+	// Eagerly push what the window and wire allow, so a send is on the
+	// wire before the next progress step on an uncongested cluster.
+	_, err := rt.flushOutbox(fl)
+	return err
 }
 
 // PostRecv posts a receive on GPU dst. The level's contract is
@@ -277,21 +363,33 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 	return r, nil
 }
 
-// Progress runs one communication-kernel step on every GPU: drains
-// arrived messages into the pending batch and matches the batch
-// against posted receives. Under NoUnexpected it fails if any message
-// stays unmatched (it arrived before its receive was posted and no
-// receive of this step claims it).
+// Progress runs one communication-kernel step on every GPU: ticks the
+// wire, retransmits and flushes sender flows, drains arrived frames
+// through duplicate suppression and reordering into the pending batch,
+// and matches the batch against posted receives. Under NoUnexpected it
+// fails if any message stays unmatched (it arrived before its receive
+// was posted and no receive of this step claims it).
 func (rt *Runtime) Progress() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.progressLocked()
+	_, err := rt.progressStepLocked()
+	return err
 }
 
-// progressLocked is Progress with rt.mu held.
-func (rt *Runtime) progressLocked() error {
+// progressStepLocked runs one progress step with rt.mu held and
+// returns how much observable progress it made: frames transmitted,
+// acks retired, messages released to matching, and matches delivered.
+// Drain keys its fixed-point and stall detection on this count.
+func (rt *Runtime) progressStepLocked() (int, error) {
+	rt.stats.ProgressSteps++
+	rt.now += rt.poll
+	rt.transport.Step()
+	progress, err := rt.pumpFlowsLocked()
+	if err != nil {
+		return progress, err
+	}
+	progress += rt.receiveLocked()
 	for g := 0; g < rt.cluster.Size(); g++ {
-		rt.pendingMsgs[g] = append(rt.pendingMsgs[g], rt.cluster.GPU(g).Drain()...)
 		msgs := rt.pendingMsgs[g]
 		recvs := rt.pendingRecvs[g]
 		if len(msgs) == 0 && len(recvs) == 0 {
@@ -309,7 +407,7 @@ func (rt *Runtime) progressLocked() error {
 
 		res, err := rt.engines[g].Match(envs, reqs)
 		if err != nil {
-			return fmt.Errorf("mpx: GPU %d: %w", g, err)
+			return progress, fmt.Errorf("mpx: GPU %d: %w", g, err)
 		}
 		rt.stats.SimSeconds += res.SimSeconds
 		rt.stats.Iterations += res.Iterations
@@ -326,6 +424,7 @@ func (rt *Runtime) progressLocked() error {
 			recvs[ri].msg = msgs[mi]
 			usedMsg[mi] = true
 			rt.stats.Matches++
+			progress++
 
 			// Data movement: protocol picked by size, pre-postedness
 			// by logical clock.
@@ -350,7 +449,7 @@ func (rt *Runtime) progressLocked() error {
 			}
 		}
 		if rt.cfg.Level == NoUnexpected && len(remainingMsgs) > 0 {
-			return fmt.Errorf("%w: %d message(s) pending on GPU %d (first: %v)",
+			return progress, fmt.Errorf("%w: %d message(s) pending on GPU %d (first: %v)",
 				ErrUnexpectedMessage, len(remainingMsgs), g, remainingMsgs[0].Env)
 		}
 		rt.pendingMsgs[g] = remainingMsgs
@@ -360,17 +459,28 @@ func (rt *Runtime) progressLocked() error {
 	for g := range rt.pendingMsgs {
 		rt.stats.Unmatched += len(rt.pendingMsgs[g])
 	}
-	return nil
+	return progress, nil
 }
 
-// Drain runs Progress until no pending receive can be satisfied
-// anymore or maxSteps is hit. It reports whether all posted receives
-// were delivered.
+// Drain runs Progress until every posted receive delivered, a fixed
+// point or stall was detected, or maxSteps is hit. It reports whether
+// all posted receives were delivered.
+//
+// A fixed point — two consecutive progress-free steps with every flow
+// drained and the wire idle — means no future step can change the
+// outcome (an unsatisfiable receive), and Drain returns (false, nil)
+// immediately instead of spinning to maxSteps. Progress-free steps
+// with frames still queued, in flight, or held back are tolerated for
+// Config.StallPatience steps, then surface as a *StallError; a frame
+// exhausting its retry budget surfaces as a *DropError naming the
+// flow.
 func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	idle := 0
 	for step := 0; step < maxSteps; step++ {
-		if err := rt.progressLocked(); err != nil {
+		progress, err := rt.progressStepLocked()
+		if err != nil {
 			return false, err
 		}
 		open := 0
@@ -380,15 +490,39 @@ func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 		if open == 0 {
 			return true, nil
 		}
+		if progress > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= 2 && rt.flowsIdleLocked() && rt.transport.Idle() {
+			return false, nil
+		}
+		if idle >= rt.cfg.StallPatience {
+			return false, rt.stallErrorLocked(idle, open)
+		}
 	}
 	return false, nil
 }
 
-// Stats returns the accumulated simulated-work statistics.
+// Stats returns the accumulated simulated-work statistics, merged with
+// the transport's detection counters (per-GPU link stats) and, when
+// the fault plane is active, its injection counters.
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.stats
+	st := rt.stats
+	for g := 0; g < rt.cluster.Size(); g++ {
+		ls := rt.cluster.GPU(g).LinkStats()
+		st.Corrupt += ls.Corrupt
+		st.Invalid += ls.Invalid
+	}
+	if rt.injector != nil {
+		c := rt.injector.Counters()
+		st.Drops = c.Drops
+		st.StallSteps = c.StallSteps
+	}
+	return st
 }
 
 // EngineName reports the matching engine backing this runtime.

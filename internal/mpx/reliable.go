@@ -1,0 +1,347 @@
+// Reliable transport layer of the runtime: sequence-numbered frames
+// per (src,dst) flow, sender-side ack/retransmit windows with capped
+// exponential backoff over simulated time, receiver-side reordering
+// and duplicate suppression. Over the lossless cluster the layer is a
+// straight pass-through (every frame is acked the step it arrives, so
+// no timer ever fires); under the fault plane (internal/fault) it is
+// what turns drops, duplicates, corruption and stalls back into
+// exactly-once, per-flow-ordered delivery.
+package mpx
+
+import (
+	"errors"
+	"fmt"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/fault"
+	"simtmp/internal/gas"
+	"simtmp/internal/ring"
+	"simtmp/internal/timing"
+)
+
+// Transport is the wire the runtime drives: the GAS cluster's remote
+// enqueue/drain API plus the hooks the fault plane needs (a per-step
+// tick and the ack-loss roll). The lossless cluster and the fault
+// injector both satisfy it.
+type Transport interface {
+	// Size returns the number of GPUs on the wire.
+	Size() int
+	// Put writes one frame into dst's ring; retryable back-pressure
+	// errors wrap ring.ErrNoCredits or fault.ErrPaused.
+	Put(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error
+	// Drain removes dst's arrived messages in wire order.
+	Drain(dst int) []gas.Message
+	// Pending returns dst's undrained depth.
+	Pending(dst int) int
+	// Idle reports whether the wire holds no undelivered frames.
+	Idle() bool
+	// Step advances wire-side time (delayed frames, pause rolls, …).
+	Step()
+	// DropAck reports whether the ack for (src→dst, flow) is lost.
+	DropAck(src, dst int, flow uint64) bool
+}
+
+// lossless adapts the bare cluster to Transport: a perfect wire.
+type lossless struct{ c *gas.Cluster }
+
+func (l lossless) Size() int { return l.c.Size() }
+func (l lossless) Put(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error {
+	return l.c.PutSeq(dst, env, payload, seq, flow)
+}
+func (l lossless) Drain(dst int) []gas.Message     { return l.c.Drain(dst) }
+func (l lossless) Pending(dst int) int             { return l.c.Pending(dst) }
+func (l lossless) Idle() bool                      { return l.c.Idle() }
+func (l lossless) Step()                           {}
+func (l lossless) DropAck(_, _ int, _ uint64) bool { return false }
+
+// retryable reports whether a transport error is transient
+// back-pressure (credit exhaustion, paused GPU) rather than a hard
+// failure: the frame stays queued and is retried on a later step.
+func retryable(err error) bool {
+	return errors.Is(err, ring.ErrNoCredits) || errors.Is(err, fault.ErrPaused)
+}
+
+// frame is one send in flight: the envelope and payload plus the
+// global logical timestamp (seq, pre-postedness) and the per-flow wire
+// sequence number (flow, dedup/ordering).
+type frame struct {
+	env      envelope.Envelope
+	payload  []byte
+	seq      uint64
+	flow     uint64
+	attempts int     // transmissions so far
+	deadline float64 // simulated time of the next retransmission
+}
+
+// txFlow is the sender half of one (src,dst) flow: unsent frames
+// (outbox) and transmitted-but-unacked frames (inflight, bounded by
+// Config.Window).
+type txFlow struct {
+	src, dst int
+	nextFlow uint64 // last wire sequence number assigned
+	outbox   []*frame
+	inflight []*frame
+}
+
+// idle reports whether the flow holds no undelivered frames.
+func (fl *txFlow) idle() bool { return len(fl.outbox) == 0 && len(fl.inflight) == 0 }
+
+// has reports whether wire sequence number flow is awaiting an ack.
+func (fl *txFlow) has(flow uint64) bool {
+	for _, fr := range fl.inflight {
+		if fr.flow == flow {
+			return true
+		}
+	}
+	return false
+}
+
+// ack retires wire sequence number flow from the inflight window.
+func (fl *txFlow) ack(flow uint64) bool {
+	for i, fr := range fl.inflight {
+		if fr.flow == flow {
+			fl.inflight = append(fl.inflight[:i], fl.inflight[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// rxFlow is the receiver half of one (dst,src) flow: the next expected
+// wire sequence number and the out-of-order frames held back until the
+// gap before them fills. Frames are released to the matching layer
+// only in contiguous flow order, which restores per-flow MPI ordering
+// under wire reordering; anything below next or already held is a
+// duplicate and is suppressed.
+type rxFlow struct {
+	next uint64
+	held map[uint64]gas.Message
+}
+
+// StallError reports a Drain that stopped making progress while
+// undelivered work remained: receives stayed open for StallPatience
+// consecutive progress-free steps. It distinguishes a wedged transport
+// (a receiver stalled forever, a peer paused and never resumed) from
+// the benign fixed point of an unsatisfiable receive, which Drain
+// reports as (false, nil).
+type StallError struct {
+	Steps    int   // consecutive progress-free steps observed
+	GPUs     []int // GPUs with open receives
+	Open     int   // receives still undelivered
+	InFlight int   // frames queued or awaiting ack across all flows
+}
+
+// Error describes the stall.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("mpx: stalled for %d steps: %d open receive(s) on GPUs %v, %d frame(s) in flight",
+		e.Steps, e.Open, e.GPUs, e.InFlight)
+}
+
+// DropError reports a frame abandoned after its retry budget: message
+// flow-sequence Flow from GPU Src to GPU Dst was transmitted Attempts
+// times without an acknowledgment and is presumed permanently lost.
+type DropError struct {
+	Src, Dst int
+	Flow     uint64
+	Attempts int
+}
+
+// Error names the lost frame.
+func (e *DropError) Error() string {
+	return fmt.Sprintf("mpx: message %d→%d flow-seq %d lost after %d attempts (retry budget exhausted)",
+		e.Src, e.Dst, e.Flow, e.Attempts)
+}
+
+// txFlowFor returns (creating on first use) the sender flow src→dst.
+func (rt *Runtime) txFlowFor(src, dst int) *txFlow {
+	if rt.tx[src][dst] == nil {
+		rt.tx[src][dst] = &txFlow{src: src, dst: dst}
+	}
+	return rt.tx[src][dst]
+}
+
+// rxFlowFor returns (creating on first use) the receiver flow state
+// for frames from src arriving at dst.
+func (rt *Runtime) rxFlowFor(dst, src int) *rxFlow {
+	if rt.rx[dst][src] == nil {
+		rt.rx[dst][src] = &rxFlow{next: 1, held: make(map[uint64]gas.Message)}
+	}
+	return rt.rx[dst][src]
+}
+
+// rto returns the retransmission deadline delta for the given 1-based
+// transmission attempt: capped exponential backoff in simulated time.
+func (rt *Runtime) rto(attempt int) float64 {
+	return timing.Backoff(rt.rtoBase, rt.rtoMax, attempt)
+}
+
+// flushOutbox transmits queued frames while the inflight window has
+// room, stopping (without error) at transport back-pressure. It
+// returns the number of frames that left the outbox.
+func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
+	moved := 0
+	for len(fl.outbox) > 0 && len(fl.inflight) < rt.cfg.Window {
+		fr := fl.outbox[0]
+		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
+			if retryable(err) {
+				break
+			}
+			return moved, fmt.Errorf("mpx: send %d→%d: %w", fl.src, fl.dst, err)
+		}
+		fr.attempts = 1
+		fr.deadline = rt.now + rt.rto(1)
+		fl.inflight = append(fl.inflight, fr)
+		fl.outbox = fl.outbox[1:]
+		moved++
+	}
+	return moved, nil
+}
+
+// checkRetransmits re-sends inflight frames whose deadline passed.
+// Back-pressure during a retransmission defers the frame one poll
+// without charging an attempt (the wire refused it; it was not lost);
+// a frame that exhausts its budget surfaces as *DropError.
+func (rt *Runtime) checkRetransmits(fl *txFlow) (int, error) {
+	moved := 0
+	for _, fr := range fl.inflight {
+		if rt.now < fr.deadline {
+			continue
+		}
+		if fr.attempts >= rt.cfg.RetryLimit {
+			return moved, &DropError{Src: fl.src, Dst: fl.dst, Flow: fr.flow, Attempts: fr.attempts}
+		}
+		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
+			if retryable(err) {
+				fr.deadline = rt.now + rt.poll
+				continue
+			}
+			return moved, fmt.Errorf("mpx: retransmit %d→%d: %w", fl.src, fl.dst, err)
+		}
+		fr.attempts++
+		fr.deadline = rt.now + rt.rto(fr.attempts)
+		rt.stats.Retries++
+		moved++
+	}
+	return moved, nil
+}
+
+// pumpFlowsLocked runs retransmissions and outbox flushes across every
+// flow in deterministic (src, dst) order, returning total frames moved.
+func (rt *Runtime) pumpFlowsLocked() (int, error) {
+	moved := 0
+	for src := range rt.tx {
+		for dst := range rt.tx[src] {
+			fl := rt.tx[src][dst]
+			if fl == nil {
+				continue
+			}
+			m, err := rt.checkRetransmits(fl)
+			moved += m
+			if err != nil {
+				return moved, err
+			}
+			m, err = rt.flushOutbox(fl)
+			moved += m
+			if err != nil {
+				return moved, err
+			}
+		}
+	}
+	return moved, nil
+}
+
+// receiveLocked drains every GPU's wire, acks what arrived, suppresses
+// duplicates and releases in-order frames to the matching layer. It
+// returns the number of arrivals plus acks processed.
+func (rt *Runtime) receiveLocked() int {
+	progress := 0
+	n := rt.transport.Size()
+	for g := 0; g < n; g++ {
+		for _, m := range rt.transport.Drain(g) {
+			src := int(m.Env.Src)
+			if src < 0 || src >= n || m.Flow == 0 {
+				// Raw traffic outside the reliable layer (injected by
+				// tests via the cluster directly): deliver as-is.
+				rt.pendingMsgs[g] = append(rt.pendingMsgs[g], m)
+				progress++
+				continue
+			}
+			// Acknowledge on every arrival, duplicate or not: a lost
+			// ack means the sender will retransmit, and the re-arrival
+			// is the next chance to retire the frame.
+			if fl := rt.tx[src][g]; fl != nil && fl.has(m.Flow) {
+				if !rt.transport.DropAck(src, g, m.Flow) {
+					fl.ack(m.Flow)
+					rt.stats.Acks++
+					progress++
+				}
+			}
+			rx := rt.rxFlowFor(g, src)
+			if m.Flow < rx.next {
+				rt.stats.Duplicates++
+				continue
+			}
+			if _, dup := rx.held[m.Flow]; dup {
+				rt.stats.Duplicates++
+				continue
+			}
+			rx.held[m.Flow] = m
+			for {
+				mm, ok := rx.held[rx.next]
+				if !ok {
+					break
+				}
+				delete(rx.held, rx.next)
+				rx.next++
+				rt.pendingMsgs[g] = append(rt.pendingMsgs[g], mm)
+				progress++
+			}
+		}
+	}
+	return progress
+}
+
+// flowsIdleLocked reports whether every sender flow delivered all its
+// frames and no receiver holds an out-of-order fragment — i.e. the
+// reliable layer itself has nothing left to do.
+func (rt *Runtime) flowsIdleLocked() bool {
+	for src := range rt.tx {
+		for dst := range rt.tx[src] {
+			if fl := rt.tx[src][dst]; fl != nil && !fl.idle() {
+				return false
+			}
+		}
+	}
+	for dst := range rt.rx {
+		for src := range rt.rx[dst] {
+			if rx := rt.rx[dst][src]; rx != nil && len(rx.held) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inFlightLocked counts frames queued or awaiting ack across flows.
+func (rt *Runtime) inFlightLocked() int {
+	n := 0
+	for src := range rt.tx {
+		for dst := range rt.tx[src] {
+			if fl := rt.tx[src][dst]; fl != nil {
+				n += len(fl.outbox) + len(fl.inflight)
+			}
+		}
+	}
+	return n
+}
+
+// stallErrorLocked builds the StallError snapshot for Drain.
+func (rt *Runtime) stallErrorLocked(steps, open int) *StallError {
+	e := &StallError{Steps: steps, Open: open, InFlight: rt.inFlightLocked()}
+	for g := range rt.pendingRecvs {
+		if len(rt.pendingRecvs[g]) > 0 {
+			e.GPUs = append(e.GPUs, g)
+		}
+	}
+	return e
+}

@@ -10,10 +10,16 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 
 	"simtmp/internal/simt"
 )
+
+// ErrNoCredits is the back-pressure sentinel: the sender's credit
+// balance is exhausted. It is flow control, not data loss — callers
+// retry after the consumer returns credits.
+var ErrNoCredits = errors.New("ring: no credits")
 
 // Ring is a SPSC ring over simulated device memory. Slot 0..cap-1 hold
 // payload words; head/tail live in two extra control words, as they
@@ -68,11 +74,12 @@ func (r *Ring) Len() int {
 // Credits returns the sender's current credit balance.
 func (r *Ring) Credits() int { return r.credits }
 
-// Push appends a word, consuming one credit. It fails when the sender
-// has no credits — back-pressure, not data loss.
+// Push appends a word, consuming one credit. It fails with
+// ErrNoCredits when the sender's balance is exhausted — back-pressure,
+// not data loss.
 func (r *Ring) Push(w uint64) error {
 	if r.credits == 0 {
-		return fmt.Errorf("ring: no credits (capacity %d)", r.cap)
+		return fmt.Errorf("%w (capacity %d)", ErrNoCredits, r.cap)
 	}
 	tail := int(r.mem.Load(r.base + r.cap + tailOff))
 	r.mem.Store(r.base+tail%r.cap, w)

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -150,5 +151,122 @@ func TestRingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestErrNoCreditsSentinel: exhaustion surfaces the typed sentinel the
+// reliable transport keys its retry path on.
+func TestErrNoCreditsSentinel(t *testing.T) {
+	r := newRing(1)
+	if err := r.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Push(2)
+	if !errors.Is(err, ErrNoCredits) {
+		t.Fatalf("Push over capacity = %v, want ErrNoCredits", err)
+	}
+	// Popping alone does not restore credits; the sentinel persists
+	// until the consumer returns them.
+	r.Pop()
+	if err := r.Push(3); !errors.Is(err, ErrNoCredits) {
+		t.Fatalf("Push before credit return = %v, want ErrNoCredits", err)
+	}
+	r.ReturnCredits()
+	if err := r.Push(3); err != nil {
+		t.Fatalf("Push after credit return: %v", err)
+	}
+}
+
+// TestWrapAroundWithOutstandingCredits drives the ring through several
+// full index wraps while credits are never fully returned: the
+// consumer always holds some freed slots back, so head/tail wrap with
+// the sender running on a partial balance the whole time.
+func TestWrapAroundWithOutstandingCredits(t *testing.T) {
+	const capacity = 4
+	r := newRing(capacity)
+	buf := make([]uint64, capacity)
+	next, expect := uint64(0), uint64(0)
+	outstanding := 0 // credits held back by the consumer
+	for round := 0; round < 6*capacity; round++ {
+		// Fill to the current credit balance (capacity - outstanding).
+		pushed := 0
+		for r.Credits() > 0 {
+			if err := r.Push(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+			pushed++
+		}
+		if want := capacity - outstanding; pushed != want {
+			t.Fatalf("round %d: pushed %d with %d outstanding, want %d",
+				round, pushed, outstanding, want)
+		}
+		if err := r.Push(99); !errors.Is(err, ErrNoCredits) {
+			t.Fatalf("round %d: overcommit = %v, want ErrNoCredits", round, err)
+		}
+		// Drain in two chunks, returning credits only after the first,
+		// so one slot's credit stays outstanding across the wrap.
+		n := r.DrainTo(buf, pushed-1)
+		for i := 0; i < n; i++ {
+			if buf[i] != expect {
+				t.Fatalf("round %d: entry %d = %d, want %d", round, i, buf[i], expect)
+			}
+			expect++
+		}
+		// The return flushes this chunk plus whatever the previous
+		// round held back.
+		if got := r.ReturnCredits(); got != n+outstanding {
+			t.Fatalf("round %d: ReturnCredits = %d, want %d", round, got, n+outstanding)
+		}
+		outstanding = 0
+		n = r.DrainTo(buf, -1)
+		for i := 0; i < n; i++ {
+			if buf[i] != expect {
+				t.Fatalf("round %d: tail entry %d = %d, want %d", round, i, buf[i], expect)
+			}
+			expect++
+		}
+		outstanding = n // freed but unreturned until a later round
+		if outstanding > 0 && round%3 == 2 {
+			r.ReturnCredits()
+			outstanding = 0
+		}
+	}
+	if next != expect {
+		t.Fatalf("lost entries: pushed %d, drained %d", next, expect)
+	}
+}
+
+// TestInterleavedPushDrainReturn exercises a sliding-window pattern:
+// the producer keeps the ring at least half full across many wraps
+// while the consumer drains and returns credits in odd-sized batches
+// that never align with the capacity.
+func TestInterleavedPushDrainReturn(t *testing.T) {
+	const capacity = 5
+	r := newRing(capacity)
+	buf := make([]uint64, capacity)
+	next, expect := uint64(0), uint64(0)
+	for step := 0; step < 50; step++ {
+		for r.Credits() > 0 && r.Len() < capacity {
+			if err := r.Push(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		n := r.DrainTo(buf, 1+step%3)
+		for i := 0; i < n; i++ {
+			if buf[i] != expect {
+				t.Fatalf("step %d: got %d, want %d", step, buf[i], expect)
+			}
+			expect++
+		}
+		if step%2 == 1 {
+			r.ReturnCredits()
+		}
+	}
+	r.ReturnCredits()
+	if r.Credits() != capacity-r.Len() {
+		t.Fatalf("credit conservation violated: credits %d, len %d, cap %d",
+			r.Credits(), r.Len(), capacity)
 	}
 }

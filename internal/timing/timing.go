@@ -185,6 +185,25 @@ func Overlap(a, b float64) float64 {
 	return b
 }
 
+// Backoff returns the capped exponential retransmission delay for the
+// given 1-based attempt: base doubles per attempt (base, 2·base,
+// 4·base, …) and is clamped to max. Units are whatever base is in —
+// the runtime passes simulated seconds. Attempts below 1 are treated
+// as 1.
+func Backoff(base, max float64, attempt int) float64 {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
 // Rate converts a number of completed operations and simulated seconds
 // into an operations-per-second rate.
 func Rate(ops int, seconds float64) float64 {

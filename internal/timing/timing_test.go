@@ -154,3 +154,22 @@ func TestParamsForCoversGenerations(t *testing.T) {
 		t.Errorf("TransCycles not monotonic: %v %v %v", k.TransCycles, m.TransCycles, p.TransCycles)
 	}
 }
+
+// TestBackoff pins the capped exponential schedule the reliable
+// transport uses for retransmission timers.
+func TestBackoff(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    float64
+	}{
+		{-3, 2}, {0, 2}, {1, 2}, {2, 4}, {3, 8}, {4, 16}, {5, 32}, {6, 32}, {50, 32},
+	}
+	for _, c := range cases {
+		if got := Backoff(2, 32, c.attempt); got != c.want {
+			t.Errorf("Backoff(2, 32, %d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+	if got := Backoff(10, 5, 1); got != 5 {
+		t.Errorf("Backoff with base above cap = %v, want 5", got)
+	}
+}

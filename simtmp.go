@@ -32,6 +32,7 @@ import (
 	"simtmp/internal/arch"
 	"simtmp/internal/bench"
 	"simtmp/internal/envelope"
+	"simtmp/internal/fault"
 	"simtmp/internal/match"
 	"simtmp/internal/mpx"
 	"simtmp/internal/trace"
@@ -139,6 +140,24 @@ type (
 	RecvHandle = mpx.Recv
 	// Level selects a semantic contract (one Table II row group).
 	Level = mpx.Level
+	// RuntimeStats is the runtime's merged statistics, including the
+	// reliability counters.
+	RuntimeStats = mpx.Stats
+)
+
+// Fault injection and reliability.
+type (
+	// FaultConfig parameterizes the seeded fault-injection plane; set
+	// RuntimeConfig.Fault to enable it.
+	FaultConfig = fault.Config
+	// FaultInjector is the plane itself (Runtime.Injector exposes it).
+	FaultInjector = fault.Injector
+	// FaultCounters tallies injected faults per class.
+	FaultCounters = fault.Counters
+	// StallError reports a drain wedged with work in flight.
+	StallError = mpx.StallError
+	// DropError reports a message lost after its retry budget.
+	DropError = mpx.DropError
 )
 
 // Semantic levels (§VI).
@@ -211,6 +230,8 @@ var (
 	AppSizes             = bench.AppSizes
 	AblationWindow       = bench.AblationWindow
 	HashAblation         = bench.HashAblation
+	Chaos                = bench.Chaos
+	PrintChaos           = bench.PrintChaos
 	PrintTableI          = bench.PrintTableI
 	PrintFigure2         = bench.PrintFigure2
 	PrintFigure4         = bench.PrintFigure4
