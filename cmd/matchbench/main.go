@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -118,6 +119,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	csvOut := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	all := fs.Bool("all", false, "run everything")
+	regress := fs.Bool("regress", false, "run the benchmark regression suite against the latest BENCH_*.json baseline")
+	regressDir := fs.String("regress.dir", ".", "directory holding BENCH_*.json baselines")
+	tolerance := fs.Float64("tolerance", 0.15, "relative tolerance for simulated-rate records under -regress")
+	regressWrite := fs.Bool("regress.write", false, "write a fresh BENCH_<date>.json baseline after the -regress run")
+	regressWall := fs.Bool("regress.wall", false, "also compare wall-clock records under -regress (host-dependent)")
 
 	secs := sections()
 	enabled := make(map[string]*bool, len(secs))
@@ -126,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *regress {
+		return runRegress(stdout, stderr, *regressDir, *tolerance, *regressWrite, *regressWall)
 	}
 
 	ran := false
@@ -145,6 +155,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !ran {
 		fs.Usage()
 		return 2
+	}
+	return 0
+}
+
+// runRegress executes the benchmark regression suite, compares it
+// against the latest committed baseline in dir, and optionally writes
+// the run as the new baseline. Exit codes: 0 clean, 1 regressions (or
+// a missing baseline without -regress.write).
+func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall bool) int {
+	rep := simtmp.RunRegress(0)
+	base, path, err := simtmp.LoadLatestBenchBaseline(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		if !write {
+			fmt.Fprintf(stderr, "matchbench: no BENCH_*.json baseline in %s (rerun with -regress.write to create one)\n", dir)
+			return 1
+		}
+		p, werr := simtmp.WriteBenchBaseline(dir, rep)
+		if werr != nil {
+			fmt.Fprintln(stderr, "matchbench:", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "regress: wrote first baseline %s (%d records)\n", p, len(rep.Records))
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "matchbench:", err)
+		return 1
+	}
+	regs := simtmp.CompareBench(base, rep, tol, wall)
+	simtmp.PrintRegress(stdout, rep, path, tol, regs)
+	if write {
+		p, werr := simtmp.WriteBenchBaseline(dir, rep)
+		if werr != nil {
+			fmt.Fprintln(stderr, "matchbench:", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "regress: wrote baseline %s\n", p)
+	}
+	if len(regs) > 0 {
+		return 1
 	}
 	return 0
 }

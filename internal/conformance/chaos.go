@@ -25,6 +25,7 @@ import (
 	"simtmp/internal/envelope"
 	"simtmp/internal/fault"
 	"simtmp/internal/mpx"
+	"simtmp/internal/simt"
 )
 
 // ChaosMix is the default fault brew: every fault class enabled at
@@ -263,10 +264,35 @@ func addStats(a *mpx.Stats, b mpx.Stats) {
 // given fault mix and returns one report per level. A clean run has
 // empty Failures everywhere; callers asserting full fault coverage
 // additionally check the aggregated Stats counters (see
-// CheckChaosCoverage).
+// CheckChaosCoverage). It shards across GOMAXPROCS host workers; see
+// RunChaosParallel for the determinism argument.
 func RunChaos(seed int64, n int, mix fault.Config) []ChaosReport {
+	return RunChaosParallel(seed, n, mix, 0)
+}
+
+// RunChaosParallel is RunChaos over a bounded worker pool (workers <= 0
+// selects GOMAXPROCS, 1 is fully sequential). Each workload is
+// self-contained — deterministic per (seed, index, level) with its own
+// runtime — so workloads shard freely across host goroutines; results
+// land in per-index slots and merge in index order, which keeps the
+// reports (including failure order and every replay recipe) identical
+// to the sequential run.
+func RunChaosParallel(seed int64, n int, mix fault.Config, workers int) []ChaosReport {
 	levels := ChaosLevels()
 	reports := make([]ChaosReport, len(levels))
+
+	type slot struct {
+		stats mpx.Stats
+		msgs  int
+		err   error
+	}
+	slots := make([]slot, len(levels)*n)
+	simt.ParallelFor(len(slots), workers, func(k int) {
+		level, i := levels[k/n], k%n
+		st, msgs, err := ChaosWorkload(level, seed, i, mix)
+		slots[k] = slot{stats: st, msgs: msgs, err: err}
+	})
+
 	for li, level := range levels {
 		rep := ChaosReport{
 			Level:     level,
@@ -274,11 +300,11 @@ func RunChaos(seed int64, n int, mix fault.Config) []ChaosReport {
 			Workloads: n,
 		}
 		for i := 0; i < n; i++ {
-			st, msgs, err := ChaosWorkload(level, seed, i, mix)
-			rep.Messages += msgs
-			addStats(&rep.Stats, st)
-			if err != nil {
-				rep.Failures = append(rep.Failures, ChaosFailure{Level: level, Index: i, Seed: seed, Err: err})
+			s := &slots[li*n+i]
+			rep.Messages += s.msgs
+			addStats(&rep.Stats, s.stats)
+			if s.err != nil {
+				rep.Failures = append(rep.Failures, ChaosFailure{Level: level, Index: i, Seed: seed, Err: s.err})
 			}
 		}
 		reports[li] = rep

@@ -47,13 +47,17 @@ func TestChaosConformance(t *testing.T) {
 }
 
 // TestChaosWorkloadReplayDeterminism: the replay handle reproduces a
-// workload bit-for-bit — same stats, same verdict.
+// workload bit-for-bit — same stats, same verdict. Host wall-clock
+// metering (Stats.DrainWallSeconds) is inherently non-deterministic
+// and sits outside the simulated-determinism contract, so it is
+// normalized before comparing.
 func TestChaosWorkloadReplayDeterminism(t *testing.T) {
 	mix := ChaosMix()
 	for _, level := range ChaosLevels() {
 		for i := 0; i < 5; i++ {
 			s1, n1, e1 := ChaosWorkload(level, 77, i, mix)
 			s2, n2, e2 := ChaosWorkload(level, 77, i, mix)
+			s1.DrainWallSeconds, s2.DrainWallSeconds = 0, 0
 			if s1 != s2 || n1 != n2 || (e1 == nil) != (e2 == nil) {
 				t.Fatalf("%v workload %d replay diverged:\n%+v %d %v\n%+v %d %v",
 					level, i, s1, n1, e1, s2, n2, e2)
@@ -84,5 +88,37 @@ func TestChaosSingleFaultClasses(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRunChaosParallelMatchesSequential: sharding the chaos workloads
+// across a host worker pool must not change the reports — same
+// aggregated stats, same message counts, same failures in the same
+// order — because each workload is deterministic per (seed, index,
+// level) and results merge in index order.
+func TestRunChaosParallelMatchesSequential(t *testing.T) {
+	const n = 40
+	mix := ChaosMix()
+	seq := RunChaosParallel(99, n, mix, 1)
+	par := RunChaosParallel(99, n, mix, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Level != p.Level || s.Workloads != p.Workloads || s.Messages != p.Messages {
+			t.Errorf("%v: headline fields diverge: %+v vs %+v", s.Level, s, p)
+		}
+		if s.Stats != p.Stats {
+			t.Errorf("%v: stats diverge:\n%+v\n%+v", s.Level, s.Stats, p.Stats)
+		}
+		if len(s.Failures) != len(p.Failures) {
+			t.Fatalf("%v: failure counts differ: %d vs %d", s.Level, len(s.Failures), len(p.Failures))
+		}
+		for j := range s.Failures {
+			if s.Failures[j].String() != p.Failures[j].String() {
+				t.Errorf("%v: failure %d differs:\n%s\n%s", s.Level, j, s.Failures[j], p.Failures[j])
+			}
+		}
 	}
 }

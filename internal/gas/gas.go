@@ -54,6 +54,8 @@ type GPU struct {
 
 	incoming *ring.Ring
 	side     []sideEntry // payload+seq FIFO, parallel to the ring
+	sideHead int         // consumed prefix of side (reset when drained)
+	drainBuf []Message   // reused by Drain; see the reuse contract there
 	stats    LinkStats
 }
 
@@ -77,6 +79,11 @@ func (g *GPU) LinkStats() LinkStats { return g.stats }
 // order and returns the freed slots to the sender as credits. Words
 // failing validation or the checksum are consumed and counted, never
 // delivered.
+//
+// The returned slice is a reused buffer owned by the GPU: it is valid
+// only until the next Drain/DrainKeepingCredits call. Callers that
+// keep messages across drains (all in-tree callers consume or copy
+// immediately) must copy them out.
 func (g *GPU) Drain() []Message {
 	out := g.DrainKeepingCredits()
 	g.incoming.ReturnCredits()
@@ -86,9 +93,9 @@ func (g *GPU) Drain() []Message {
 // DrainKeepingCredits is Drain without the credit return: freed slots
 // stay pending until the caller flushes them via Ring().ReturnCredits.
 // The fault plane uses it to model a receiver starving its sender of
-// credits.
+// credits. The returned slice follows Drain's reuse contract.
 func (g *GPU) DrainKeepingCredits() []Message {
-	out := make([]Message, 0, g.incoming.Len())
+	out := g.drainBuf[:0]
 	for {
 		w, ok := g.incoming.Pop()
 		if !ok {
@@ -96,11 +103,15 @@ func (g *GPU) DrainKeepingCredits() []Message {
 		}
 		// The side entry is consumed atomically with its header word:
 		// whatever the word's fate, header and payload stay in lockstep
-		// so one bad word cannot desynchronize the two queues.
+		// so one bad word cannot desynchronize the two queues. Consumed
+		// entries are zeroed so payload references are released, and the
+		// FIFO is a head index over a reusable array rather than a
+		// re-sliced (and so never-reclaimed) backing array.
 		var side sideEntry
-		if len(g.side) > 0 {
-			side = g.side[0]
-			g.side = g.side[1:]
+		if g.sideHead < len(g.side) {
+			side = g.side[g.sideHead]
+			g.side[g.sideHead] = sideEntry{}
+			g.sideHead++
 		}
 		env, valid := envelope.UnpackEnvelope(w)
 		switch {
@@ -112,6 +123,11 @@ func (g *GPU) DrainKeepingCredits() []Message {
 			out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq, Flow: side.flow})
 		}
 	}
+	if g.sideHead == len(g.side) {
+		g.side = g.side[:0]
+		g.sideHead = 0
+	}
+	g.drainBuf = out
 	return out
 }
 
@@ -193,6 +209,11 @@ func (c *Cluster) PutWord(dst int, w uint64, payload []byte, seq, flow uint64) e
 	g := c.gpus[dst]
 	if err := g.incoming.Push(w); err != nil {
 		return fmt.Errorf("gas: GPU %d: %w", dst, err)
+	}
+	if g.sideHead == len(g.side) {
+		// FIFO fully consumed: rewind so the backing array is reused.
+		g.side = g.side[:0]
+		g.sideHead = 0
 	}
 	g.side = append(g.side, sideEntry{payload: payload, seq: seq, flow: flow})
 	return nil

@@ -51,6 +51,14 @@ type HashConfig struct {
 	HashName string
 	// Policy selects the collision resolution (default TwoLevel).
 	Policy CollisionPolicy
+	// Workers bounds the host goroutines simulating warps in parallel
+	// (0 = GOMAXPROCS, 1 = sequential). Only the TwoLevel policy
+	// parallelizes: its primary and secondary CAS traffic target
+	// disjoint address ranges, so staging the operations concurrently
+	// and committing them in thread order is bit-identical to the
+	// sequential interleaving. LinearProbe's probe steps share one
+	// address space and always run sequentially.
+	Workers int
 }
 
 // HashMatcher implements the paper's strongest relaxation: no
@@ -66,6 +74,65 @@ type HashMatcher struct {
 	// workingSet is the table footprint of the current Match call, in
 	// words, used for L2-residency pricing.
 	workingSet int
+
+	// Reusable scratch, grown monotonically so the steady-state Match
+	// path allocates nothing (the adversarial-collision overflow list
+	// is the one excluded cold path). NOT safe for concurrent Match
+	// calls.
+	scratch hashScratch
+}
+
+// hashScratch holds the per-call state of the hash kernels.
+type hashScratch struct {
+	mem     *simt.Memory // two-level (or linear) table storage
+	reqMem  *simt.Memory // rebindable views over the key arrays
+	msgMem  *simt.Memory
+	primIdx []int
+	secIdx  []int
+	pendReq []int
+	pendMsg []int
+	reqKeys []uint64
+	msgKeys []uint64
+	still   []bool
+	perCTA  []simt.Counters
+	warps   []*hashWarp
+	byKey   map[uint64][]int
+
+	// ph carries the state of the current two-level sub-phase so the
+	// three worker bodies can be persistent method values (fresh
+	// closures per phase would allocate; see matrixScratch.scan).
+	ph struct {
+		insert            bool
+		keysMem           *simt.Memory
+		pendList          []int
+		pending           int
+		assign            Assignment
+		primSize, secSize int
+		still             []bool
+	}
+	stageFn, foldFn, finishFn func(int)
+}
+
+// hashWarp is one warp's persistent state across the sub-phases of a
+// phase-split kernel: its simulated warp (with a private counter sink),
+// per-lane registers, and staged CAS traffic.
+type hashWarp struct {
+	w       *simt.Warp
+	ids     [simt.LaneCount]int
+	keys    [simt.LaneCount]uint64
+	placedA [simt.LaneCount]bool // placed/matched via the primary table
+	placedB [simt.LaneCount]bool // placed/matched via the secondary table
+	prim    []simt.CASIntent
+	sec     []simt.CASIntent
+}
+
+// growInts returns buf resized to n, reusing its backing array when
+// large enough.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // NewHashMatcher returns a matcher with the given configuration. It
@@ -127,20 +194,26 @@ func tableSizes(n int) (int, int) {
 // Match implements Matcher under the no-wildcards/no-ordering
 // relaxation. Wildcard requests are rejected with ErrWildcard.
 func (h *HashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
-	if err := validateInputs(msgs, reqs); err != nil {
+	res := &Result{}
+	if err := h.MatchInto(res, msgs, reqs); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// MatchInto implements ReusableMatcher (see MatrixMatcher.MatchInto).
+func (h *HashMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []envelope.Request) error {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return err
 	}
 	for i, r := range reqs {
 		if r.HasWildcard() {
-			return nil, fmt.Errorf("request %d: %w", i, ErrWildcard)
+			return fmt.Errorf("request %d: %w", i, ErrWildcard)
 		}
 	}
-	res := &Result{Assignment: make(Assignment, len(reqs))}
-	for i := range res.Assignment {
-		res.Assignment[i] = NoMatch
-	}
+	res.reset(len(reqs))
 	if len(reqs) == 0 {
-		return res, nil
+		return nil
 	}
 
 	n := len(reqs)
@@ -153,39 +226,59 @@ func (h *HashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (
 	}
 
 	// Tables live in device global memory: slot words hold the packed
-	// tuple key; a parallel index array records the request index.
+	// tuple key; a parallel index array records the request index. The
+	// storage is recycled across calls and re-zeroed (a memclr) so the
+	// tables start empty.
 	h.workingSet = primSize + secSize
-	mem := simt.NewMemory(primSize + secSize)
-	primIdx := make([]int, primSize)
-	secIdx := make([]int, secSize)
+	s := &h.scratch
+	if s.mem == nil || s.mem.Len() < primSize+secSize {
+		s.mem = simt.NewMemory(primSize + secSize)
+	} else {
+		s.mem.Fill(0, primSize+secSize, 0)
+	}
+	s.primIdx = growInts(s.primIdx, primSize)
+	s.secIdx = growInts(s.secIdx, secSize)
 
-	pendReq := make([]int, len(reqs))
-	for i := range pendReq {
-		pendReq[i] = i
+	s.pendReq = growInts(s.pendReq, len(reqs))
+	for i := range s.pendReq {
+		s.pendReq[i] = i
 	}
-	pendMsg := make([]int, len(msgs))
-	for i := range pendMsg {
-		pendMsg[i] = i
+	s.pendMsg = growInts(s.pendMsg, len(msgs))
+	for i := range s.pendMsg {
+		s.pendMsg[i] = i
 	}
-	reqKeys := make([]uint64, len(reqs))
+	s.reqKeys = growU64(s.reqKeys, len(reqs))
 	for i, r := range reqs {
-		reqKeys[i] = r.Key()
+		s.reqKeys[i] = r.Key()
 	}
-	msgKeys := make([]uint64, len(msgs))
+	s.msgKeys = growU64(s.msgKeys, len(msgs))
 	for i, m := range msgs {
-		msgKeys[i] = m.Key()
+		s.msgKeys[i] = m.Key()
 	}
+	if s.reqMem == nil {
+		s.reqMem, s.msgMem = simt.Wrap(nil), simt.Wrap(nil)
+	}
+	s.reqMem.Rebind(s.reqKeys)
+	s.msgMem.Rebind(s.msgKeys)
 
 	var totalCycles float64
 	var totalCtrs simt.Counters
 	for {
 		res.Iterations++
-		inserted, insCycles, insCtrs := h.insertPhase(mem, primSize, secSize, primIdx, secIdx, reqKeys, &pendReq)
-		matched, probeCycles, probeCtrs := h.probePhase(mem, primSize, secSize, primIdx, secIdx, msgKeys, &pendMsg, res.Assignment)
+		var inserted, matched int
+		var insCycles, probeCycles float64
+		var insCtrs, probeCtrs simt.Counters
+		if h.cfg.Policy == TwoLevel {
+			inserted, insCycles, insCtrs = h.twoLevelPhase(true, s.reqMem, &s.pendReq, nil, primSize, secSize)
+			matched, probeCycles, probeCtrs = h.twoLevelPhase(false, s.msgMem, &s.pendMsg, res.Assignment, primSize, secSize)
+		} else {
+			inserted, insCycles, insCtrs = h.insertProbePhase(s.mem, primSize, s.primIdx, s.reqKeys, &s.pendReq)
+			matched, probeCycles, probeCtrs = h.probeLinearPhase(s.mem, primSize, s.primIdx, s.msgKeys, &s.pendMsg, res.Assignment)
+		}
 		totalCycles += insCycles + probeCycles
 		totalCtrs.Add(insCtrs)
 		totalCtrs.Add(probeCtrs)
-		if len(pendMsg) == 0 && len(pendReq) == 0 {
+		if len(s.pendMsg) == 0 && len(s.pendReq) == 0 {
 			break
 		}
 		if inserted == 0 && matched == 0 {
@@ -198,24 +291,32 @@ func (h *HashMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (
 	// matched through a linear overflow list. This extension beyond the
 	// paper guarantees the engine finds every matchable pair even under
 	// adversarial collision patterns; it is billed as a dependent walk.
-	if len(pendMsg) > 0 && len(pendReq) > 0 {
-		byKey := make(map[uint64][]int, len(pendReq))
-		for _, ri := range pendReq {
-			byKey[reqKeys[ri]] = append(byKey[reqKeys[ri]], ri)
-		}
-		for _, mi := range pendMsg {
-			if lst := byKey[msgKeys[mi]]; len(lst) > 0 {
-				res.Assignment[lst[0]] = mi
-				byKey[msgKeys[mi]] = lst[1:]
+	// (The per-key lists may allocate — this cold path sits outside the
+	// zero-allocation contract of the steady-state kernels.)
+	if len(s.pendMsg) > 0 && len(s.pendReq) > 0 {
+		if s.byKey == nil {
+			s.byKey = make(map[uint64][]int, len(s.pendReq))
+		} else {
+			for k := range s.byKey {
+				delete(s.byKey, k)
 			}
 		}
-		totalCycles += float64(len(pendMsg)+len(pendReq)) * h.model.P.GMemDep
+		for _, ri := range s.pendReq {
+			s.byKey[s.reqKeys[ri]] = append(s.byKey[s.reqKeys[ri]], ri)
+		}
+		for _, mi := range s.pendMsg {
+			if lst := s.byKey[s.msgKeys[mi]]; len(lst) > 0 {
+				res.Assignment[lst[0]] = mi
+				s.byKey[s.msgKeys[mi]] = lst[1:]
+			}
+		}
+		totalCycles += float64(len(s.pendMsg)+len(s.pendReq)) * h.model.P.GMemDep
 	}
 	totalCycles += h.model.P.LaunchOverhead
 
 	res.SimSeconds = h.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
-	return res, nil
+	return nil
 }
 
 // slots returns the probe sequence for a key: (primary slot, secondary
@@ -229,196 +330,192 @@ func (h *HashMatcher) secondarySlot(key uint64, secSize int) int {
 	return int(h.fn(key^0x9e3779b97f4a7c15)) % secSize
 }
 
-// insertPhase inserts pending requests into the tables: one thread per
-// request, a CAS per placement attempt. It returns the number placed,
-// the phase cycles and counters, and compacts the pending list.
-func (h *HashMatcher) insertPhase(mem *simt.Memory, primSize, secSize int, primIdx, secIdx []int, reqKeys []uint64, pend *[]int) (int, float64, simt.Counters) {
-	stats := h.runElementKernel(len(*pend), func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)) {
-		ids := make([]int, simt.LaneCount)
-		keys := make([]uint64, simt.LaneCount)
-		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
-		w.LoadGlobal(simt.Wrap(reqKeys),
-			func(lane int) int { return ids[lane] },
-			func(lane int, v uint64) { keys[lane] = v })
-		w.Exec(h.cost, func(lane int) {}) // hash evaluation
-
-		placedPrim := make([]bool, simt.LaneCount)
-		w.AtomicCAS(mem,
-			func(lane int) int { return h.primarySlot(keys[lane], primSize) },
-			func(lane int) uint64 { return 0 },
-			func(lane int) uint64 { return keys[lane] },
-			func(lane int, prev uint64, swapped bool) {
-				if swapped {
-					slot := h.primarySlot(keys[lane], primSize)
-					primIdx[slot] = ids[lane]
-					placedPrim[lane] = true
-				}
-			})
-
-		if h.cfg.Policy == LinearProbe {
-			// Bounded linear probing from the home slot.
-			done := make([]bool, simt.LaneCount)
-			copy(done, placedPrim)
-			for step := 1; step < maxProbe; step++ {
-				tryMask := w.Ballot(func(lane int) bool { return !done[lane] })
-				if tryMask == 0 {
-					break
-				}
-				w.WithMask(tryMask, func() {
-					w.AtomicCAS(mem,
-						func(lane int) int { return (h.primarySlot(keys[lane], primSize) + step) % primSize },
-						func(lane int) uint64 { return 0 },
-						func(lane int) uint64 { return keys[lane] },
-						func(lane int, prev uint64, swapped bool) {
-							if swapped {
-								slot := (h.primarySlot(keys[lane], primSize) + step) % primSize
-								primIdx[slot] = ids[lane]
-								done[lane] = true
-							}
-						})
-				})
-			}
-			w.Exec(1, func(lane int) { keep(lane, !done[lane]) })
-			return
-		}
-
-		// Two-level fallback: collide into the secondary table.
-		secMask := w.Ballot(func(lane int) bool { return !placedPrim[lane] })
-		placedSec := make([]bool, simt.LaneCount)
-		if secMask != 0 {
-			w.WithMask(secMask, func() {
-				w.AtomicCAS(mem,
-					func(lane int) int { return primSize + h.secondarySlot(keys[lane], secSize) },
-					func(lane int) uint64 { return 0 },
-					func(lane int) uint64 { return keys[lane] },
-					func(lane int, prev uint64, swapped bool) {
-						if swapped {
-							slot := h.secondarySlot(keys[lane], secSize)
-							secIdx[slot] = ids[lane]
-							placedSec[lane] = true
-						}
-					})
-			})
-		}
-		w.Exec(1, func(lane int) { keep(lane, !placedPrim[lane] && !placedSec[lane]) })
-	}, pend)
-	placed := stats.placed
-	return placed, stats.cycles, stats.ctrs
-}
-
-// probePhase matches pending messages against the tables: one thread
-// per message; a successful claim CASes the slot back to empty, which
-// both records the match and frees the slot for later inserts.
-func (h *HashMatcher) probePhase(mem *simt.Memory, primSize, secSize int, primIdx, secIdx []int, msgKeys []uint64, pend *[]int, assign Assignment) (int, float64, simt.Counters) {
-	stats := h.runElementKernel(len(*pend), func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)) {
-		ids := make([]int, simt.LaneCount)
-		keys := make([]uint64, simt.LaneCount)
-		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
-		w.LoadGlobal(simt.Wrap(msgKeys),
-			func(lane int) int { return ids[lane] },
-			func(lane int, v uint64) { keys[lane] = v })
-		w.Exec(h.cost, func(lane int) {}) // hash evaluation
-
-		matched := make([]bool, simt.LaneCount)
-		claim := func(slotOf func(lane int) int, idxArr []int, offset int) {
-			w.AtomicCAS(mem,
-				func(lane int) int { return offset + slotOf(lane) },
-				func(lane int) uint64 { return keys[lane] },
-				func(lane int) uint64 { return 0 },
-				func(lane int, prev uint64, swapped bool) {
-					if swapped {
-						assign[idxArr[slotOf(lane)]] = ids[lane]
-						matched[lane] = true
-					}
-				})
-		}
-
-		if h.cfg.Policy == LinearProbe {
-			for step := 0; step < maxProbe; step++ {
-				tryMask := w.Ballot(func(lane int) bool { return !matched[lane] })
-				if tryMask == 0 {
-					break
-				}
-				w.WithMask(tryMask, func() {
-					claim(func(lane int) int {
-						return (h.primarySlot(keys[lane], primSize) + step) % primSize
-					}, primIdx, 0)
-				})
-			}
-			w.Exec(1, func(lane int) { keep(lane, !matched[lane]) })
-			return
-		}
-
-		claim(func(lane int) int { return h.primarySlot(keys[lane], primSize) }, primIdx, 0)
-		missMask := w.Ballot(func(lane int) bool { return !matched[lane] })
-		if missMask != 0 {
-			w.WithMask(missMask, func() {
-				claim(func(lane int) int { return h.secondarySlot(keys[lane], secSize) }, secIdx, primSize)
-			})
-		}
-		w.Exec(1, func(lane int) { keep(lane, !matched[lane]) })
-	}, pend)
-	return stats.placed, stats.cycles, stats.ctrs
-}
-
-// kernelStats aggregates one element-parallel phase.
-type kernelStats struct {
-	placed int
-	cycles float64
-	ctrs   simt.Counters
-}
-
-// runElementKernel runs body once per warp of pending elements,
-// distributing warps across the configured CTAs, and computes the
-// phase's simulated cycles with occupancy-driven wave serialization.
-// body receives a callback to mark which lanes remain pending; the
-// pending list is compacted in place afterwards.
-func (h *HashMatcher) runElementKernel(pending int, body func(w *simt.Warp, warpBase int, active uint32, keep func(lane int, stillPending bool)), pend *[]int) kernelStats {
-	var out kernelStats
-	if pending == 0 {
-		return out
-	}
-	still := make([]bool, pending)
-
-	warpsTotal := (pending + simt.LaneCount - 1) / simt.LaneCount
-	warpsPerCTA := (warpsTotal + h.cfg.CTAs - 1) / h.cfg.CTAs
+// warpPlan distributes the pending elements over warps and CTAs.
+func (h *HashMatcher) warpPlan(pending int) (warpsTotal, warpsPerCTA int) {
+	warpsTotal = (pending + simt.LaneCount - 1) / simt.LaneCount
+	warpsPerCTA = (warpsTotal + h.cfg.CTAs - 1) / h.cfg.CTAs
 	if warpsPerCTA > simt.MaxWarpsPerCTA {
 		warpsPerCTA = simt.MaxWarpsPerCTA
 	}
+	return warpsTotal, warpsPerCTA
+}
 
-	perCTA := make([]simt.Counters, 0, h.cfg.CTAs)
-	warp := 0
-	for warp < warpsTotal {
-		ctaWarps := warpsPerCTA
-		if warp+ctaWarps > warpsTotal {
-			ctaWarps = warpsTotal - warp
-		}
-		cta := simt.NewCTA(len(perCTA), ctaWarps*simt.LaneCount, 0)
-		for wi := 0; wi < ctaWarps; wi++ {
-			w := cta.Warp(wi)
-			base := (warp + wi) * simt.LaneCount
-			active := w.Ballot(func(lane int) bool { return base+lane < pending })
-			w.SetActive(active)
-			body(w, base, active, func(lane int, stillPending bool) {
-				if base+lane < pending {
-					still[base+lane] = stillPending
-				}
-			})
-			w.SetActive(simt.FullMask)
-		}
-		perCTA = append(perCTA, cta.Counters())
-		warp += ctaWarps
+// twoLevelPhase runs one element-parallel phase — request insert
+// (insert=true) or message probe (insert=false) — of the two-level
+// policy. The warp bodies are phase-split so host goroutines can
+// simulate them concurrently while staying bit-identical to sequential
+// warp-major execution: warps stage their primary CAS traffic in
+// parallel, the intents commit sequentially in thread order, then the
+// fallback round runs the same way against the secondary table. The
+// reordering is sound because primary ops touch only [0, primSize) and
+// secondary ops only [primSize, primSize+secSize): an operation's
+// outcome depends solely on earlier operations to the same table, and
+// the order within each table is preserved.
+func (h *HashMatcher) twoLevelPhase(insert bool, keysMem *simt.Memory, pend *[]int, assign Assignment, primSize, secSize int) (int, float64, simt.Counters) {
+	s := &h.scratch
+	pending := len(*pend)
+	if pending == 0 {
+		return 0, 0, simt.Counters{}
+	}
+	if cap(s.still) < pending {
+		s.still = make([]bool, pending)
+	}
+	still := s.still[:pending]
+	pendList := *pend
+
+	warpsTotal, warpsPerCTA := h.warpPlan(pending)
+	for len(s.warps) < warpsTotal {
+		s.warps = append(s.warps, &hashWarp{w: simt.NewWarp(len(s.warps)%simt.MaxWarpsPerCTA, new(simt.Counters))})
 	}
 
-	// Timing: waves of occupancy-many CTAs, plus the device-wide
-	// barrier that separates the insert and probe phases (the tables
-	// live in global memory, so each phase is its own grid launch).
-	out.cycles += h.model.P.LaunchOverhead * 0.15
+	s.ph.insert, s.ph.keysMem, s.ph.assign = insert, keysMem, assign
+	s.ph.pendList, s.ph.pending = pendList, pending
+	s.ph.primSize, s.ph.secSize = primSize, secSize
+	s.ph.still = still
+	if s.stageFn == nil {
+		s.stageFn, s.foldFn, s.finishFn = h.stagePrimary, h.foldPrimary, h.foldSecondary
+	}
+
+	// Sub-phase 1 (parallel): load keys, hash, stage the primary CAS.
+	simt.ParallelFor(warpsTotal, h.cfg.Workers, s.stageFn)
+	for wi := 0; wi < warpsTotal; wi++ {
+		simt.ApplyCAS(s.mem, s.warps[wi].prim)
+	}
+
+	// Sub-phase 2 (parallel): fold primary outcomes (successful CAS
+	// targets are unique addresses, so the index/assignment writes are
+	// disjoint), then stage the secondary fallback for the misses.
+	simt.ParallelFor(warpsTotal, h.cfg.Workers, s.foldFn)
+	for wi := 0; wi < warpsTotal; wi++ {
+		simt.ApplyCAS(s.mem, s.warps[wi].sec)
+	}
+
+	// Sub-phase 3 (parallel): fold secondary outcomes, mark survivors.
+	simt.ParallelFor(warpsTotal, h.cfg.Workers, s.finishFn)
+	s.ph.keysMem, s.ph.assign, s.ph.pendList, s.ph.still = nil, nil, nil, nil
+
+	// Per-CTA counters, summed in warp order.
+	nCTAs := (warpsTotal + warpsPerCTA - 1) / warpsPerCTA
+	perCTA := s.perCTA[:0]
+	for c := 0; c < nCTAs; c++ {
+		var ctrs simt.Counters
+		for wi := c * warpsPerCTA; wi < warpsTotal && wi < (c+1)*warpsPerCTA; wi++ {
+			ctrs.Add(*s.warps[wi].w.Counters())
+		}
+		perCTA = append(perCTA, ctrs)
+	}
+	s.perCTA = perCTA
+
+	cycles, ctrs := h.phaseTiming(perCTA, warpsPerCTA)
+	return compactPending(pend, still), cycles, ctrs
+}
+
+// stagePrimary is sub-phase 1 of twoLevelPhase for one warp (state in
+// h.scratch.ph): reset the warp, load the pending keys, hash, and
+// stage the primary-table CAS. Installed once as a persistent method
+// value; see hashScratch.ph.
+func (h *HashMatcher) stagePrimary(wi int) {
+	s := &h.scratch
+	ws := s.warps[wi]
+	w := ws.w
+	*w.Counters() = simt.Counters{}
+	w.SetActive(simt.FullMask)
+	ws.placedA = [simt.LaneCount]bool{}
+	ws.placedB = [simt.LaneCount]bool{}
+	base := wi * simt.LaneCount
+	active := w.Ballot(func(lane int) bool { return base+lane < s.ph.pending })
+	w.SetActive(active)
+	w.Exec(1, func(lane int) { ws.ids[lane] = s.ph.pendList[base+lane] })
+	w.LoadGlobal(s.ph.keysMem,
+		func(lane int) int { return ws.ids[lane] },
+		func(lane int, v uint64) { ws.keys[lane] = v })
+	w.Exec(h.cost, func(lane int) {}) // hash evaluation
+	if s.ph.insert {
+		ws.prim = w.StageCAS(ws.prim[:0],
+			func(lane int) int { return h.primarySlot(ws.keys[lane], s.ph.primSize) },
+			func(int) uint64 { return 0 },
+			func(lane int) uint64 { return ws.keys[lane] })
+	} else {
+		ws.prim = w.StageCAS(ws.prim[:0],
+			func(lane int) int { return h.primarySlot(ws.keys[lane], s.ph.primSize) },
+			func(lane int) uint64 { return ws.keys[lane] },
+			func(int) uint64 { return 0 })
+	}
+}
+
+// foldPrimary is sub-phase 2 for one warp: fold the primary CAS
+// outcomes and stage the secondary fallback for the misses.
+func (h *HashMatcher) foldPrimary(wi int) {
+	s := &h.scratch
+	ws := s.warps[wi]
+	w := ws.w
+	for i := range ws.prim {
+		in := &ws.prim[i]
+		if !in.Swapped {
+			continue
+		}
+		ws.placedA[in.Lane] = true
+		if s.ph.insert {
+			s.primIdx[in.Addr] = ws.ids[in.Lane]
+		} else {
+			s.ph.assign[s.primIdx[in.Addr]] = ws.ids[in.Lane]
+		}
+	}
+	secMask := w.Ballot(func(lane int) bool { return !ws.placedA[lane] })
+	ws.sec = ws.sec[:0]
+	if secMask != 0 {
+		w.WithMask(secMask, func() {
+			if s.ph.insert {
+				ws.sec = w.StageCAS(ws.sec,
+					func(lane int) int { return s.ph.primSize + h.secondarySlot(ws.keys[lane], s.ph.secSize) },
+					func(int) uint64 { return 0 },
+					func(lane int) uint64 { return ws.keys[lane] })
+			} else {
+				ws.sec = w.StageCAS(ws.sec,
+					func(lane int) int { return s.ph.primSize + h.secondarySlot(ws.keys[lane], s.ph.secSize) },
+					func(lane int) uint64 { return ws.keys[lane] },
+					func(int) uint64 { return 0 })
+			}
+		})
+	}
+}
+
+// foldSecondary is sub-phase 3 for one warp: fold the secondary CAS
+// outcomes and mark the still-unplaced survivors.
+func (h *HashMatcher) foldSecondary(wi int) {
+	s := &h.scratch
+	ws := s.warps[wi]
+	w := ws.w
+	for i := range ws.sec {
+		in := &ws.sec[i]
+		if !in.Swapped {
+			continue
+		}
+		ws.placedB[in.Lane] = true
+		if s.ph.insert {
+			s.secIdx[in.Addr-s.ph.primSize] = ws.ids[in.Lane]
+		} else {
+			s.ph.assign[s.secIdx[in.Addr-s.ph.primSize]] = ws.ids[in.Lane]
+		}
+	}
+	base := wi * simt.LaneCount
+	w.Exec(1, func(lane int) { s.ph.still[base+lane] = !ws.placedA[lane] && !ws.placedB[lane] })
+	w.SetActive(simt.FullMask)
+}
+
+// phaseTiming converts one phase's per-CTA counters into cycles: waves
+// of occupancy-many CTAs, plus the device-wide barrier that separates
+// the insert and probe phases (the tables live in global memory, so
+// each phase is its own grid launch). It also returns the summed
+// counters.
+func (h *HashMatcher) phaseTiming(perCTA []simt.Counters, warpsPerCTA int) (float64, simt.Counters) {
+	cycles := h.model.P.LaunchOverhead * 0.15
 	fp := arch.KernelFootprint{ThreadsPerCTA: warpsPerCTA * simt.LaneCount, RegsPerThread: 32, SharedMemPerCTA: 0}
 	occ := h.cfg.Arch.Occupancy(fp)
 	if occ < 1 {
 		occ = 1
 	}
+	var total simt.Counters
 	for start := 0; start < len(perCTA); start += occ {
 		end := start + occ
 		if end > len(perCTA) {
@@ -427,9 +524,9 @@ func (h *HashMatcher) runElementKernel(pending int, body func(w *simt.Warp, warp
 		var wave simt.Counters
 		for i := start; i < end; i++ {
 			wave.Add(perCTA[i])
-			out.ctrs.Add(perCTA[i])
+			total.Add(perCTA[i])
 		}
-		out.cycles += h.model.PhaseCycles(timing.Phase{
+		cycles += h.model.PhaseCycles(timing.Phase{
 			Kind:            timing.Throughput,
 			Ctrs:            wave,
 			ResidentWarps:   (end - start) * warpsPerCTA,
@@ -438,19 +535,160 @@ func (h *HashMatcher) runElementKernel(pending int, body func(w *simt.Warp, warp
 		// CTA-wide barrier closing the phase: wider CTAs pay more —
 		// the reason the paper sees 32 small CTAs outperform one
 		// 1024-thread CTA (110M → 150M on Kepler).
-		out.cycles += float64(warpsPerCTA) * h.model.P.SyncCost * 0.6
+		cycles += float64(warpsPerCTA) * h.model.P.SyncCost * 0.6
 	}
+	return cycles, total
+}
 
-	// Compact the pending list (in the real kernel this is a ballot
-	// prefix-sum compaction; its cost is folded into the counters
-	// already billed).
-	next := (*pend)[:0]
-	for i := 0; i < pending; i++ {
+// compactPending keeps the pending entries whose still flag is set,
+// compacting in place (in the real kernel this is a ballot prefix-sum
+// compaction; its cost is folded into the counters already billed). It
+// returns the number of entries retired.
+func compactPending(pend *[]int, still []bool) int {
+	src := *pend
+	next := src[:0]
+	for i, id := range src {
 		if still[i] {
-			next = append(next, (*pend)[i])
+			next = append(next, id)
 		}
 	}
-	out.placed = pending - len(next)
 	*pend = next
-	return out
+	return len(src) - len(next)
+}
+
+// insertProbePhase inserts pending requests under the LinearProbe
+// ablation: one thread per request, bounded probing from the home slot.
+// Probe steps share one address space, so this path stays sequential
+// (see HashConfig.Workers).
+func (h *HashMatcher) insertProbePhase(mem *simt.Memory, primSize int, primIdx []int, reqKeys []uint64, pend *[]int) (int, float64, simt.Counters) {
+	keysMem := simt.Wrap(reqKeys)
+	return h.runElementKernel(pend, func(w *simt.Warp, warpBase int, keep func(lane int, stillPending bool)) {
+		var ids [simt.LaneCount]int
+		var keys [simt.LaneCount]uint64
+		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
+		w.LoadGlobal(keysMem,
+			func(lane int) int { return ids[lane] },
+			func(lane int, v uint64) { keys[lane] = v })
+		w.Exec(h.cost, func(lane int) {}) // hash evaluation
+
+		// Home-slot attempt (unmasked), then bounded probing.
+		var done [simt.LaneCount]bool
+		w.AtomicCAS(mem,
+			func(lane int) int { return h.primarySlot(keys[lane], primSize) },
+			func(lane int) uint64 { return 0 },
+			func(lane int) uint64 { return keys[lane] },
+			func(lane int, prev uint64, swapped bool) {
+				if swapped {
+					primIdx[h.primarySlot(keys[lane], primSize)] = ids[lane]
+					done[lane] = true
+				}
+			})
+		for step := 1; step < maxProbe; step++ {
+			tryMask := w.Ballot(func(lane int) bool { return !done[lane] })
+			if tryMask == 0 {
+				break
+			}
+			step := step
+			w.WithMask(tryMask, func() {
+				w.AtomicCAS(mem,
+					func(lane int) int { return (h.primarySlot(keys[lane], primSize) + step) % primSize },
+					func(lane int) uint64 { return 0 },
+					func(lane int) uint64 { return keys[lane] },
+					func(lane int, prev uint64, swapped bool) {
+						if swapped {
+							slot := (h.primarySlot(keys[lane], primSize) + step) % primSize
+							primIdx[slot] = ids[lane]
+							done[lane] = true
+						}
+					})
+			})
+		}
+		w.Exec(1, func(lane int) { keep(lane, !done[lane]) })
+	})
+}
+
+// probeLinearPhase matches pending messages under LinearProbe: a
+// successful claim CASes the slot back to empty, which both records the
+// match and frees the slot for later inserts.
+func (h *HashMatcher) probeLinearPhase(mem *simt.Memory, primSize int, primIdx []int, msgKeys []uint64, pend *[]int, assign Assignment) (int, float64, simt.Counters) {
+	keysMem := simt.Wrap(msgKeys)
+	return h.runElementKernel(pend, func(w *simt.Warp, warpBase int, keep func(lane int, stillPending bool)) {
+		var ids [simt.LaneCount]int
+		var keys [simt.LaneCount]uint64
+		w.Exec(1, func(lane int) { ids[lane] = (*pend)[warpBase+lane] })
+		w.LoadGlobal(keysMem,
+			func(lane int) int { return ids[lane] },
+			func(lane int, v uint64) { keys[lane] = v })
+		w.Exec(h.cost, func(lane int) {}) // hash evaluation
+
+		var matched [simt.LaneCount]bool
+		for step := 0; step < maxProbe; step++ {
+			tryMask := w.Ballot(func(lane int) bool { return !matched[lane] })
+			if tryMask == 0 {
+				break
+			}
+			step := step
+			w.WithMask(tryMask, func() {
+				w.AtomicCAS(mem,
+					func(lane int) int { return (h.primarySlot(keys[lane], primSize) + step) % primSize },
+					func(lane int) uint64 { return keys[lane] },
+					func(lane int) uint64 { return 0 },
+					func(lane int, prev uint64, swapped bool) {
+						if swapped {
+							slot := (h.primarySlot(keys[lane], primSize) + step) % primSize
+							assign[primIdx[slot]] = ids[lane]
+							matched[lane] = true
+						}
+					})
+			})
+		}
+		w.Exec(1, func(lane int) { keep(lane, !matched[lane]) })
+	})
+}
+
+// runElementKernel runs body once per warp of pending elements,
+// sequentially in warp order, reusing the pooled warps; body receives a
+// callback to mark which lanes remain pending, and the pending list is
+// compacted in place afterwards.
+func (h *HashMatcher) runElementKernel(pend *[]int, body func(w *simt.Warp, warpBase int, keep func(lane int, stillPending bool))) (int, float64, simt.Counters) {
+	s := &h.scratch
+	pending := len(*pend)
+	if pending == 0 {
+		return 0, 0, simt.Counters{}
+	}
+	if cap(s.still) < pending {
+		s.still = make([]bool, pending)
+	}
+	still := s.still[:pending]
+
+	warpsTotal, warpsPerCTA := h.warpPlan(pending)
+	for len(s.warps) < warpsTotal {
+		s.warps = append(s.warps, &hashWarp{w: simt.NewWarp(len(s.warps)%simt.MaxWarpsPerCTA, new(simt.Counters))})
+	}
+
+	perCTA := s.perCTA[:0]
+	var ctaCtrs simt.Counters
+	for wi := 0; wi < warpsTotal; wi++ {
+		w := s.warps[wi].w
+		*w.Counters() = simt.Counters{}
+		w.SetActive(simt.FullMask)
+		base := wi * simt.LaneCount
+		active := w.Ballot(func(lane int) bool { return base+lane < pending })
+		w.SetActive(active)
+		body(w, base, func(lane int, stillPending bool) {
+			if base+lane < pending {
+				still[base+lane] = stillPending
+			}
+		})
+		w.SetActive(simt.FullMask)
+		ctaCtrs.Add(*w.Counters())
+		if (wi+1)%warpsPerCTA == 0 || wi == warpsTotal-1 {
+			perCTA = append(perCTA, ctaCtrs)
+			ctaCtrs = simt.Counters{}
+		}
+	}
+	s.perCTA = perCTA
+
+	cycles, ctrs := h.phaseTiming(perCTA, warpsPerCTA)
+	return compactPending(pend, still), cycles, ctrs
 }

@@ -65,6 +65,15 @@ func (r *Result) Rate() float64 {
 	return float64(r.Assignment.Matched()) / r.SimSeconds
 }
 
+// reset readies a Result for reuse: all-NoMatch assignment of length n
+// (reusing the backing array when large enough), zeroed metrics.
+func (r *Result) reset(n int) {
+	r.Assignment = ensureAssignment(r.Assignment, n)
+	r.SimSeconds = 0
+	r.Counters = simt.Counters{}
+	r.Iterations = 0
+}
+
 // Matcher is a batch message-matching engine.
 type Matcher interface {
 	// Name identifies the engine for reports.
@@ -73,6 +82,18 @@ type Matcher interface {
 	// semantics. Engines reject inputs their relaxation prohibits
 	// (e.g. wildcards on the partitioned and hash engines).
 	Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error)
+}
+
+// ReusableMatcher is implemented by engines whose steady-state hot path
+// allocates nothing: MatchInto recycles both the caller-owned Result
+// and the engine's internal scratch buffers (grown monotonically). The
+// mpx drain loop uses it when available.
+type ReusableMatcher interface {
+	Matcher
+	// MatchInto is Match writing into res instead of allocating a new
+	// Result. res must not be read concurrently with the call; its
+	// Assignment backing array is reused across calls.
+	MatchInto(res *Result, msgs []envelope.Envelope, reqs []envelope.Request) error
 }
 
 // Relaxation errors.

@@ -42,6 +42,12 @@ type MatrixConfig struct {
 	// CTA waves in parallel — the linear scaling §VI-A predicts — at
 	// the cost of resources taken from the application.
 	SMs int
+	// Workers bounds the host goroutines simulating the scan phase's
+	// warps in parallel (0 = GOMAXPROCS, 1 = sequential). Host
+	// parallelism changes wall-clock only: warps write disjoint vote
+	// rows and bill private counters, so results, counters and
+	// simulated cycles are bit-identical to the sequential path.
+	Workers int
 }
 
 func (c *MatrixConfig) withDefaults() MatrixConfig {
@@ -73,12 +79,62 @@ type MatrixMatcher struct {
 	// matcher sets it because each partition runs the scan/reduce on
 	// its own warp share regardless of block size.
 	noFused bool
+
+	// Reusable scratch, grown monotonically so the steady-state Match
+	// path allocates nothing. A matcher is consequently NOT safe for
+	// concurrent Match calls; concurrent workers each get their own
+	// instance (see PartitionedMatcher).
+	scratch matrixScratch
+}
+
+// matrixScratch holds the per-call buffers of the matrix kernel.
+type matrixScratch struct {
+	packedReqs []uint64
+	packedMsgs []uint64
+	msgRegs    [][simt.LaneCount]uint64
+	masks      []uint32
+	waveCycles []float64
+	ctas       simt.CTACache
+
+	// scan carries the per-window state of the parallel scan so the
+	// worker body can be one persistent method value: a fresh closure
+	// per window would escape to the heap (ParallelFor hands it to
+	// goroutines) and break the zero-allocation steady state.
+	scan struct {
+		warps        []*simt.Warp
+		cta          *simt.CTA
+		wStart, wEnd int
+		stride       int
+	}
+	scanFn func(int)
 }
 
 // NewMatrixMatcher returns a matcher with the given configuration.
 func NewMatrixMatcher(cfg MatrixConfig) *MatrixMatcher {
 	c := cfg.withDefaults()
 	return &MatrixMatcher{cfg: c, model: timing.NewModel(c.Arch)}
+}
+
+// growU64 returns buf resized to n, reusing its backing array when
+// large enough.
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// ensureAssignment returns a length-n assignment initialized to
+// NoMatch, reusing a's backing array when large enough.
+func ensureAssignment(a Assignment, n int) Assignment {
+	if cap(a) < n {
+		a = make(Assignment, n)
+	}
+	a = a[:n]
+	for i := range a {
+		a[i] = NoMatch
+	}
+	return a
 }
 
 // Name implements Matcher.
@@ -103,25 +159,35 @@ func (m *MatrixMatcher) footprint() arch.KernelFootprint {
 
 // Match implements Matcher with full MPI semantics.
 func (m *MatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
-	if err := validateInputs(msgs, reqs); err != nil {
+	res := &Result{}
+	if err := m.MatchInto(res, msgs, reqs); err != nil {
 		return nil, err
 	}
-	res := &Result{Assignment: make(Assignment, len(reqs))}
-	for i := range res.Assignment {
-		res.Assignment[i] = NoMatch
+	return res, nil
+}
+
+// MatchInto implements ReusableMatcher: it runs Match but recycles the
+// caller-owned Result (and the matcher's internal scratch), so the
+// steady-state hot path performs zero heap allocations.
+func (m *MatrixMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []envelope.Request) error {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return err
 	}
+	res.reset(len(reqs))
 	if len(msgs) == 0 || len(reqs) == 0 {
-		return res, nil
+		return nil
 	}
 
-	packedReqs := make([]uint64, len(reqs))
+	packedReqs := growU64(m.scratch.packedReqs, len(reqs))
 	for i, r := range reqs {
 		packedReqs[i] = r.Pack()
 	}
-	packedMsgs := make([]uint64, len(msgs))
+	m.scratch.packedReqs = packedReqs
+	packedMsgs := growU64(m.scratch.packedMsgs, len(msgs))
 	for i, e := range msgs {
 		packedMsgs[i] = e.Pack()
 	}
+	m.scratch.packedMsgs = packedMsgs
 
 	const blockSize = simt.MaxWarpsPerCTA * simt.LaneCount // 1024 messages per CTA
 	chunk := m.cfg.MaxCTAs * blockSize
@@ -143,7 +209,7 @@ func (m *MatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request)
 		// CTAs of this round, processed in message order (earlier CTA =
 		// earlier messages = higher matching priority). CTAs beyond the
 		// occupancy limit serialize into waves.
-		var waveCycles []float64
+		waveCycles := m.scratch.waveCycles[:0]
 		for blockStart := roundStart; blockStart < roundEnd; blockStart += blockSize {
 			blockEnd := blockStart + blockSize
 			if blockEnd > roundEnd {
@@ -153,6 +219,7 @@ func (m *MatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request)
 			waveCycles = append(waveCycles, cycles)
 			totalCtrs.Add(ctrs)
 		}
+		m.scratch.waveCycles = waveCycles
 		totalCycles += m.combineWaves(waveCycles, occ)
 		res.Iterations++
 	}
@@ -164,7 +231,7 @@ func (m *MatrixMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request)
 
 	res.SimSeconds = m.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
-	return res, nil
+	return nil
 }
 
 // combineWaves serializes CTA cycle counts into occupancy-sized waves
@@ -231,11 +298,20 @@ func (m *MatrixMatcher) matchBlock(msgs, reqs []uint64, blockStart, blockEnd int
 	// shared-memory banks instead of serializing 32-way.
 	stride := window + 1
 	sharedWords := simt.MaxWarpsPerCTA*stride + window
-	cta := simt.NewCTA(0, msgWarps*simt.LaneCount, sharedWords)
+	cta := m.scratch.ctas.Get(0, msgWarps*simt.LaneCount, sharedWords)
 	warps := cta.Warps()
 
-	// Each warp loads its 32 message headers once (coalesced).
-	msgRegs := make([][simt.LaneCount]uint64, msgWarps)
+	// Each warp loads its 32 message headers once (coalesced). The
+	// scratch registers must be zeroed: lanes past blockEnd are skipped
+	// by the masked load but still read by the scan's full-warp ballots,
+	// which rely on the zero sentinel to mean "no message".
+	if cap(m.scratch.msgRegs) < msgWarps {
+		m.scratch.msgRegs = make([][simt.LaneCount]uint64, msgWarps)
+	}
+	msgRegs := m.scratch.msgRegs[:msgWarps]
+	for i := range msgRegs {
+		msgRegs[i] = [simt.LaneCount]uint64{}
+	}
 	for wi, w := range warps {
 		start := blockStart + wi*simt.LaneCount
 		valid := w.Ballot(func(lane int) bool { return start+lane < blockEnd })
@@ -249,7 +325,10 @@ func (m *MatrixMatcher) matchBlock(msgs, reqs []uint64, blockStart, blockEnd int
 
 	// Per-row (warp) message masks persist across windows: bit i of
 	// masks[w] is set while message w*32+i is unclaimed.
-	masks := make([]uint32, msgWarps)
+	if cap(m.scratch.masks) < msgWarps {
+		m.scratch.masks = make([]uint32, msgWarps)
+	}
+	masks := m.scratch.masks[:msgWarps]
 	for i := range masks {
 		masks[i] = simt.FullMask
 	}
@@ -282,24 +361,19 @@ func (m *MatrixMatcher) matchBlock(msgs, reqs []uint64, blockStart, blockEnd int
 		cta.SyncThreads()
 
 		// Scan (Algorithm 1): every warp votes for every request of the
-		// window; votes land in the shared-memory matrix.
-		for wi, w := range warps {
-			for i := wStart; i < wEnd; i++ {
-				col := i - wStart
-				var req uint64
-				w.LoadShared(cta.Shared,
-					func(lane int) int { return simt.MaxWarpsPerCTA*stride + col },
-					func(lane int, v uint64) { req = v })
-				var vote uint32
-				w.Exec(2, func(lane int) {}) // header compare ALU work
-				vote = w.Ballot(func(lane int) bool {
-					return msgRegs[wi][lane] != 0 && envelope.MatchesPacked(req, msgRegs[wi][lane])
-				})
-				w.StoreShared(cta.Shared,
-					func(lane int) int { return wi*stride + col },
-					func(lane int) uint64 { return uint64(vote) })
-			}
+		// window; votes land in the shared-memory matrix. The warps are
+		// independent here — each reads the (now frozen) request buffer
+		// and its own message registers, writes its own matrix row, and
+		// bills its own counter sink — so the host may simulate them
+		// concurrently with bit-identical results.
+		sc := &m.scratch
+		sc.scan.warps, sc.scan.cta, sc.scan.stride = warps, cta, stride
+		sc.scan.wStart, sc.scan.wEnd = wStart, wEnd
+		if sc.scanFn == nil {
+			sc.scanFn = m.scanWarp
 		}
+		simt.ParallelFor(len(warps), m.cfg.Workers, sc.scanFn)
+		sc.scan.warps, sc.scan.cta = nil, nil
 		cta.SyncThreads()
 		scanCtrs.Add(cta.Counters())
 		cta.ResetCounters()
@@ -359,6 +433,32 @@ func (m *MatrixMatcher) matchBlock(msgs, reqs []uint64, blockStart, blockEnd int
 	return m.blockCycles(scanCtrs, reduceCtrs, msgWarps, windows), sum3(scanCtrs, reduceCtrs, cta.Counters())
 }
 
+// scanWarp is the parallel scan body for one warp: it votes the warp's
+// messages against every request of the current window (state in
+// m.scratch.scan). It is installed once as a persistent method value;
+// see matrixScratch.scan.
+func (m *MatrixMatcher) scanWarp(wi int) {
+	sc := &m.scratch.scan
+	w := sc.warps[wi]
+	cta, stride := sc.cta, sc.stride
+	regs := &m.scratch.msgRegs[wi]
+	for i := sc.wStart; i < sc.wEnd; i++ {
+		col := i - sc.wStart
+		var req uint64
+		w.LoadShared(cta.Shared,
+			func(lane int) int { return simt.MaxWarpsPerCTA*stride + col },
+			func(lane int, v uint64) { req = v })
+		var vote uint32
+		w.Exec(2, func(lane int) {}) // header compare ALU work
+		vote = w.Ballot(func(lane int) bool {
+			return regs[lane] != 0 && envelope.MatchesPacked(req, regs[lane])
+		})
+		w.StoreShared(cta.Shared,
+			func(lane int) int { return wi*stride + col },
+			func(lane int) uint64 { return uint64(vote) })
+	}
+}
+
 // blockCycles combines the scan and reduce phases of one CTA: when the
 // message block leaves warps free (fewer than 32 scan warps), the two
 // phases pipeline and the longer one hides the shorter (§V-A). At the
@@ -383,7 +483,7 @@ func (m *MatrixMatcher) blockCycles(scan, reduce simt.Counters, msgWarps, window
 // up to two messages (blocks of at most 64).
 func (m *MatrixMatcher) fusedBlock(msgs, reqs []uint64, blockStart, blockEnd int, assign Assignment) (float64, simt.Counters) {
 	blockLen := blockEnd - blockStart
-	cta := simt.NewCTA(0, simt.LaneCount, simt.LaneCount)
+	cta := m.scratch.ctas.Get(0, simt.LaneCount, simt.LaneCount)
 	w := cta.Warp(0)
 
 	var lo, hi [simt.LaneCount]uint64

@@ -1,0 +1,78 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/envelope"
+	"simtmp/internal/workload"
+)
+
+// TestParallelLaunchDeterministic pins the engine-level determinism
+// contract of host parallelism: for every GPU engine, running the same
+// workload with Workers=1 (sequential) and Workers=4 must produce
+// bit-identical assignments, simulated seconds, counters and iteration
+// counts — host goroutines may only change wall-clock. Run under -race
+// in CI, this doubles as the data-race check on the parallel paths.
+func TestParallelLaunchDeterministic(t *testing.T) {
+	type build func(workers int) ReusableMatcher
+	a := arch.PascalGTX1080()
+	engines := []struct {
+		name  string
+		build build
+	}{
+		{"matrix", func(w int) ReusableMatcher {
+			return NewMatrixMatcher(MatrixConfig{Arch: a, MaxCTAs: 2, Workers: w})
+		}},
+		{"partitioned", func(w int) ReusableMatcher {
+			return NewPartitionedMatcher(PartitionedConfig{Arch: a, Queues: 8, MaxCTAs: 2, Workers: w})
+		}},
+		{"hash", func(w int) ReusableMatcher {
+			return MustHashMatcher(HashConfig{Arch: a, CTAs: 4, Workers: w})
+		}},
+	}
+
+	for _, e := range engines {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			seq := e.build(1)
+			par := e.build(4)
+			for _, seed := range []int64{1, 7, 42, 20170529} {
+				var msgs []envelope.Envelope
+				var reqs []envelope.Request
+				if e.name == "hash" {
+					msgs, reqs = workload.UniqueTuples(1500, seed)
+				} else {
+					msgs, reqs = workload.Generate(workload.Config{N: 1500, Peers: 64, Tags: 32, Seed: seed})
+				}
+				var rs, rp Result
+				if err := seq.MatchInto(&rs, msgs, reqs); err != nil {
+					t.Fatalf("seed %d: sequential: %v", seed, err)
+				}
+				if err := par.MatchInto(&rp, msgs, reqs); err != nil {
+					t.Fatalf("seed %d: parallel: %v", seed, err)
+				}
+				if len(rs.Assignment) != len(rp.Assignment) {
+					t.Fatalf("seed %d: assignment lengths differ: %d vs %d", seed, len(rs.Assignment), len(rp.Assignment))
+				}
+				for i := range rs.Assignment {
+					if rs.Assignment[i] != rp.Assignment[i] {
+						t.Fatalf("seed %d: assignment[%d] = %d sequential, %d parallel",
+							seed, i, rs.Assignment[i], rp.Assignment[i])
+					}
+				}
+				if sb, pb := math.Float64bits(rs.SimSeconds), math.Float64bits(rp.SimSeconds); sb != pb {
+					t.Errorf("seed %d: SimSeconds not bit-identical: %v (%#x) vs %v (%#x)",
+						seed, rs.SimSeconds, sb, rp.SimSeconds, pb)
+				}
+				if rs.Counters != rp.Counters {
+					t.Errorf("seed %d: counters diverge:\n%+v\n%+v", seed, rs.Counters, rp.Counters)
+				}
+				if rs.Iterations != rp.Iterations {
+					t.Errorf("seed %d: iterations %d vs %d", seed, rs.Iterations, rp.Iterations)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,13 @@ type PartitionedConfig struct {
 	// SMs dedicates multiple SMs to the communication kernel
 	// (default 1; see MatrixConfig.SMs).
 	SMs int
+	// Workers bounds the host goroutines simulating partitions in
+	// parallel (0 = GOMAXPROCS, 1 = sequential). Partitions own
+	// disjoint queues, engines and assignment slices, and the
+	// floating-point cycle combination is replayed sequentially in
+	// partition order afterwards, so results, counters and simulated
+	// cycles are bit-identical to the sequential path.
+	Workers int
 }
 
 // PartitionedMatcher implements rank-partitioned matching. Requests
@@ -37,9 +44,39 @@ type PartitionedConfig struct {
 // land in the same partition, so partitions match independently and in
 // parallel. Tag wildcards and pairwise ordering remain fully honored.
 type PartitionedMatcher struct {
-	cfg    PartitionedConfig
-	engine *MatrixMatcher
-	model  timing.Model
+	cfg PartitionedConfig
+	// engines holds one matrix engine per partition so partition
+	// blocks can be simulated on concurrent host goroutines without
+	// sharing scratch; engines[0] doubles as the footprint/timing
+	// representative.
+	engines []*MatrixMatcher
+	model   timing.Model
+
+	// Reusable per-call scratch (grown monotonically); a matcher is
+	// NOT safe for concurrent Match calls.
+	parts       []partScratch
+	partCtrs    []simt.Counters
+	roundCycles []float64
+	ctaCycles   []float64
+	packed      []uint64
+
+	// par carries the per-round state of the parallel partition fan-out
+	// so the worker body can be one persistent method value (a fresh
+	// closure per round would allocate; see matrixScratch.scan).
+	par struct {
+		round, maxCTAs, subBlock int
+		roundCycles              []float64
+	}
+	parFn func(int)
+}
+
+// partScratch holds one partition's physical queues and local result.
+type partScratch struct {
+	msgWords []uint64
+	msgIdx   []int
+	reqWords []uint64
+	reqIdx   []int
+	assign   Assignment
 }
 
 // NewPartitionedMatcher returns a matcher with the given configuration.
@@ -62,9 +99,22 @@ func NewPartitionedMatcher(cfg PartitionedConfig) *PartitionedMatcher {
 	if cfg.SMs <= 0 {
 		cfg.SMs = 1
 	}
-	engine := NewMatrixMatcher(MatrixConfig{Arch: cfg.Arch, Window: cfg.Window, MaxCTAs: 1, SMs: cfg.SMs})
-	engine.noFused = true
-	return &PartitionedMatcher{cfg: cfg, engine: engine, model: timing.NewModel(cfg.Arch)}
+	p := &PartitionedMatcher{
+		cfg:      cfg,
+		engines:  make([]*MatrixMatcher, cfg.Queues),
+		model:    timing.NewModel(cfg.Arch),
+		parts:    make([]partScratch, cfg.Queues),
+		partCtrs: make([]simt.Counters, cfg.Queues),
+	}
+	for i := range p.engines {
+		// Partition engines run sequentially inside their goroutine
+		// (Workers: 1): host parallelism lives at the partition level,
+		// nesting pools would only add scheduling noise.
+		e := NewMatrixMatcher(MatrixConfig{Arch: cfg.Arch, Window: cfg.Window, MaxCTAs: 1, SMs: cfg.SMs, Workers: 1})
+		e.noFused = true
+		p.engines[i] = e
+	}
+	return p
 }
 
 // Name implements Matcher.
@@ -85,49 +135,53 @@ func (p *PartitionedMatcher) queueOf(src envelope.Rank) int {
 
 // Match implements Matcher under the no-source-wildcard relaxation.
 func (p *PartitionedMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Request) (*Result, error) {
-	if err := validateInputs(msgs, reqs); err != nil {
+	res := &Result{}
+	if err := p.MatchInto(res, msgs, reqs); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// MatchInto implements ReusableMatcher (see MatrixMatcher.MatchInto).
+func (p *PartitionedMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []envelope.Request) error {
+	if err := validateInputs(msgs, reqs); err != nil {
+		return err
 	}
 	for i, r := range reqs {
 		if r.Src == envelope.AnySource {
-			return nil, fmt.Errorf("request %d: %w", i, ErrSourceWildcard)
+			return fmt.Errorf("request %d: %w", i, ErrSourceWildcard)
 		}
 	}
-	res := &Result{Assignment: make(Assignment, len(reqs))}
-	for i := range res.Assignment {
-		res.Assignment[i] = NoMatch
-	}
+	res.reset(len(reqs))
 	if len(msgs) == 0 || len(reqs) == 0 {
-		return res, nil
+		return nil
 	}
 
 	// Partition by source rank. Per-queue arrays are contiguous: the
 	// receiving runtime enqueues each arrival into its partition's
 	// physical queue, so kernel loads stay coalesced.
 	q := p.cfg.Queues
-	type part struct {
-		msgWords []uint64
-		msgIdx   []int
-		reqWords []uint64
-		reqIdx   []int
-		assign   Assignment
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.msgWords = pt.msgWords[:0]
+		pt.msgIdx = pt.msgIdx[:0]
+		pt.reqWords = pt.reqWords[:0]
+		pt.reqIdx = pt.reqIdx[:0]
 	}
-	parts := make([]part, q)
 	for i, m := range msgs {
-		pi := p.queueOf(m.Src)
-		parts[pi].msgWords = append(parts[pi].msgWords, m.Pack())
-		parts[pi].msgIdx = append(parts[pi].msgIdx, i)
+		pt := &p.parts[p.queueOf(m.Src)]
+		pt.msgWords = append(pt.msgWords, m.Pack())
+		pt.msgIdx = append(pt.msgIdx, i)
 	}
 	for i, r := range reqs {
-		pi := p.queueOf(r.Src)
-		parts[pi].reqWords = append(parts[pi].reqWords, r.Pack())
-		parts[pi].reqIdx = append(parts[pi].reqIdx, i)
+		pt := &p.parts[p.queueOf(r.Src)]
+		pt.reqWords = append(pt.reqWords, r.Pack())
+		pt.reqIdx = append(pt.reqIdx, i)
 	}
-	for pi := range parts {
-		parts[pi].assign = make(Assignment, len(parts[pi].reqWords))
-		for i := range parts[pi].assign {
-			parts[pi].assign[i] = NoMatch
-		}
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.assign = ensureAssignment(pt.assign, len(pt.reqWords))
+		p.partCtrs[pi] = simt.Counters{}
 	}
 
 	warpsPerQueue := simt.MaxWarpsPerCTA / q
@@ -136,34 +190,51 @@ func (p *PartitionedMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Req
 	}
 	subBlock := warpsPerQueue * simt.LaneCount
 
-	occ := p.cfg.Arch.Occupancy(p.engine.footprint())
+	occ := p.cfg.Arch.Occupancy(p.engines[0].footprint())
 	if occ < 1 {
 		occ = 1
 	}
 
+	maxCTAs := p.cfg.MaxCTAs
+	if cap(p.roundCycles) < q*maxCTAs {
+		p.roundCycles = make([]float64, q*maxCTAs)
+	}
+	roundCycles := p.roundCycles[:q*maxCTAs]
+	if cap(p.ctaCycles) < maxCTAs {
+		p.ctaCycles = make([]float64, maxCTAs)
+	}
+	ctaCycles := p.ctaCycles[:maxCTAs]
+
 	var totalCycles float64
 	var totalCtrs simt.Counters
 	for round := 0; ; round++ {
-		progress := false
-		// CTA c of this round hosts every queue's c-th sub-block; the
-		// queues run on disjoint warp groups within the CTA, so the
+		// Partitions are independent — disjoint queues, private engine
+		// scratch, private assignment — so the round's blocks run
+		// across host goroutines; each partition still walks its own
+		// CTA sub-blocks in message order (earlier block = higher
+		// priority). Cycle values land in per-(partition,CTA) slots.
+		p.par.round, p.par.maxCTAs, p.par.subBlock = round, maxCTAs, subBlock
+		p.par.roundCycles = roundCycles
+		if p.parFn == nil {
+			p.parFn = p.roundPartition
+		}
+		simt.ParallelFor(q, p.cfg.Workers, p.parFn)
+
+		// Replay the floating-point combination sequentially in the
+		// original (CTA, partition) order: float addition is not
+		// associative, and bit-identical simulated time across worker
+		// counts is part of the determinism contract. CTA c hosts
+		// every queue's c-th sub-block on disjoint warp groups, so the
 		// longest queue dominates and the rest add interference.
-		ctaCycles := make([]float64, p.cfg.MaxCTAs)
-		for c := 0; c < p.cfg.MaxCTAs; c++ {
+		progress := false
+		for c := 0; c < maxCTAs; c++ {
 			maxQ, sumQ := 0.0, 0.0
-			for pi := range parts {
-				pt := &parts[pi]
-				blockStart := (round*p.cfg.MaxCTAs + c) * subBlock
-				if blockStart >= len(pt.msgWords) {
+			for pi := 0; pi < q; pi++ {
+				cycles := roundCycles[pi*maxCTAs+c]
+				if cycles < 0 {
 					continue
 				}
-				blockEnd := blockStart + subBlock
-				if blockEnd > len(pt.msgWords) {
-					blockEnd = len(pt.msgWords)
-				}
 				progress = true
-				cycles, ctrs := p.engine.matchBlock(pt.msgWords, pt.reqWords, blockStart, blockEnd, pt.assign)
-				totalCtrs.Add(ctrs)
 				sumQ += cycles
 				if cycles > maxQ {
 					maxQ = cycles
@@ -175,8 +246,13 @@ func (p *PartitionedMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Req
 		if !progress {
 			break
 		}
-		totalCycles += p.engine.combineWaves(ctaCycles, occ)
+		totalCycles += p.engines[0].combineWaves(ctaCycles, occ)
 		res.Iterations++
+	}
+	// Counter merging is integer addition, so summing the per-partition
+	// sinks in partition order matches the sequential interleaving.
+	for pi := range p.partCtrs {
+		totalCtrs.Add(p.partCtrs[pi])
 	}
 
 	// Cross-queue coordination: the pipelining barriers apply to all
@@ -187,8 +263,8 @@ func (p *PartitionedMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Req
 	totalCycles += p.model.P.LaunchOverhead
 
 	// Scatter per-queue assignments back to global indices.
-	for pi := range parts {
-		pt := &parts[pi]
+	for pi := range p.parts {
+		pt := &p.parts[pi]
 		for li, lm := range pt.assign {
 			if lm != NoMatch {
 				res.Assignment[pt.reqIdx[li]] = pt.msgIdx[lm]
@@ -197,16 +273,41 @@ func (p *PartitionedMatcher) Match(msgs []envelope.Envelope, reqs []envelope.Req
 	}
 
 	if p.cfg.Compact {
-		packed := make([]uint64, len(msgs))
+		packed := growU64(p.packed, len(msgs))
 		for i, m := range msgs {
 			packed[i] = m.Pack()
 		}
-		totalCycles += p.engine.compactionCycles(packed, res.Assignment)
+		p.packed = packed
+		totalCycles += p.engines[0].compactionCycles(packed, res.Assignment)
 	}
 
 	res.SimSeconds = p.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
-	return res, nil
+	return nil
+}
+
+// roundPartition is the parallel round body for one partition: it runs
+// the partition's CTA sub-blocks of the current round (state in p.par)
+// on the partition's private engine and records per-slot cycles. It is
+// installed once as a persistent method value; see the par field.
+func (p *PartitionedMatcher) roundPartition(pi int) {
+	pt := &p.parts[pi]
+	round, maxCTAs, subBlock := p.par.round, p.par.maxCTAs, p.par.subBlock
+	for c := 0; c < maxCTAs; c++ {
+		slot := pi*maxCTAs + c
+		blockStart := (round*maxCTAs + c) * subBlock
+		if blockStart >= len(pt.msgWords) {
+			p.par.roundCycles[slot] = -1
+			continue
+		}
+		blockEnd := blockStart + subBlock
+		if blockEnd > len(pt.msgWords) {
+			blockEnd = len(pt.msgWords)
+		}
+		cycles, ctrs := p.engines[pi].matchBlock(pt.msgWords, pt.reqWords, blockStart, blockEnd, pt.assign)
+		p.par.roundCycles[slot] = cycles
+		p.partCtrs[pi].Add(ctrs)
+	}
 }
 
 // contention returns the calibrated cross-queue synchronization

@@ -46,10 +46,10 @@ func TestReferenceDuplicateTuplesWildcards(t *testing.T) {
 		env(4, 5), // 2
 	}
 	reqs := []envelope.Request{
-		{Src: envelope.AnySource, Tag: 5}, // posted first → msg 0
-		{Src: 2, Tag: 5},                  // → msg 1 (0 already claimed)
+		{Src: envelope.AnySource, Tag: 5},               // posted first → msg 0
+		{Src: 2, Tag: 5},                                // → msg 1 (0 already claimed)
 		{Src: envelope.AnySource, Tag: envelope.AnyTag}, // → msg 2
-		{Src: 2, Tag: 5}, // nothing left → NoMatch
+		{Src: 2, Tag: 5},                                // nothing left → NoMatch
 	}
 	want := Assignment{0, 1, 2, NoMatch}
 	got := Reference(msgs, reqs)

@@ -1,0 +1,93 @@
+package match
+
+import (
+	"testing"
+
+	"simtmp/internal/arch"
+	"simtmp/internal/workload"
+)
+
+// reusableCases builds one steady-state MatchInto case per GPU engine:
+// default configurations (no compaction, sequential workers) on
+// representative workloads. These are the configurations the
+// zero-allocation contract covers.
+func reusableCases() []struct {
+	name string
+	m    ReusableMatcher
+	run  func(res *Result) error
+} {
+	a := arch.PascalGTX1080()
+	fullMsgs, fullReqs := workload.FullyMatching(256, 1)
+	partMsgs, partReqs := workload.Generate(workload.Config{N: 1024, Peers: 64, Tags: 32, Seed: 1})
+	uniqMsgs, uniqReqs := workload.UniqueTuples(1024, 1)
+
+	type c = struct {
+		name string
+		m    ReusableMatcher
+		run  func(res *Result) error
+	}
+	var cases []c
+	{
+		m := NewMatrixMatcher(MatrixConfig{Arch: a})
+		cases = append(cases, c{"matrix", m, func(res *Result) error {
+			return m.MatchInto(res, fullMsgs, fullReqs)
+		}})
+	}
+	{
+		m := NewPartitionedMatcher(PartitionedConfig{Arch: a, Queues: 8, MaxCTAs: 2})
+		cases = append(cases, c{"partitioned", m, func(res *Result) error {
+			return m.MatchInto(res, partMsgs, partReqs)
+		}})
+	}
+	{
+		m := MustHashMatcher(HashConfig{Arch: a, CTAs: 4})
+		cases = append(cases, c{"hash", m, func(res *Result) error {
+			return m.MatchInto(res, uniqMsgs, uniqReqs)
+		}})
+	}
+	return cases
+}
+
+// TestMatchIntoZeroAlloc asserts the steady-state zero-allocation
+// contract: after one warm-up call grows the scratch buffers, repeated
+// MatchInto calls on the same shape allocate nothing.
+func TestMatchIntoZeroAlloc(t *testing.T) {
+	for _, c := range reusableCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var res Result
+			if err := c.run(&res); err != nil { // warm scratch
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := c.run(&res); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: MatchInto allocates %v per steady-state call, want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkMatchInto is the benchmark-backed form of the contract:
+// run with -benchmem to see ns/op and allocs/op per engine.
+func BenchmarkMatchInto(b *testing.B) {
+	for _, c := range reusableCases() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var res Result
+			if err := c.run(&res); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.run(&res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,7 +17,9 @@ package mpx
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"simtmp/internal/arch"
 	"simtmp/internal/envelope"
@@ -107,6 +109,11 @@ type Config struct {
 	// Drain tolerates with work still in flight before returning a
 	// *StallError (default 100).
 	StallPatience int
+	// MeasureAllocs samples runtime.MemStats around every Drain call to
+	// fill the Stats.DrainAllocs/DrainAllocBytes counters (-benchmem
+	// style). Off by default: ReadMemStats briefly stops the world, so
+	// it is opt-in for benchmarking and regression runs.
+	MeasureAllocs bool
 }
 
 // Recv is a posted receive handle. Its accessors synchronize with the
@@ -175,6 +182,14 @@ type Stats struct {
 	Invalid       int // wire words discarded for a missing valid bit
 	StallSteps    int // drain rounds suppressed by injected stalls
 	ProgressSteps int // progress steps executed (Progress + Drain)
+
+	// Host-side drain-loop profile (-benchmem style). Wall time is
+	// always metered; the allocation counters fill only when
+	// Config.MeasureAllocs is set.
+	Drains           int     // Drain calls completed
+	DrainWallSeconds float64 // host wall-clock spent inside Drain
+	DrainAllocs      uint64  // heap allocations during Drain calls
+	DrainAllocBytes  uint64  // heap bytes allocated during Drain calls
 }
 
 // Rate returns cumulative matches per simulated second.
@@ -183,6 +198,33 @@ func (s Stats) Rate() float64 {
 		return 0
 	}
 	return float64(s.Matches) / s.SimSeconds
+}
+
+// DrainRate returns matched messages per host wall-clock second spent
+// draining, or 0 before any Drain completed.
+func (s Stats) DrainRate() float64 {
+	if s.DrainWallSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Matches) / s.DrainWallSeconds
+}
+
+// AllocsPerDrain returns heap allocations per Drain call (0 unless
+// Config.MeasureAllocs was set).
+func (s Stats) AllocsPerDrain() float64 {
+	if s.Drains == 0 {
+		return 0
+	}
+	return float64(s.DrainAllocs) / float64(s.Drains)
+}
+
+// AllocBytesPerDrain returns heap bytes allocated per Drain call (0
+// unless Config.MeasureAllocs was set).
+func (s Stats) AllocBytesPerDrain() float64 {
+	if s.Drains == 0 {
+		return 0
+	}
+	return float64(s.DrainAllocBytes) / float64(s.Drains)
 }
 
 // Runtime is a GAS cluster with per-GPU matching engines. It is safe
@@ -205,6 +247,10 @@ type Runtime struct {
 	// Per-GPU pending state between progress steps.
 	pendingMsgs  [][]gas.Message
 	pendingRecvs [][]*Recv
+
+	// Per-GPU match-call scratch, reused every progress step so the
+	// steady-state drain loop allocates nothing.
+	scratch []gpuScratch
 
 	// Reliable-layer state: sender flows tx[src][dst], receiver
 	// reassembly rx[dst][src], and the simulated transport clock (a
@@ -253,6 +299,7 @@ func New(cfg Config) *Runtime {
 		engines:      make([]match.Matcher, cfg.GPUs),
 		pendingMsgs:  make([][]gas.Message, cfg.GPUs),
 		pendingRecvs: make([][]*Recv, cfg.GPUs),
+		scratch:      make([]gpuScratch, cfg.GPUs),
 		tx:           make([][]*txFlow, cfg.GPUs),
 		rx:           make([][]*rxFlow, cfg.GPUs),
 	}
@@ -376,6 +423,29 @@ func (rt *Runtime) Progress() error {
 	return err
 }
 
+// gpuScratch holds one GPU's reusable match-call buffers: the packed
+// batch views, the used-message marks, and the engine's recycled
+// Result. Everything grows monotonically and is overwritten each step.
+type gpuScratch struct {
+	envs []envelope.Envelope
+	reqs []envelope.Request
+	used []bool
+	res  match.Result
+}
+
+// matchLocked runs GPU g's engine over the batch, routing through the
+// zero-allocation MatchInto path when the engine supports it.
+func (rt *Runtime) matchLocked(g int, envs []envelope.Envelope, reqs []envelope.Request) (*match.Result, error) {
+	if rm, ok := rt.engines[g].(match.ReusableMatcher); ok {
+		res := &rt.scratch[g].res
+		if err := rm.MatchInto(res, envs, reqs); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return rt.engines[g].Match(envs, reqs)
+}
+
 // progressStepLocked runs one progress step with rt.mu held and
 // returns how much observable progress it made: frames transmitted,
 // acks retired, messages released to matching, and matches delivered.
@@ -396,16 +466,23 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 			continue
 		}
 
-		envs := make([]envelope.Envelope, len(msgs))
+		sc := &rt.scratch[g]
+		if cap(sc.envs) < len(msgs) {
+			sc.envs = make([]envelope.Envelope, len(msgs))
+		}
+		envs := sc.envs[:len(msgs)]
 		for i, m := range msgs {
 			envs[i] = m.Env
 		}
-		reqs := make([]envelope.Request, len(recvs))
+		if cap(sc.reqs) < len(recvs) {
+			sc.reqs = make([]envelope.Request, len(recvs))
+		}
+		reqs := sc.reqs[:len(recvs)]
 		for i, r := range recvs {
 			reqs[i] = r.req
 		}
 
-		res, err := rt.engines[g].Match(envs, reqs)
+		res, err := rt.matchLocked(g, envs, reqs)
 		if err != nil {
 			return progress, fmt.Errorf("mpx: GPU %d: %w", g, err)
 		}
@@ -413,8 +490,15 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 		rt.stats.Iterations += res.Iterations
 		rt.stats.Counters.Add(res.Counters)
 
-		usedMsg := make([]bool, len(msgs))
-		var remainingRecvs []*Recv
+		if cap(sc.used) < len(msgs) {
+			sc.used = make([]bool, len(msgs))
+		}
+		usedMsg := sc.used[:len(msgs)]
+		for i := range usedMsg {
+			usedMsg[i] = false
+		}
+		unmatchedMsgs := len(msgs)
+		remainingRecvs := recvs[:0]
 		for ri, mi := range res.Assignment {
 			if mi == match.NoMatch {
 				remainingRecvs = append(remainingRecvs, recvs[ri])
@@ -423,6 +507,7 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 			recvs[ri].delivered = true
 			recvs[ri].msg = msgs[mi]
 			usedMsg[mi] = true
+			unmatchedMsgs--
 			rt.stats.Matches++
 			progress++
 
@@ -442,15 +527,21 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 				rt.stats.PrePostedMsgs++
 			}
 		}
-		var remainingMsgs []gas.Message
+		if rt.cfg.Level == NoUnexpected && unmatchedMsgs > 0 {
+			for i, used := range usedMsg {
+				if !used {
+					return progress, fmt.Errorf("%w: %d message(s) pending on GPU %d (first: %v)",
+						ErrUnexpectedMessage, unmatchedMsgs, g, msgs[i].Env)
+				}
+			}
+		}
+		// Compact the unmatched messages in place: writes trail reads,
+		// and delivered copies were taken above, so no reallocation.
+		remainingMsgs := msgs[:0]
 		for i, used := range usedMsg {
 			if !used {
 				remainingMsgs = append(remainingMsgs, msgs[i])
 			}
-		}
-		if rt.cfg.Level == NoUnexpected && len(remainingMsgs) > 0 {
-			return progress, fmt.Errorf("%w: %d message(s) pending on GPU %d (first: %v)",
-				ErrUnexpectedMessage, len(remainingMsgs), g, remainingMsgs[0].Env)
 		}
 		rt.pendingMsgs[g] = remainingMsgs
 		rt.pendingRecvs[g] = remainingRecvs
@@ -477,6 +568,21 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	start := time.Now()
+	var m0 runtime.MemStats
+	if rt.cfg.MeasureAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	defer func() {
+		rt.stats.Drains++
+		rt.stats.DrainWallSeconds += time.Since(start).Seconds()
+		if rt.cfg.MeasureAllocs {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			rt.stats.DrainAllocs += m1.Mallocs - m0.Mallocs
+			rt.stats.DrainAllocBytes += m1.TotalAlloc - m0.TotalAlloc
+		}
+	}()
 	idle := 0
 	for step := 0; step < maxSteps; step++ {
 		progress, err := rt.progressStepLocked()

@@ -23,6 +23,10 @@ func NewMemory(words int) *Memory {
 // host-prepared data as device global memory.
 func Wrap(words []uint64) *Memory { return &Memory{words: words} }
 
+// Rebind repoints a wrapped view at a new word slice without
+// allocating, so long-lived views can track reusable host buffers.
+func (m *Memory) Rebind(words []uint64) { m.words = words }
+
 // Len returns the memory size in words.
 func (m *Memory) Len() int { return len(m.words) }
 
@@ -66,6 +70,14 @@ func (m *Memory) Fill(addr, n int, v uint64) {
 	}
 }
 
+// Zero clears the whole memory (compiles to a memclr; used by CTA.Reset
+// so a reused CTA is indistinguishable from a fresh one).
+func (m *Memory) Zero() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}
+
 // Slice exposes words [addr, addr+n) as a Go slice aliasing the
 // underlying storage. It is intended for host-side setup and result
 // readout, not for kernel code (kernel code must go through warp
@@ -80,14 +92,24 @@ const segmentWords = 16
 // transactions returns the number of distinct 128-byte segments touched
 // by the given word addresses — the coalescing model: a fully
 // sequential warp access costs 1-2 transactions, a random gather costs
-// up to one per lane.
+// up to one per lane. addrs holds at most one entry per lane (32), so
+// the quadratic distinct-count is cheap and, unlike a map, allocates
+// nothing — this runs once per simulated memory instruction and used to
+// dominate the simulator's allocation profile.
 func transactions(addrs []int) uint64 {
-	if len(addrs) == 0 {
-		return 0
+	n := uint64(0)
+	for i, a := range addrs {
+		seg := a / segmentWords
+		dup := false
+		for _, b := range addrs[:i] {
+			if b/segmentWords == seg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
 	}
-	seen := make(map[int]struct{}, len(addrs))
-	for _, a := range addrs {
-		seen[a/segmentWords] = struct{}{}
-	}
-	return uint64(len(seen))
+	return n
 }

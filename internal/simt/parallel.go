@@ -1,0 +1,119 @@
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count configuration value: n <= 0 selects
+// GOMAXPROCS (use every host core the runtime is allowed), any other
+// value is returned as-is. Engine configs use 0 for "parallel by
+// default" and 1 for "force sequential".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines and returns when all calls completed. workers <= 0 selects
+// GOMAXPROCS; workers == 1 (or n == 1) degenerates to a plain loop with
+// no goroutine or channel traffic, so the sequential path stays the
+// zero-overhead baseline.
+//
+// Determinism contract: iterations must be independent — fn(i) may
+// write only state owned by iteration i (its result slot, its CTA, its
+// partition). Under that contract the outcome is bit-identical to the
+// sequential loop regardless of scheduling, because no iteration
+// observes another's writes. Iterations are handed out by an atomic
+// counter, so work stays balanced when per-iteration cost is skewed.
+//
+// A panic in any iteration is re-raised on the caller's goroutine
+// after all workers have stopped (first panic in iteration order wins,
+// so failures are reproducible).
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked = -1
+		panicVal any
+	)
+	body := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked < 0 || i < panicked {
+							panicked, panicVal = i, r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go body()
+	}
+	wg.Wait()
+	if panicked >= 0 {
+		panic(fmt.Sprintf("simt: ParallelFor iteration %d panicked: %v", panicked, panicVal))
+	}
+}
+
+// LaunchParallel is Launch with the CTA loop spread across a
+// GOMAXPROCS-bounded worker pool (workers <= 0 selects GOMAXPROCS).
+// Each CTA still executes its own warps sequentially and
+// deterministically; only whole CTAs run concurrently, and per-CTA
+// counters land in stats.PerCTA indexed by CTA id, so the merged
+// LaunchStats — and therefore the timing model's cycle accounting — is
+// bit-identical to the sequential Launch.
+//
+// The kernel must honor CTA independence, the same property the
+// hardware grid model guarantees nothing beyond: CTAs may read shared
+// global memory freely but must write only disjoint regions, and must
+// not communicate through global atomics whose outcome the result
+// depends on. Kernels needing cross-CTA atomics (the hash matcher's
+// shared tables) belong on Launch, where the sequential CTA order makes
+// the interleaving reproducible.
+func (d *Device) LaunchParallel(ctas, threadsPerCTA, sharedWords, regsPerThread, workers int, kernel Kernel) *LaunchStats {
+	if ctas <= 0 {
+		panic(fmt.Sprintf("simt: launch with %d CTAs", ctas))
+	}
+	stats := &LaunchStats{
+		PerCTA:    make([]Counters, ctas),
+		Footprint: archFootprint(threadsPerCTA, regsPerThread, sharedWords),
+	}
+	ParallelFor(ctas, workers, func(i int) {
+		c := NewCTA(i, threadsPerCTA, sharedWords)
+		kernel(c, d.Global)
+		stats.PerCTA[i] = c.Counters()
+	})
+	return stats
+}

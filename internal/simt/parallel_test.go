@@ -1,0 +1,223 @@
+package simt
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"simtmp/internal/arch"
+)
+
+func TestParallelForCoversAllIterations(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ParallelFor(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: iteration %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestParallelForPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	ParallelFor(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(1) != 1 || Workers(5) != 5 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("defaulted worker count must be at least 1")
+	}
+}
+
+// countingKernel is a grid whose CTAs are independent: each CTA writes
+// a deterministic mix of per-lane values into its own disjoint global
+// region, exercising every counter class.
+func countingKernel(seed int64) (Kernel, int) {
+	const perCTA = 64
+	return func(c *CTA, g *Memory) {
+		rng := rand.New(rand.NewSource(seed + int64(c.ID)))
+		base := c.ID * perCTA
+		for _, w := range c.Warps() {
+			mix := rng.Uint64()
+			w.Exec(2, func(lane int) {})
+			vote := w.Ballot(func(lane int) bool { return mix>>uint(lane)&1 == 1 })
+			w.StoreShared(c.Shared, func(lane int) int { return lane % 8 }, func(lane int) uint64 { return mix })
+			w.LoadShared(c.Shared, func(lane int) int { return lane % 8 }, func(lane int, v uint64) {})
+			w.WithMask(vote, func() {
+				w.StoreGlobal(g, func(lane int) int { return base + w.ID*LaneCount + lane },
+					func(lane int) uint64 { return mix ^ uint64(lane) })
+			})
+			w.LoadGlobal(g, func(lane int) int { return base + (lane*7)%perCTA }, func(lane int, v uint64) {})
+			w.AtomicAdd(g, func(lane int) int { return base }, func(lane int) uint64 { return 1 }, func(int, uint64) {})
+		}
+		c.SyncThreads()
+	}, perCTA
+}
+
+// TestLaunchParallelDeterministic runs the same independent-CTA kernel
+// via Launch and LaunchParallel across seeds and asserts bit-identical
+// global memory, per-CTA counters, and totals.
+func TestLaunchParallelDeterministic(t *testing.T) {
+	a := arch.PascalGTX1080()
+	for seed := int64(0); seed < 5; seed++ {
+		kernel, perCTA := countingKernel(seed)
+		const ctas = 12
+		seq := NewDevice(a, ctas*perCTA)
+		seqStats := seq.Launch(ctas, 64, 8, 16, kernel)
+
+		for _, workers := range []int{2, 4, 16} {
+			par := NewDevice(a, ctas*perCTA)
+			parStats := par.LaunchParallel(ctas, 64, 8, 16, workers, kernel)
+
+			if len(parStats.PerCTA) != len(seqStats.PerCTA) {
+				t.Fatalf("seed %d: PerCTA length %d != %d", seed, len(parStats.PerCTA), len(seqStats.PerCTA))
+			}
+			for i := range seqStats.PerCTA {
+				if parStats.PerCTA[i] != seqStats.PerCTA[i] {
+					t.Fatalf("seed %d workers %d: CTA %d counters differ:\npar %+v\nseq %+v",
+						seed, workers, i, parStats.PerCTA[i], seqStats.PerCTA[i])
+				}
+			}
+			if parStats.Total() != seqStats.Total() {
+				t.Fatalf("seed %d workers %d: totals differ", seed, workers)
+			}
+			if parStats.Footprint != seqStats.Footprint {
+				t.Fatalf("seed %d workers %d: footprints differ", seed, workers)
+			}
+			for addr := 0; addr < ctas*perCTA; addr++ {
+				if par.Global.Load(addr) != seq.Global.Load(addr) {
+					t.Fatalf("seed %d workers %d: global[%d] = %d, want %d",
+						seed, workers, addr, par.Global.Load(addr), seq.Global.Load(addr))
+				}
+			}
+		}
+	}
+}
+
+// Reference implementations of the coalescing and bank-conflict models,
+// kept as the specification the alloc-free versions must match.
+func refTransactions(addrs []int) uint64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	seen := make(map[int]struct{}, len(addrs))
+	for _, a := range addrs {
+		seen[a/segmentWords] = struct{}{}
+	}
+	return uint64(len(seen))
+}
+
+func refBankConflicts(addrs []int) uint64 {
+	var perBank [bankCount]map[int]struct{}
+	worst := 1
+	for _, a := range addrs {
+		b := a % bankCount
+		if perBank[b] == nil {
+			perBank[b] = make(map[int]struct{}, 2)
+		}
+		perBank[b][a] = struct{}{}
+		if n := len(perBank[b]); n > worst {
+			worst = n
+		}
+	}
+	return uint64(worst - 1)
+}
+
+func TestMemoryModelCountersMatchReferenceAndDoNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]int{
+		{}, {0}, {0, 0, 0}, {0, 16, 32, 48}, {5, 5, 37, 69, 5},
+	}
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(LaneCount + 1)
+		addrs := make([]int, n)
+		for j := range addrs {
+			addrs[j] = rng.Intn(300)
+		}
+		cases = append(cases, addrs)
+	}
+	for _, addrs := range cases {
+		if got, want := transactions(addrs), refTransactions(addrs); got != want {
+			t.Fatalf("transactions(%v) = %d, want %d", addrs, got, want)
+		}
+		if got, want := bankConflicts(addrs), refBankConflicts(addrs); got != want {
+			t.Fatalf("bankConflicts(%v) = %d, want %d", addrs, got, want)
+		}
+	}
+	big := cases[len(cases)-1]
+	if allocs := testing.AllocsPerRun(100, func() {
+		transactions(big)
+		bankConflicts(big)
+	}); allocs != 0 {
+		t.Fatalf("memory-model counters allocate %.1f times per access, want 0", allocs)
+	}
+}
+
+func TestCTAResetMatchesFresh(t *testing.T) {
+	used := NewCTA(0, 100, 64)
+	kernel, _ := countingKernel(3)
+	// Dirty the CTA thoroughly, then reset.
+	g := NewMemory(64 * 12)
+	kernel(used, g)
+	used.Warp(0).SetActive(0x5)
+	used.Reset()
+
+	fresh := NewCTA(0, 100, 64)
+	if used.Counters() != fresh.Counters() {
+		t.Fatalf("reset counters %+v != fresh %+v", used.Counters(), fresh.Counters())
+	}
+	if used.Threads() != fresh.Threads() {
+		t.Fatalf("reset threads %d != fresh %d", used.Threads(), fresh.Threads())
+	}
+	for i := 0; i < used.NumWarps(); i++ {
+		if used.Warp(i).Active() != fresh.Warp(i).Active() {
+			t.Fatalf("warp %d mask %#x != fresh %#x", i, used.Warp(i).Active(), fresh.Warp(i).Active())
+		}
+	}
+	for a := 0; a < 64; a++ {
+		if used.Shared.Load(a) != 0 {
+			t.Fatalf("shared[%d] = %d after Reset, want 0", a, used.Shared.Load(a))
+		}
+	}
+}
+
+func TestCTACacheReusesByShape(t *testing.T) {
+	var cc CTACache
+	a := cc.Get(0, 1024, 128)
+	b := cc.Get(3, 1024, 128)
+	if a != b {
+		t.Fatal("same shape must reuse the CTA")
+	}
+	if b.ID != 3 {
+		t.Fatalf("reused CTA ID = %d, want 3", b.ID)
+	}
+	if c := cc.Get(0, 64, 128); c == a {
+		t.Fatal("different thread count must not reuse")
+	}
+	if c := cc.Get(0, 1024, 16); c == a {
+		t.Fatal("different shared size must not reuse")
+	}
+	if allocs := testing.AllocsPerRun(50, func() { cc.Get(1, 1024, 128) }); allocs != 0 {
+		t.Fatalf("cache hit allocates %.1f, want 0", allocs)
+	}
+}

@@ -253,9 +253,35 @@ var (
 	ChartTableII         = bench.ChartTableII
 	// WriteCSV renders any experiment's rows as CSV.
 	WriteCSV              = bench.WriteCSV
+	Figure4Workers        = bench.Figure4Workers
+	Figure5Workers        = bench.Figure5Workers
+	Figure6bWorkers       = bench.Figure6bWorkers
 	PrintAblations        = printAblations
 	VerifyOrderedResult   = match.VerifyOrdered
 	VerifyUnorderedResult = match.VerifyUnordered
+)
+
+// Benchmark regression tracking (cmd/matchbench -regress).
+type (
+	// BenchRecord is one tracked benchmark metric.
+	BenchRecord = bench.BenchRecord
+	// BenchReport is one full regression run (a BENCH_<date>.json).
+	BenchReport = bench.BenchReport
+	// BenchRegression is one record that got worse than its baseline.
+	BenchRegression = bench.Regression
+)
+
+var (
+	// RunRegress executes the tracked benchmark suite.
+	RunRegress = bench.RunRegress
+	// CompareBench diffs a run against a baseline with a tolerance.
+	CompareBench = bench.Compare
+	// WriteBenchBaseline writes a report as BENCH_<date>.json.
+	WriteBenchBaseline = bench.WriteBaseline
+	// LoadLatestBenchBaseline loads the newest BENCH_*.json in a dir.
+	LoadLatestBenchBaseline = bench.LoadLatestBaseline
+	// PrintRegress renders a regression comparison outcome.
+	PrintRegress = bench.PrintRegress
 )
 
 // printAblations renders all four ablation studies.
