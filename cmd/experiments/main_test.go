@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +46,31 @@ func TestRunRejectsPositionalArgs(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "stray") {
 		t.Errorf("error does not name the stray argument: %s", errOut.String())
+	}
+}
+
+// TestRunTraceJSON is the -trace smoke test: the emitted file must be
+// valid Chrome trace-event JSON and the summary must reach stdout.
+func TestRunTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-trace", path, "-trace.summary"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("emitted trace has no events")
+	}
+	if !strings.Contains(out.String(), "telemetry:") {
+		t.Errorf("-trace.summary output missing summary:\n%s", out.String())
 	}
 }

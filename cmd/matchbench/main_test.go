@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -115,5 +119,62 @@ func TestSectionFlagsUnique(t *testing.T) {
 		if s.help == "" {
 			t.Errorf("section %q has no help text", s.flagName)
 		}
+	}
+}
+
+// TestRunTraceJSON is the -trace smoke test: the emitted file must be
+// valid Chrome trace-event JSON with events on it, and the summary must
+// land on stdout when asked for.
+func TestRunTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-trace", path, "-trace.summary"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("emitted trace has no events")
+	}
+	for i, ev := range tf.TraceEvents {
+		if _, ok := ev["ph"]; !ok {
+			t.Fatalf("event %d has no ph field: %v", i, ev)
+		}
+	}
+	if !strings.Contains(out.String(), "telemetry:") || !strings.Contains(out.String(), "mpx.sends") {
+		t.Errorf("-trace.summary output missing summary:\n%s", out.String())
+	}
+}
+
+// TestRunTraceDeterministic: the same -trace.seed must emit
+// byte-identical files across invocations.
+func TestRunTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		var out, errOut strings.Builder
+		if code := run([]string{"-trace", p, "-trace.seed", "7"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed emitted different trace bytes")
 	}
 }

@@ -56,7 +56,7 @@ func WriteCSV(w io.Writer, rows any) error {
 var summaryType = reflect.TypeOf(stats.Summary{})
 
 // summaryCols are the Summary sub-columns exported to CSV.
-var summaryCols = []string{"min", "p25", "median", "mean", "p75", "p95", "max"}
+var summaryCols = []string{"min", "p25", "median", "mean", "p75", "p95", "p99", "max"}
 
 func collectHeader(t reflect.Type, prefix string, out *[]string) {
 	for i := 0; i < t.NumField(); i++ {
@@ -85,7 +85,7 @@ func collectCells(v reflect.Value, out *[]string) {
 		fv := v.Field(i)
 		if f.Type == summaryType {
 			s := fv.Interface().(stats.Summary)
-			for _, x := range []float64{s.Min, s.P25, s.Median, s.Mean, s.P75, s.P95, s.Max} {
+			for _, x := range []float64{s.Min, s.P25, s.Median, s.Mean, s.P75, s.P95, s.P99, s.Max} {
 				*out = append(*out, trimFloat(x))
 			}
 			continue

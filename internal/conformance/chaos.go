@@ -26,6 +26,7 @@ import (
 	"simtmp/internal/fault"
 	"simtmp/internal/mpx"
 	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
 )
 
 // ChaosMix is the default fault brew: every fault class enabled at
@@ -84,6 +85,22 @@ type chaosRecv struct {
 // a non-nil error is a conformance violation. It is the replay handle
 // reported by failures.
 func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.Stats, int, error) {
+	st, n, _, err := chaosWorkload(level, seed, i, mix, nil)
+	return st, n, err
+}
+
+// ChaosWorkloadTraced is ChaosWorkload with the runtime's flight
+// recorder enabled; it additionally returns the recorder so the caller
+// can export the trace. Because the workload is deterministic per
+// (seed, index, level) and the recorder stamps only simulated time,
+// the exported trace is byte-identical across replays of the same
+// handle — the property trace_test.go pins down.
+func ChaosWorkloadTraced(level mpx.Level, seed int64, i int, mix fault.Config, tcfg telemetry.Config) (mpx.Stats, int, *telemetry.Recorder, error) {
+	tcfg.Enabled = true
+	return chaosWorkload(level, seed, i, mix, &tcfg)
+}
+
+func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *telemetry.Config) (mpx.Stats, int, *telemetry.Recorder, error) {
 	const mixMul = int64(-0x61C8864680B583EB) // golden-ratio multiplier (2^64/φ)
 	sub := seed ^ int64(i)*mixMul ^ int64(level)
 	rng := rand.New(rand.NewSource(sub))
@@ -93,8 +110,9 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 	n := 4 + rng.Intn(29)
 	rt := mpx.New(mpx.Config{
 		Level: level, GPUs: gpus, QueueCap: 8 + rng.Intn(24),
-		Fault: &mix,
+		Fault: &mix, Telemetry: tcfg,
 	})
+	rec := rt.Recorder()
 
 	// Receive shape per destination, uniform so that class counts stay
 	// balanced and any arrival interleaving admits a perfect matching:
@@ -154,7 +172,7 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 		for k := range sends {
 			r, err := post(k)
 			if err != nil {
-				return mpx.Stats{}, n, err
+				return mpx.Stats{}, n, rec, err
 			}
 			recvs = append(recvs, r)
 		}
@@ -162,13 +180,13 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 	for k, s := range sends {
 		payload := []byte{byte(k)}
 		if err := rt.Send(s.src, s.dst, s.tag, 0, payload); err != nil {
-			return rt.Stats(), n, fmt.Errorf("send %d: %w", k, err)
+			return rt.Stats(), n, rec, fmt.Errorf("send %d: %w", k, err)
 		}
 		if level != mpx.NoUnexpected {
 			if rng.Float64() < 0.5 {
 				r, err := post(k)
 				if err != nil {
-					return rt.Stats(), n, err
+					return rt.Stats(), n, rec, err
 				}
 				recvs = append(recvs, r)
 			} else {
@@ -176,7 +194,7 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 			}
 			if rng.Float64() < 0.3 {
 				if err := rt.Progress(); err != nil {
-					return rt.Stats(), n, fmt.Errorf("mid-workload progress: %w", err)
+					return rt.Stats(), n, rec, fmt.Errorf("mid-workload progress: %w", err)
 				}
 			}
 		}
@@ -184,17 +202,17 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 	for _, k := range deferred {
 		r, err := post(k)
 		if err != nil {
-			return rt.Stats(), n, err
+			return rt.Stats(), n, rec, err
 		}
 		recvs = append(recvs, r)
 	}
 
 	ok, err := rt.Drain(600)
 	if err != nil {
-		return rt.Stats(), n, fmt.Errorf("drain: %w", err)
+		return rt.Stats(), n, rec, fmt.Errorf("drain: %w", err)
 	}
 	if !ok {
-		return rt.Stats(), n, fmt.Errorf("drain left receives open (stats %+v)", rt.Stats())
+		return rt.Stats(), n, rec, fmt.Errorf("drain left receives open (stats %+v)", rt.Stats())
 	}
 
 	// Exactly-once: the delivered payload indices must be precisely
@@ -204,28 +222,28 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 	for ri, r := range recvs {
 		m, err := r.handle.Message()
 		if err != nil {
-			return rt.Stats(), n, fmt.Errorf("recv %d unread after clean drain: %w", ri, err)
+			return rt.Stats(), n, rec, fmt.Errorf("recv %d unread after clean drain: %w", ri, err)
 		}
 		if len(m.Payload) != 1 {
-			return rt.Stats(), n, fmt.Errorf("recv %d: payload %v mangled", ri, m.Payload)
+			return rt.Stats(), n, rec, fmt.Errorf("recv %d: payload %v mangled", ri, m.Payload)
 		}
 		k := int(m.Payload[0])
 		if k >= n {
-			return rt.Stats(), n, fmt.Errorf("recv %d: payload index %d out of range", ri, k)
+			return rt.Stats(), n, rec, fmt.Errorf("recv %d: payload index %d out of range", ri, k)
 		}
 		seen[k]++
 		if !r.req.Matches(m.Env) {
-			return rt.Stats(), n, fmt.Errorf("recv %d: delivered %v does not satisfy %v", ri, m.Env, r.req)
+			return rt.Stats(), n, rec, fmt.Errorf("recv %d: delivered %v does not satisfy %v", ri, m.Env, r.req)
 		}
 		if sends[k].src != int(m.Env.Src) || sends[k].tag != m.Env.Tag {
-			return rt.Stats(), n, fmt.Errorf("recv %d: envelope %v does not match send %d", ri, m.Env, k)
+			return rt.Stats(), n, rec, fmt.Errorf("recv %d: envelope %v does not match send %d", ri, m.Env, k)
 		}
 		fk := [3]int{r.dst, int(m.Env.Src), int(m.Env.Tag)}
 		perFlow[fk] = append(perFlow[fk], k)
 	}
 	for k, c := range seen {
 		if c != 1 {
-			return rt.Stats(), n, fmt.Errorf("send %d delivered %d times, want exactly once", k, c)
+			return rt.Stats(), n, rec, fmt.Errorf("send %d delivered %d times, want exactly once", k, c)
 		}
 	}
 	// Per-flow ordering: under the ordered levels, same-class messages
@@ -234,13 +252,13 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 		for fk, ks := range perFlow {
 			for j := 1; j < len(ks); j++ {
 				if ks[j] < ks[j-1] {
-					return rt.Stats(), n, fmt.Errorf("flow %v delivered send %d before %d: ordering violated",
+					return rt.Stats(), n, rec, fmt.Errorf("flow %v delivered send %d before %d: ordering violated",
 						fk, ks[j], ks[j-1])
 				}
 			}
 		}
 	}
-	return rt.Stats(), n, nil
+	return rt.Stats(), n, rec, nil
 }
 
 // addStats accumulates the counters of b into a.

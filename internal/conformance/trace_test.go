@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"simtmp/internal/mpx"
+	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
+)
+
+// exportTrace replays one traced chaos workload and returns the
+// exported Perfetto JSON bytes.
+func exportTrace(t *testing.T, level mpx.Level, seed int64, i int) []byte {
+	t.Helper()
+	_, _, rec, err := ChaosWorkloadTraced(level, seed, i, ChaosMix(), telemetry.Config{BufferSize: 4096})
+	if err != nil {
+		t.Fatalf("workload (%v, %d, %d) violated conformance: %v", level, seed, i, err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosTraceDeterministic is the telemetry determinism contract:
+// replaying the same workload handle exports a byte-identical trace,
+// because every recorded ordering key is simulated time, never host
+// time or goroutine scheduling.
+func TestChaosTraceDeterministic(t *testing.T) {
+	for _, level := range ChaosLevels() {
+		a := exportTrace(t, level, 42, 3)
+		b := exportTrace(t, level, 42, 3)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: sequential replays exported different traces (%d vs %d bytes)",
+				level, len(a), len(b))
+		}
+	}
+}
+
+// TestChaosTraceDeterministicParallel re-exports the same workload from
+// many host goroutines at once. Recorders are per-runtime and the name
+// table is the only shared state; concurrent interning must not leak
+// into the exported bytes.
+func TestChaosTraceDeterministicParallel(t *testing.T) {
+	want := exportTrace(t, mpx.FullMPI, 42, 3)
+	const lanes = 8
+	got := make([][]byte, lanes)
+	simt.ParallelFor(lanes, 0, func(k int) {
+		got[k] = exportTrace(t, mpx.FullMPI, 42, 3)
+	})
+	for k, g := range got {
+		if !bytes.Equal(want, g) {
+			t.Errorf("lane %d: concurrent replay exported a different trace", k)
+		}
+	}
+}
+
+// TestChaosTraceCorrelatesFaultChain is the acceptance criterion: one
+// chaos trace must show the full causal chain — a fault firing, the
+// transport retransmitting, and a match pass consuming the message —
+// on the same simulated-time axis. The workload index is found by a
+// deterministic scan, so the test replays identically every run.
+func TestChaosTraceCorrelatesFaultChain(t *testing.T) {
+	const seed = 42
+	for i := 0; i < 50; i++ {
+		st, _, rec, err := ChaosWorkloadTraced(mpx.FullMPI, seed, i, ChaosMix(), telemetry.Config{BufferSize: 4096})
+		if err != nil {
+			t.Fatalf("workload %d violated conformance: %v", i, err)
+		}
+		if st.Retries == 0 {
+			continue
+		}
+		var faults, retransmits, matchPasses int
+		var lastSim float64
+		for _, ev := range rec.Events() {
+			if ev.Sim < lastSim {
+				t.Fatalf("workload %d: events out of simulated-time order", i)
+			}
+			lastSim = ev.Sim
+			switch name := telemetry.NameOf(ev.Name); {
+			case strings.HasPrefix(name, "fault."):
+				faults++
+			case name == "mpx.retransmit":
+				retransmits++
+			case name == "match.pass":
+				matchPasses++
+			}
+		}
+		if faults == 0 || retransmits == 0 || matchPasses == 0 {
+			continue
+		}
+		// Found one. Its export must also be well-formed trace-event JSON.
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var tf struct {
+			DisplayTimeUnit string           `json:"displayTimeUnit"`
+			TraceEvents     []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+			t.Fatalf("exported trace is not valid JSON: %v", err)
+		}
+		if len(tf.TraceEvents) == 0 {
+			t.Fatal("exported trace has no events")
+		}
+		t.Logf("workload %d: %d fault markers, %d retransmits, %d match passes in one trace",
+			i, faults, retransmits, matchPasses)
+		return
+	}
+	t.Fatal("no workload in the scan window produced the fault→retransmit→match chain")
+}

@@ -30,6 +30,27 @@ import (
 
 	"simtmp/internal/envelope"
 	"simtmp/internal/gas"
+	"simtmp/internal/telemetry"
+)
+
+// Interned fault-marker names (one per injected class). Markers land
+// on the affected GPU's track at the recorder's simulated-time cursor,
+// which the runtime advances each progress step — so an exported trace
+// shows the fault, the retransmission it forces, and the match pass
+// that finally consumes the message on one time axis.
+var (
+	evDrop      = telemetry.Name("fault.drop")
+	evDuplicate = telemetry.Name("fault.duplicate")
+	evCorrupt   = telemetry.Name("fault.corrupt")
+	evDelay     = telemetry.Name("fault.delay")
+	evAckDrop   = telemetry.Name("fault.ackdrop")
+	evStall     = telemetry.Name("fault.stall")
+	evPause     = telemetry.Name("fault.pause")
+	evStarve    = telemetry.Name("fault.starve")
+	argSrc      = telemetry.Name("src")
+	argDst      = telemetry.Name("dst")
+	argFlow     = telemetry.Name("flow")
+	argSteps    = telemetry.Name("steps")
 )
 
 // ErrPaused reports a send observed while the sending or a manually
@@ -135,6 +156,7 @@ type Injector struct {
 	creditDue  []int // per GPU: withheld credits released at this step (0 = none)
 
 	ctr Counters
+	rec *telemetry.Recorder // nil = no markers (the default)
 }
 
 // New wraps c with a fault plane configured by cfg.
@@ -148,6 +170,10 @@ func New(c *gas.Cluster, cfg Config) *Injector {
 		creditDue:  make([]int, c.Size()),
 	}
 }
+
+// SetRecorder attaches a telemetry recorder; every injected fault then
+// emits an instant marker on the affected GPU's track (nil detaches).
+func (in *Injector) SetRecorder(rec *telemetry.Recorder) { in.rec = rec }
 
 // Size returns the cluster size.
 func (in *Injector) Size() int { return in.c.Size() }
@@ -180,24 +206,29 @@ func (in *Injector) Put(dst int, env envelope.Envelope, payload []byte, seq, flo
 	switch cfg := in.cfg; {
 	case roll < cfg.Drop:
 		in.ctr.Drops++
+		in.rec.Instant(dst, evDrop, argSrc, int64(env.Src), 0, 0)
 		return nil // vanished on the wire; the sender sees success
 	case roll < cfg.Drop+cfg.Duplicate:
 		if err := in.c.PutWord(dst, w, payload, seq, flow); err != nil {
 			return err
 		}
 		in.ctr.Duplicates++
+		in.rec.Instant(dst, evDuplicate, argSrc, int64(env.Src), 0, 0)
 		// The copy is best-effort: a full ring drops it silently.
 		_ = in.c.PutWord(dst, w, payload, seq, flow)
 		return nil
 	case roll < cfg.Drop+cfg.Duplicate+cfg.Corrupt:
 		in.ctr.Corrupts++
+		in.rec.Instant(dst, evCorrupt, argSrc, int64(env.Src), 0, 0)
 		w ^= 1 << uint(in.rng.Intn(64)) // single-bit flip: always checksum-detectable
 		return in.c.PutWord(dst, w, payload, seq, flow)
 	case roll < cfg.Drop+cfg.Duplicate+cfg.Corrupt+cfg.Delay:
 		in.ctr.Delays++
+		due := in.step + 1 + in.rng.Intn(in.cfg.MaxDelaySteps)
+		in.rec.Instant(dst, evDelay, argSrc, int64(env.Src), argSteps, int64(due-in.step))
 		in.delayed = append(in.delayed, delayedFrame{
 			dst: dst, word: w, payload: payload, seq: seq, flow: flow,
-			due: in.step + 1 + in.rng.Intn(in.cfg.MaxDelaySteps),
+			due: due,
 		})
 		return nil
 	default:
@@ -219,6 +250,7 @@ func (in *Injector) Drain(dst int) []gas.Message {
 	case in.rng.Float64() < in.cfg.Stall:
 		in.ctr.Stalls++
 		in.ctr.StallSteps++
+		in.rec.Instant(dst, evStall, argSteps, int64(in.cfg.StallSteps), 0, 0)
 		in.stallUntil[dst] = in.step + in.cfg.StallSteps
 		return nil
 	}
@@ -226,6 +258,7 @@ func (in *Injector) Drain(dst int) []gas.Message {
 	if in.creditDue[dst] == 0 {
 		if in.rng.Float64() < in.cfg.CreditStarve {
 			in.ctr.CreditStarves++
+			in.rec.Instant(dst, evStarve, argSteps, int64(in.cfg.StarveSteps), 0, 0)
 			in.creditDue[dst] = in.step + in.cfg.StarveSteps
 		} else {
 			in.c.GPU(dst).Ring().ReturnCredits()
@@ -239,6 +272,7 @@ func (in *Injector) Drain(dst int) []gas.Message {
 func (in *Injector) DropAck(src, dst int, flow uint64) bool {
 	if in.rng.Float64() < in.cfg.AckDrop {
 		in.ctr.AckDrops++
+		in.rec.Instant(src, evAckDrop, argDst, int64(dst), argFlow, int64(flow))
 		return true
 	}
 	return false
@@ -251,6 +285,7 @@ func (in *Injector) Step() {
 	for g := range in.pauseUntil {
 		if in.step >= in.pauseUntil[g] && in.rng.Float64() < in.cfg.Pause {
 			in.ctr.Pauses++
+			in.rec.Instant(g, evPause, argSteps, int64(in.cfg.PauseSteps), 0, 0)
 			in.pauseUntil[g] = in.step + in.cfg.PauseSteps
 		}
 		if in.creditDue[g] > 0 && in.step >= in.creditDue[g] {
@@ -277,6 +312,7 @@ func (in *Injector) Step() {
 // of progress steps (tests and scripted scenarios).
 func (in *Injector) StallGPU(g, steps int) {
 	in.ctr.Stalls++
+	in.rec.Instant(g, evStall, argSteps, int64(steps), 0, 0)
 	in.stallUntil[g] = in.step + steps
 }
 
@@ -284,6 +320,7 @@ func (in *Injector) StallGPU(g, steps int) {
 // number of progress steps.
 func (in *Injector) PauseGPU(g, steps int) {
 	in.ctr.Pauses++
+	in.rec.Instant(g, evPause, argSteps, int64(steps), 0, 0)
 	in.pauseUntil[g] = in.step + steps
 }
 

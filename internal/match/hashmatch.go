@@ -7,6 +7,7 @@ import (
 	"simtmp/internal/envelope"
 	"simtmp/internal/hash"
 	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/timing"
 )
 
@@ -59,6 +60,11 @@ type HashConfig struct {
 	// sequential interleaving. LinearProbe's probe steps share one
 	// address space and always run sequentially.
 	Workers int
+	// Recorder receives per-iteration telemetry (nil = disabled, the
+	// default; emission is nil-safe and allocation-free).
+	Recorder *telemetry.Recorder
+	// Track is the recorder timeline events land on (the owning GPU).
+	Track int
 }
 
 // HashMatcher implements the paper's strongest relaxation: no
@@ -261,6 +267,10 @@ func (h *HashMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []en
 	s.reqMem.Rebind(s.reqKeys)
 	s.msgMem.Rebind(s.msgKeys)
 
+	rec := h.cfg.Recorder
+	base := rec.Clock()
+	emitQueueDepths(rec, h.cfg.Track, len(msgs), len(reqs))
+
 	var totalCycles float64
 	var totalCtrs simt.Counters
 	for {
@@ -275,6 +285,11 @@ func (h *HashMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []en
 			inserted, insCycles, insCtrs = h.insertProbePhase(s.mem, primSize, s.primIdx, s.reqKeys, &s.pendReq)
 			matched, probeCycles, probeCtrs = h.probeLinearPhase(s.mem, primSize, s.primIdx, s.msgKeys, &s.pendMsg, res.Assignment)
 		}
+		rec.Span(h.cfg.Track, evMatchPass,
+			base+h.model.Seconds(totalCycles), h.model.Seconds(insCycles+probeCycles),
+			argInserted, int64(inserted), argMatched, int64(matched))
+		rec.CounterAt(h.cfg.Track, evProbes, base+h.model.Seconds(totalCycles),
+			float64(insCtrs.Atomic+probeCtrs.Atomic))
 		totalCycles += insCycles + probeCycles
 		totalCtrs.Add(insCtrs)
 		totalCtrs.Add(probeCtrs)
@@ -316,6 +331,15 @@ func (h *HashMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []en
 
 	res.SimSeconds = h.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
+	if rec.Enabled() {
+		occ := h.cfg.Arch.Occupancy(arch.KernelFootprint{
+			ThreadsPerCTA: simt.MaxWarpsPerCTA * simt.LaneCount, RegsPerThread: 32,
+		})
+		if occ < 1 {
+			occ = 1
+		}
+		emitKernelStats(rec, h.cfg.Track, base, base+res.SimSeconds, occ, totalCtrs)
+	}
 	return nil
 }
 

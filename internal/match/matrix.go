@@ -7,6 +7,7 @@ import (
 	"simtmp/internal/envelope"
 	"simtmp/internal/queue"
 	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/timing"
 )
 
@@ -48,6 +49,11 @@ type MatrixConfig struct {
 	// rows and bill private counters, so results, counters and
 	// simulated cycles are bit-identical to the sequential path.
 	Workers int
+	// Recorder receives per-pass telemetry (nil = disabled, the
+	// default; emission is nil-safe and allocation-free).
+	Recorder *telemetry.Recorder
+	// Track is the recorder timeline events land on (the owning GPU).
+	Track int
 }
 
 func (c *MatrixConfig) withDefaults() MatrixConfig {
@@ -197,6 +203,10 @@ func (m *MatrixMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []
 		occ = 1
 	}
 
+	rec := m.cfg.Recorder
+	base := rec.Clock()
+	emitQueueDepths(rec, m.cfg.Track, len(msgs), len(reqs))
+
 	var totalCycles float64
 	var totalCtrs simt.Counters
 
@@ -220,7 +230,11 @@ func (m *MatrixMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []
 			totalCtrs.Add(ctrs)
 		}
 		m.scratch.waveCycles = waveCycles
-		totalCycles += m.combineWaves(waveCycles, occ)
+		roundCycles := m.combineWaves(waveCycles, occ)
+		rec.Span(m.cfg.Track, evMatchPass,
+			base+m.model.Seconds(totalCycles), m.model.Seconds(roundCycles),
+			argRound, int64(round), argMsgs, int64(roundEnd-roundStart))
+		totalCycles += roundCycles
 		res.Iterations++
 	}
 	totalCycles += m.model.P.LaunchOverhead
@@ -231,6 +245,7 @@ func (m *MatrixMatcher) MatchInto(res *Result, msgs []envelope.Envelope, reqs []
 
 	res.SimSeconds = m.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
+	emitKernelStats(rec, m.cfg.Track, base, base+res.SimSeconds, occ, totalCtrs)
 	return nil
 }
 

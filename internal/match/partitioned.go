@@ -7,6 +7,7 @@ import (
 	"simtmp/internal/arch"
 	"simtmp/internal/envelope"
 	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/timing"
 )
 
@@ -36,6 +37,12 @@ type PartitionedConfig struct {
 	// partition order afterwards, so results, counters and simulated
 	// cycles are bit-identical to the sequential path.
 	Workers int
+	// Recorder receives per-pass telemetry (nil = disabled, the
+	// default). Events are emitted only from the sequential
+	// orchestration, never from partition workers.
+	Recorder *telemetry.Recorder
+	// Track is the recorder timeline events land on (the owning GPU).
+	Track int
 }
 
 // PartitionedMatcher implements rank-partitioned matching. Requests
@@ -205,6 +212,10 @@ func (p *PartitionedMatcher) MatchInto(res *Result, msgs []envelope.Envelope, re
 	}
 	ctaCycles := p.ctaCycles[:maxCTAs]
 
+	rec := p.cfg.Recorder
+	base := rec.Clock()
+	emitQueueDepths(rec, p.cfg.Track, len(msgs), len(reqs))
+
 	var totalCycles float64
 	var totalCtrs simt.Counters
 	for round := 0; ; round++ {
@@ -246,7 +257,14 @@ func (p *PartitionedMatcher) MatchInto(res *Result, msgs []envelope.Envelope, re
 		if !progress {
 			break
 		}
-		totalCycles += p.engines[0].combineWaves(ctaCycles, occ)
+		roundTotal := p.engines[0].combineWaves(ctaCycles, occ)
+		// Spans are stamped pre-contention: the cross-queue multiplier
+		// applies to the whole kernel at the end, so per-round spans show
+		// relative pass structure, not the final wall position.
+		rec.Span(p.cfg.Track, evMatchPass,
+			base+p.model.Seconds(totalCycles), p.model.Seconds(roundTotal),
+			argRound, int64(round), 0, 0)
+		totalCycles += roundTotal
 		res.Iterations++
 	}
 	// Counter merging is integer addition, so summing the per-partition
@@ -283,6 +301,7 @@ func (p *PartitionedMatcher) MatchInto(res *Result, msgs []envelope.Envelope, re
 
 	res.SimSeconds = p.model.Seconds(totalCycles)
 	res.Counters = totalCtrs
+	emitKernelStats(rec, p.cfg.Track, base, base+res.SimSeconds, occ, totalCtrs)
 	return nil
 }
 

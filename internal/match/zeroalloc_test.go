@@ -4,13 +4,17 @@ import (
 	"testing"
 
 	"simtmp/internal/arch"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/workload"
 )
 
-// reusableCases builds one steady-state MatchInto case per GPU engine:
+// reusableCases builds steady-state MatchInto cases per GPU engine:
 // default configurations (no compaction, sequential workers) on
-// representative workloads. These are the configurations the
-// zero-allocation contract covers.
+// representative workloads, each both telemetry-disabled (nil
+// recorder) and telemetry-enabled with a small ring that wraps within
+// warm-up. Both are the configurations the zero-allocation contract
+// covers: a full flight-recorder ring overwrites in place, so enabling
+// telemetry must not reintroduce steady-state allocations.
 func reusableCases() []struct {
 	name string
 	m    ReusableMatcher
@@ -27,23 +31,33 @@ func reusableCases() []struct {
 		run  func(res *Result) error
 	}
 	var cases []c
-	{
-		m := NewMatrixMatcher(MatrixConfig{Arch: a})
-		cases = append(cases, c{"matrix", m, func(res *Result) error {
-			return m.MatchInto(res, fullMsgs, fullReqs)
-		}})
-	}
-	{
-		m := NewPartitionedMatcher(PartitionedConfig{Arch: a, Queues: 8, MaxCTAs: 2})
-		cases = append(cases, c{"partitioned", m, func(res *Result) error {
-			return m.MatchInto(res, partMsgs, partReqs)
-		}})
-	}
-	{
-		m := MustHashMatcher(HashConfig{Arch: a, CTAs: 4})
-		cases = append(cases, c{"hash", m, func(res *Result) error {
-			return m.MatchInto(res, uniqMsgs, uniqReqs)
-		}})
+	for _, traced := range []bool{false, true} {
+		var rec *telemetry.Recorder
+		suffix := ""
+		if traced {
+			// A deliberately tiny ring: one warm-up call fills it, so the
+			// measured calls exercise the at-capacity overwrite path.
+			rec = telemetry.New(telemetry.Config{Enabled: true, Tracks: 1, BufferSize: 16})
+			suffix = "+telemetry"
+		}
+		{
+			m := NewMatrixMatcher(MatrixConfig{Arch: a, Recorder: rec})
+			cases = append(cases, c{"matrix" + suffix, m, func(res *Result) error {
+				return m.MatchInto(res, fullMsgs, fullReqs)
+			}})
+		}
+		{
+			m := NewPartitionedMatcher(PartitionedConfig{Arch: a, Queues: 8, MaxCTAs: 2, Recorder: rec})
+			cases = append(cases, c{"partitioned" + suffix, m, func(res *Result) error {
+				return m.MatchInto(res, partMsgs, partReqs)
+			}})
+		}
+		{
+			m := MustHashMatcher(HashConfig{Arch: a, CTAs: 4, Recorder: rec})
+			cases = append(cases, c{"hash" + suffix, m, func(res *Result) error {
+				return m.MatchInto(res, uniqMsgs, uniqReqs)
+			}})
+		}
 	}
 	return cases
 }

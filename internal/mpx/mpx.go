@@ -28,6 +28,7 @@ import (
 	"simtmp/internal/match"
 	"simtmp/internal/proto"
 	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/timing"
 )
 
@@ -114,6 +115,13 @@ type Config struct {
 	// style). Off by default: ReadMemStats briefly stops the world, so
 	// it is opt-in for benchmarking and regression runs.
 	MeasureAllocs bool
+
+	// Telemetry, when non-nil and enabled, attaches a flight recorder
+	// (one track per GPU) capturing send/retransmit/credit-stall
+	// events, per-step match spans, fault-injection markers, and
+	// queue-depth metrics. Nil (the default) records nothing and adds
+	// no allocations to the drain loop.
+	Telemetry *telemetry.Config
 }
 
 // Recv is a posted receive handle. Its accessors synchronize with the
@@ -267,6 +275,14 @@ type Runtime struct {
 	// deciding pre-postedness per message.
 	seq   uint64
 	stats Stats
+
+	// Telemetry plane (all nil when Config.Telemetry is off; every
+	// handle is nil-safe, so emission sites are unconditional).
+	rec       *telemetry.Recorder
+	mSends    *telemetry.Counter
+	mRetries  *telemetry.Counter
+	mUMQDepth *telemetry.Histogram
+	mPRQDepth *telemetry.Histogram
 }
 
 // New creates a runtime. It panics only on programmer errors (bad
@@ -320,8 +336,9 @@ func New(cfg Config) *Runtime {
 	rt.poll = model.Seconds(model.P.LaunchOverhead)
 	rt.rtoBase = 4 * rt.poll
 	rt.rtoMax = 32 * rt.poll
+	rt.setupTelemetry()
 	for i := range rt.engines {
-		rt.engines[i] = rt.newEngine()
+		rt.engines[i] = rt.newEngine(i)
 	}
 	return rt
 }
@@ -330,17 +347,19 @@ func New(cfg Config) *Runtime {
 // or nil when the runtime runs on a lossless wire.
 func (rt *Runtime) Injector() *fault.Injector { return rt.injector }
 
-// newEngine picks the matching engine the level calls for.
-func (rt *Runtime) newEngine() match.Matcher {
+// newEngine picks the matching engine the level calls for. GPU g's
+// engine shares the runtime's recorder and emits on g's track.
+func (rt *Runtime) newEngine(g int) match.Matcher {
 	switch rt.cfg.Level {
 	case NoSourceWildcard, NoUnexpected:
 		return match.NewPartitionedMatcher(match.PartitionedConfig{
 			Arch: rt.cfg.Arch, Queues: rt.cfg.Queues, Compact: rt.cfg.Level != NoUnexpected,
+			Recorder: rt.rec, Track: g,
 		})
 	case Unordered:
-		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch})
+		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch, Recorder: rt.rec, Track: g})
 	default:
-		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true})
+		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true, Recorder: rt.rec, Track: g})
 	}
 }
 
@@ -374,6 +393,8 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 	fl.nextFlow++
 	fl.outbox = append(fl.outbox, &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
 	rt.stats.Sends++
+	rt.mSends.Add(1)
+	rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
 	// Eagerly push what the window and wire allow, so a send is on the
 	// wire before the next progress step on an uncongested cluster.
 	_, err := rt.flushOutbox(fl)
@@ -453,6 +474,7 @@ func (rt *Runtime) matchLocked(g int, envs []envelope.Envelope, reqs []envelope.
 func (rt *Runtime) progressStepLocked() (int, error) {
 	rt.stats.ProgressSteps++
 	rt.now += rt.poll
+	rt.rec.SetClock(rt.now)
 	rt.transport.Step()
 	progress, err := rt.pumpFlowsLocked()
 	if err != nil {
@@ -465,6 +487,9 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 		if len(msgs) == 0 && len(recvs) == 0 {
 			continue
 		}
+
+		rt.mUMQDepth.Observe(float64(len(msgs)))
+		rt.mPRQDepth.Observe(float64(len(recvs)))
 
 		sc := &rt.scratch[g]
 		if cap(sc.envs) < len(msgs) {
@@ -535,6 +560,8 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 				}
 			}
 		}
+		rt.rec.Span(g, evMatch, rt.now, res.SimSeconds,
+			argMatched, int64(len(msgs)-unmatchedMsgs), argPending, int64(unmatchedMsgs))
 		// Compact the unmatched messages in place: writes trail reads,
 		// and delivered copies were taken above, so no reallocation.
 		remainingMsgs := msgs[:0]

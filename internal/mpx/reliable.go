@@ -184,6 +184,7 @@ func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 		fr := fl.outbox[0]
 		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
 			if retryable(err) {
+				rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
 				break
 			}
 			return moved, fmt.Errorf("mpx: send %d→%d: %w", fl.src, fl.dst, err)
@@ -220,6 +221,8 @@ func (rt *Runtime) checkRetransmits(fl *txFlow) (int, error) {
 		fr.attempts++
 		fr.deadline = rt.now + rt.rto(fr.attempts)
 		rt.stats.Retries++
+		rt.mRetries.Add(1)
+		rt.rec.Instant(fl.src, evRetransmit, argDst, int64(fl.dst), argAttempts, int64(fr.attempts))
 		moved++
 	}
 	return moved, nil

@@ -1,0 +1,58 @@
+package mpx
+
+import (
+	"fmt"
+
+	"simtmp/internal/stats"
+	"simtmp/internal/telemetry"
+)
+
+// Interned transport-event names, resolved once at package init (see
+// internal/match/telemetry.go). All emission happens under rt.mu in
+// the deterministic progress order, stamped with the simulated
+// transport clock — never host time — so chaos replays export
+// byte-identical traces.
+var (
+	evSend        = telemetry.Name("mpx.send")
+	evRetransmit  = telemetry.Name("mpx.retransmit")
+	evCreditStall = telemetry.Name("mpx.credit_stall")
+	evMatch       = telemetry.Name("mpx.match")
+	argDst        = telemetry.Name("dst")
+	argFlow       = telemetry.Name("flow")
+	argAttempts   = telemetry.Name("attempts")
+	argQueued     = telemetry.Name("queued")
+	argMatched    = telemetry.Name("matched")
+	argPending    = telemetry.Name("pending")
+)
+
+// setupTelemetry builds the runtime's recorder (one track per GPU),
+// registers its metrics, and attaches the recorder to the fault plane.
+// Called from New before the engines are built so they can share the
+// recorder; a nil/disabled config leaves every handle nil, which the
+// telemetry package defines as valid no-ops.
+func (rt *Runtime) setupTelemetry() {
+	if rt.cfg.Telemetry == nil || !rt.cfg.Telemetry.Enabled {
+		return
+	}
+	tcfg := *rt.cfg.Telemetry
+	if tcfg.Tracks < rt.cfg.GPUs {
+		tcfg.Tracks = rt.cfg.GPUs
+	}
+	rt.rec = telemetry.New(tcfg)
+	for g := 0; g < rt.cfg.GPUs; g++ {
+		rt.rec.SetTrackName(g, fmt.Sprintf("GPU %d", g))
+	}
+	reg := rt.rec.Metrics()
+	rt.mSends = reg.Counter("mpx.sends")
+	rt.mRetries = reg.Counter("mpx.retries")
+	depths := stats.ExpBuckets(1, 2, 12)
+	rt.mUMQDepth = reg.Histogram("mpx.umq.depth", depths)
+	rt.mPRQDepth = reg.Histogram("mpx.prq.depth", depths)
+	if rt.injector != nil {
+		rt.injector.SetRecorder(rt.rec)
+	}
+}
+
+// Recorder returns the runtime's flight recorder (nil when telemetry
+// is disabled — itself a valid no-op recorder).
+func (rt *Runtime) Recorder() *telemetry.Recorder { return rt.rec }

@@ -1,0 +1,139 @@
+package mpx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simtmp/internal/envelope"
+	"simtmp/internal/fault"
+	"simtmp/internal/telemetry"
+)
+
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	rt := New(Config{GPUs: 2})
+	if rt.Recorder() != nil {
+		t.Fatal("default runtime has a live recorder")
+	}
+	// The drain path must work with every telemetry handle nil.
+	if err := rt.Send(0, 1, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PostRecv(1, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := rt.Drain(100); err != nil || !ok {
+		t.Fatalf("Drain = %v, %v", ok, err)
+	}
+}
+
+func TestTelemetryRecordsRuntimeEvents(t *testing.T) {
+	rt := New(Config{
+		GPUs:      2,
+		Telemetry: &telemetry.Config{Enabled: true, BufferSize: 256},
+	})
+	rec := rt.Recorder()
+	if rec == nil {
+		t.Fatal("telemetry enabled but recorder nil")
+	}
+	if rec.Tracks() != 2 {
+		t.Fatalf("recorder has %d tracks, want 2 (one per GPU)", rec.Tracks())
+	}
+	for i := 0; i < 5; i++ {
+		if err := rt.Send(0, 1, envelope.Tag(i), 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.PostRecv(1, 0, envelope.Tag(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := rt.Drain(200); err != nil || !ok {
+		t.Fatalf("Drain = %v, %v", ok, err)
+	}
+
+	names := map[string]int{}
+	for _, ev := range rec.Events() {
+		names[telemetry.NameOf(ev.Name)]++
+	}
+	for _, want := range []string{"mpx.send", "mpx.match", "match.pass", "umq.depth", "simt.occupancy"} {
+		if names[want] == 0 {
+			t.Errorf("no %q events recorded; got %v", want, names)
+		}
+	}
+	if got := rec.TrackName(1); got != "GPU 1" {
+		t.Errorf("track 1 named %q, want GPU 1", got)
+	}
+
+	snaps := rec.Metrics().Snapshots()
+	byName := map[string]telemetry.Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if s := byName["mpx.sends"]; s.Value != 5 {
+		t.Errorf("mpx.sends metric = %v, want 5", s.Value)
+	}
+	if s := byName["mpx.umq.depth"]; s.Value == 0 {
+		t.Errorf("mpx.umq.depth histogram empty: %+v", s)
+	}
+}
+
+func TestTelemetryCorrelatesFaultsAndRetransmits(t *testing.T) {
+	// A heavy ack-drop mix forces retransmissions deterministically at
+	// this seed/volume; every retransmit must be preceded by fault
+	// markers on the same simulated-time axis.
+	rt := New(Config{
+		GPUs: 2,
+		Fault: &fault.Config{
+			Seed:    7,
+			AckDrop: 0.5,
+			Drop:    0.2,
+		},
+		Telemetry: &telemetry.Config{Enabled: true, BufferSize: 1024},
+	})
+	for i := 0; i < 24; i++ {
+		if err := rt.Send(0, 1, envelope.Tag(i), 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.PostRecv(1, 0, envelope.Tag(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := rt.Drain(600); err != nil || !ok {
+		t.Fatalf("Drain = %v, %v", ok, err)
+	}
+	if rt.Stats().Retries == 0 {
+		t.Fatal("fault mix produced no retries; pick a different seed")
+	}
+
+	var faults, retransmits, matches int
+	var lastSim float64
+	for _, ev := range rt.Recorder().Events() {
+		if ev.Sim < lastSim {
+			t.Fatalf("events not in simulated-time order: %v after %v", ev.Sim, lastSim)
+		}
+		lastSim = ev.Sim
+		switch name := telemetry.NameOf(ev.Name); {
+		case strings.HasPrefix(name, "fault."):
+			faults++
+		case name == "mpx.retransmit":
+			retransmits++
+		case name == "match.pass":
+			matches++
+		}
+	}
+	if faults == 0 || retransmits == 0 || matches == 0 {
+		t.Errorf("trace lacks correlation: %d fault markers, %d retransmits, %d match passes",
+			faults, retransmits, matches)
+	}
+	if v := rt.Recorder().Metrics().Counter("mpx.retries").Value(); int(v) != rt.Stats().Retries {
+		t.Errorf("mpx.retries metric %d != Stats.Retries %d", v, rt.Stats().Retries)
+	}
+
+	var buf bytes.Buffer
+	if err := rt.Recorder().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mpx.retries") {
+		t.Errorf("summary missing mpx.retries:\n%s", buf.String())
+	}
+}

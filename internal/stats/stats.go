@@ -20,6 +20,7 @@ type Summary struct {
 	P25    float64
 	P75    float64
 	P95    float64
+	P99    float64
 }
 
 // Summarize computes a Summary of xs. An empty sample yields a zero
@@ -44,6 +45,7 @@ func Summarize(xs []float64) Summary {
 		P25:    Quantile(s, 0.25),
 		P75:    Quantile(s, 0.75),
 		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
 	}
 }
 
@@ -69,8 +71,8 @@ func Quantile(sorted []float64, q float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d min=%.0f p25=%.0f med=%.0f mean=%.1f p75=%.0f p95=%.0f max=%.0f",
-		s.N, s.Min, s.P25, s.Median, s.Mean, s.P75, s.P95, s.Max)
+	return fmt.Sprintf("n=%d min=%.0f p25=%.0f med=%.0f mean=%.1f p75=%.0f p95=%.0f p99=%.0f max=%.0f",
+		s.N, s.Min, s.P25, s.Median, s.Mean, s.P75, s.P95, s.P99, s.Max)
 }
 
 // Counter is a counting histogram over integer keys (e.g. tag values,

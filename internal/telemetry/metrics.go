@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"sort"
+
+	"simtmp/internal/stats"
+)
+
+// Registry holds named metrics with preallocated storage. Metrics are
+// created (find-or-create by name) at setup time; the returned handles
+// are then updated on hot paths without any map access. Like the
+// Recorder, a nil *Registry is a valid no-op: Counter/Gauge/Histogram
+// return nil handles whose update methods are nil-safe, so
+// instrumented code registers and updates unconditionally.
+//
+// A Registry is not safe for concurrent use; it is owned by its
+// recorder's single driving goroutine.
+type Registry struct {
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Gauge is a last-value float64 metric.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Histogram is a named fixed-bucket distribution metric over a
+// stats.Histogram.
+type Histogram struct {
+	name string
+	h    *stats.Histogram
+}
+
+// Counter finds or creates the named counter. Setup path (linear scan,
+// may allocate); returns nil on a nil registry.
+func (g *Registry) Counter(name string) *Counter {
+	if g == nil {
+		return nil
+	}
+	for _, c := range g.counters {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name}
+	g.counters = append(g.counters, c)
+	return c
+}
+
+// Gauge finds or creates the named gauge (nil on a nil registry).
+func (g *Registry) Gauge(name string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	for _, ga := range g.gauges {
+		if ga.name == name {
+			return ga
+		}
+	}
+	ga := &Gauge{name: name}
+	g.gauges = append(g.gauges, ga)
+	return ga
+}
+
+// Histogram finds or creates the named histogram with the given bucket
+// bounds (bounds are only used on creation; see stats.NewHistogram).
+// Returns nil on a nil registry.
+func (g *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if g == nil {
+		return nil
+	}
+	for _, h := range g.histograms {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &Histogram{name: name, h: stats.NewHistogram(bounds)}
+	g.histograms = append(g.histograms, h)
+	return h
+}
+
+// Add increments the counter (no-op on nil). Never allocates.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Value returns the counter value (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name returns the counter name ("" for nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Set records the gauge value (no-op on nil). Never allocates.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the gauge value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Name returns the gauge name ("" for nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Observe records one sample (no-op on nil). Never allocates.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.h.Observe(x)
+}
+
+// Summary derives the distribution summary (zero for nil).
+func (h *Histogram) Summary() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	return h.h.Summary()
+}
+
+// Name returns the histogram name ("" for nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Snapshot is one exported metric value.
+type Snapshot struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value float64
+	Dist  stats.Summary // histograms only
+}
+
+// Snapshots returns all metrics sorted by (kind, name) — a stable,
+// deterministic export order.
+func (g *Registry) Snapshots() []Snapshot {
+	if g == nil {
+		return nil
+	}
+	out := make([]Snapshot, 0, len(g.counters)+len(g.gauges)+len(g.histograms))
+	for _, c := range g.counters {
+		out = append(out, Snapshot{Name: c.name, Kind: "counter", Value: float64(c.v)})
+	}
+	for _, ga := range g.gauges {
+		out = append(out, Snapshot{Name: ga.name, Kind: "gauge", Value: ga.v})
+	}
+	for _, h := range g.histograms {
+		out = append(out, Snapshot{Name: h.name, Kind: "histogram", Value: float64(h.h.N()), Dist: h.h.Summary()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

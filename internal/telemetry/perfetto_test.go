@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// parseTrace unmarshals trace-event JSON the way the CI smoke job
+// does; any structural drift in the exporter fails here first.
+func parseTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var f struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
+	}
+	if f.TraceEvents == nil {
+		t.Fatal("traceEvents missing or null")
+	}
+	return f.TraceEvents
+}
+
+func buildRecorder() *Recorder {
+	r := New(Config{Enabled: true, Tracks: 2, BufferSize: 64})
+	r.SetTrackName(0, "GPU 0")
+	r.SetTrackName(1, "GPU 1")
+	r.SetClock(0.5)
+	r.Instant(0, Name("fault.drop"), Name("dst"), 1, 0, 0)
+	r.Span(1, Name("match.pass"), 0.5, 0.25, Name("matched"), 3, Name("umq"), 7)
+	r.Counter(0, Name("umq.depth"), 11)
+	return r
+}
+
+func TestWriteTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRecorder().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := parseTrace(t, buf.Bytes())
+	// 2 thread_name metadata + 3 recorded events.
+	if len(evs) != 5 {
+		t.Fatalf("got %d trace events, want 5:\n%s", len(evs), buf.String())
+	}
+	byPh := map[string]int{}
+	for _, ev := range evs {
+		ph, _ := ev["ph"].(string)
+		byPh[ph]++
+		if _, ok := ev["name"].(string); !ok {
+			t.Errorf("event missing string name: %v", ev)
+		}
+		if ph == "M" {
+			continue
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event missing numeric ts: %v", ev)
+		}
+	}
+	want := map[string]int{"M": 2, "i": 1, "X": 1, "C": 1}
+	for ph, n := range want {
+		if byPh[ph] != n {
+			t.Errorf("ph %q: %d events, want %d", ph, byPh[ph], n)
+		}
+	}
+}
+
+func TestWriteTraceSpanFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRecorder().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range parseTrace(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		if ts := ev["ts"].(float64); ts != 0.5e6 {
+			t.Errorf("span ts = %v µs, want 5e5 (0.5 sim seconds)", ts)
+		}
+		if dur := ev["dur"].(float64); dur != 0.25e6 {
+			t.Errorf("span dur = %v µs, want 2.5e5", dur)
+		}
+		args := ev["args"].(map[string]any)
+		if args["matched"].(float64) != 3 || args["umq"].(float64) != 7 {
+			t.Errorf("span args = %v", args)
+		}
+		return
+	}
+	t.Fatal("no span event in trace")
+}
+
+func TestWriteTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRecorder().WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRecorder().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identical recordings exported different bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestWriteTraceNilRecorder(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if evs := parseTrace(t, buf.Bytes()); len(evs) != 0 {
+		t.Errorf("nil recorder exported %d events", len(evs))
+	}
+}

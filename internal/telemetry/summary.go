@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSummary renders a human-readable digest of the recording: per-
+// track event counts by kind, ring drop counts, and the metrics
+// registry. Like WriteTrace, the output is deterministic for a given
+// recorded sequence. A nil recorder writes a one-line "disabled" note.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "telemetry: disabled")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "telemetry: %d events on %d tracks (%d dropped by ring wrap)\n",
+		r.Len(), len(r.tracks), r.Dropped()); err != nil {
+		return err
+	}
+	for tr := range r.tracks {
+		t := &r.tracks[tr]
+		n := t.retained()
+		if n == 0 {
+			continue
+		}
+		var spans, instants, counters int
+		start := t.n - uint64(n)
+		for i := 0; i < n; i++ {
+			switch t.buf[(start+uint64(i))&t.mask].Kind {
+			case KindSpan:
+				spans++
+			case KindCounter:
+				counters++
+			default:
+				instants++
+			}
+		}
+		name := NameOf(t.name)
+		if name == "" {
+			name = fmt.Sprintf("track %d", tr)
+		}
+		if _, err := fmt.Fprintf(w, "  %-12s %6d events  (%d spans, %d instants, %d counters)\n",
+			name, n, spans, instants, counters); err != nil {
+			return err
+		}
+	}
+	snaps := r.reg.Snapshots()
+	if len(snaps) > 0 {
+		if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
+			return err
+		}
+	}
+	for _, s := range snaps {
+		var err error
+		switch s.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, "  %-9s %-28s %s\n", s.Kind, s.Name, s.Dist)
+		default:
+			_, err = fmt.Fprintf(w, "  %-9s %-28s %g\n", s.Kind, s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

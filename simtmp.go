@@ -31,10 +31,12 @@ import (
 
 	"simtmp/internal/arch"
 	"simtmp/internal/bench"
+	"simtmp/internal/conformance"
 	"simtmp/internal/envelope"
 	"simtmp/internal/fault"
 	"simtmp/internal/match"
 	"simtmp/internal/mpx"
+	"simtmp/internal/telemetry"
 	"simtmp/internal/trace"
 	"simtmp/internal/workload"
 )
@@ -174,6 +176,56 @@ const (
 
 // NewRuntime creates a message-passing runtime.
 func NewRuntime(cfg RuntimeConfig) *Runtime { return mpx.New(cfg) }
+
+// Telemetry: the deterministic flight recorder, metrics registry and
+// Perfetto trace export. Set RuntimeConfig.Telemetry to record a run;
+// the recorder stamps only simulated time, so replays of a seeded
+// workload export byte-identical traces.
+type (
+	// TelemetryConfig enables and sizes the flight recorder.
+	TelemetryConfig = telemetry.Config
+	// TelemetryRecorder is the per-runtime flight recorder (nil is a
+	// valid no-op recorder).
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryEvent is one recorded event.
+	TelemetryEvent = telemetry.Event
+	// MetricSnapshot is one exported metric value.
+	MetricSnapshot = telemetry.Snapshot
+)
+
+var (
+	// NewTelemetryRecorder builds a standalone recorder (nil unless
+	// enabled).
+	NewTelemetryRecorder = telemetry.New
+	// ChaosMix is the default chaos-conformance fault brew.
+	ChaosMix = conformance.ChaosMix
+	// ChaosWorkloadTraced replays one seeded chaos workload with the
+	// flight recorder attached.
+	ChaosWorkloadTraced = conformance.ChaosWorkloadTraced
+)
+
+// RunChaosTrace replays seeded chaos workloads (FullMPI semantics,
+// ChaosMix faults) and returns the flight recorder of the first one
+// whose run retransmitted — so the exported trace shows the full
+// fault → retransmit → match-pass chain on one simulated-time axis.
+// The scan is deterministic per seed; the same seed always returns the
+// same workload's byte-identical trace.
+func RunChaosTrace(seed int64) (*TelemetryRecorder, error) {
+	var first *TelemetryRecorder
+	for i := 0; i < 64; i++ {
+		st, _, rec, err := conformance.ChaosWorkloadTraced(FullMPI, seed, i, ChaosMix(), TelemetryConfig{BufferSize: 8192})
+		if err != nil {
+			return nil, err
+		}
+		if st.Retries > 0 {
+			return rec, nil
+		}
+		if first == nil {
+			first = rec
+		}
+	}
+	return first, nil
+}
 
 // Workload generation for experiments.
 type WorkloadConfig = workload.Config
