@@ -84,9 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	traceOnly := fs.Bool("trace-only", false, "print only the trace-statistics sections (quick)")
-	tracePath := fs.String("trace", "", "record one chaos workload and write its Perfetto trace-event JSON to this path")
-	traceSeed := fs.Int64("trace.seed", 1, "chaos seed for -trace (same seed, byte-identical trace)")
-	traceSummary := fs.Bool("trace.summary", false, "print the traced workload's telemetry summary (usable without -trace)")
+	var trace simtmp.TraceFlags
+	trace.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,8 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "experiments: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
-	if *tracePath != "" || *traceSummary {
-		return runTrace(stdout, stderr, *tracePath, *traceSeed, *traceSummary)
+	if trace.Active() {
+		return trace.Run(stdout, stderr, "experiments", func(cfg simtmp.TelemetryConfig) (*simtmp.TelemetryRecorder, error) {
+			return simtmp.RunChaosTrace(trace.Seed, cfg)
+		})
 	}
 	fmt.Fprintln(stdout, "Reproduction report: Klenk et al., IPDPS 2017")
 	fmt.Fprintln(stdout, "=============================================")
@@ -104,40 +105,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceReport(stdout)
 	} else {
 		fullReport(stdout)
-	}
-	return 0
-}
-
-// runTrace records one seeded chaos workload with the flight recorder
-// attached and exports it: Perfetto trace-event JSON to path (open at
-// ui.perfetto.dev), and/or a human-readable summary to stdout.
-func runTrace(stdout, stderr io.Writer, path string, seed int64, summary bool) int {
-	rec, err := simtmp.RunChaosTrace(seed)
-	if err != nil {
-		fmt.Fprintln(stderr, "experiments:", err)
-		return 1
-	}
-	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(stderr, "experiments:", err)
-			return 1
-		}
-		werr := rec.WriteTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintln(stderr, "experiments:", werr)
-			return 1
-		}
-		fmt.Fprintf(stdout, "trace: wrote %s (%d events, seed %d)\n", path, rec.Len(), seed)
-	}
-	if summary {
-		if err := rec.WriteSummary(stdout); err != nil {
-			fmt.Fprintln(stderr, "experiments:", err)
-			return 1
-		}
 	}
 	return 0
 }

@@ -124,9 +124,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tolerance := fs.Float64("tolerance", 0.15, "relative tolerance for simulated-rate records under -regress")
 	regressWrite := fs.Bool("regress.write", false, "write a fresh BENCH_<date>.json baseline after the -regress run")
 	regressWall := fs.Bool("regress.wall", false, "also compare wall-clock records under -regress (host-dependent)")
-	tracePath := fs.String("trace", "", "record one chaos workload and write its Perfetto trace-event JSON to this path")
-	traceSeed := fs.Int64("trace.seed", 1, "chaos seed for -trace (same seed, byte-identical trace)")
-	traceSummary := fs.Bool("trace.summary", false, "print the traced workload's telemetry summary (usable without -trace)")
+	var trace simtmp.TraceFlags
+	trace.Register(fs)
 
 	secs := sections()
 	enabled := make(map[string]*bool, len(secs))
@@ -140,8 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *regress {
 		return runRegress(stdout, stderr, *regressDir, *tolerance, *regressWrite, *regressWall)
 	}
-	if *tracePath != "" || *traceSummary {
-		return runTrace(stdout, stderr, *tracePath, *traceSeed, *traceSummary)
+	if trace.Active() {
+		return trace.Run(stdout, stderr, "matchbench", func(cfg simtmp.TelemetryConfig) (*simtmp.TelemetryRecorder, error) {
+			return simtmp.RunChaosTrace(trace.Seed, cfg)
+		})
 	}
 
 	ran := false
@@ -201,40 +202,6 @@ func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall b
 	}
 	if len(regs) > 0 {
 		return 1
-	}
-	return 0
-}
-
-// runTrace records one seeded chaos workload with the flight recorder
-// attached and exports it: Perfetto trace-event JSON to path (open at
-// ui.perfetto.dev), and/or a human-readable summary to stdout.
-func runTrace(stdout, stderr io.Writer, path string, seed int64, summary bool) int {
-	rec, err := simtmp.RunChaosTrace(seed)
-	if err != nil {
-		fmt.Fprintln(stderr, "matchbench:", err)
-		return 1
-	}
-	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(stderr, "matchbench:", err)
-			return 1
-		}
-		werr := rec.WriteTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintln(stderr, "matchbench:", werr)
-			return 1
-		}
-		fmt.Fprintf(stdout, "trace: wrote %s (%d events, seed %d)\n", path, rec.Len(), seed)
-	}
-	if summary {
-		if err := rec.WriteSummary(stdout); err != nil {
-			fmt.Fprintln(stderr, "matchbench:", err)
-			return 1
-		}
 	}
 	return 0
 }

@@ -155,6 +155,71 @@ func TestRunTraceJSON(t *testing.T) {
 	}
 }
 
+// TestRunTraceStream is the -trace.stream smoke test: the live-
+// streamed file must equal the post-hoc -trace file for the same seed
+// byte for byte, and every line of the -trace.chunks sidecar must
+// parse on its own as a JSON array of trace events.
+func TestRunTraceStream(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "stream.json")
+	chunkPath := filepath.Join(dir, "chunks.jsonl")
+	tracePath := filepath.Join(dir, "trace.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-trace.stream", streamPath, "-trace.chunks", chunkPath, "-trace.seed", "3"}, &out, &errOut); code != 0 {
+		t.Fatalf("stream run exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "stream: wrote") {
+		t.Errorf("missing stream report on stdout:\n%s", out.String())
+	}
+	if strings.Contains(errOut.String(), "missed") {
+		t.Errorf("stream reported drops: %s", errOut.String())
+	}
+	var out2, errOut2 strings.Builder
+	if code := run([]string{"-trace", tracePath, "-trace.seed", "3"}, &out2, &errOut2); code != 0 {
+		t.Fatalf("post-hoc run exit code %d, stderr: %s", code, errOut2.String())
+	}
+
+	streamed, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posthoc, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, posthoc) {
+		t.Errorf("streamed file (%d bytes) != post-hoc file (%d bytes) for the same seed",
+			len(streamed), len(posthoc))
+	}
+
+	chunks, err := os.ReadFile(chunkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(chunks), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("chunks sidecar is empty")
+	}
+	for i, line := range lines {
+		var evs []map[string]any
+		if err := json.Unmarshal([]byte(line), &evs); err != nil {
+			t.Fatalf("chunk line %d is not a JSON array: %v", i, err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("chunk line %d is empty", i)
+		}
+		for j, ev := range evs {
+			ph, _ := ev["ph"].(string)
+			switch ph {
+			case "M", "X", "i", "C":
+			default:
+				t.Fatalf("chunk %d event %d: bad ph %q", i, j, ph)
+			}
+		}
+	}
+}
+
 // TestRunTraceDeterministic: the same -trace.seed must emit
 // byte-identical files across invocations.
 func TestRunTraceDeterministic(t *testing.T) {

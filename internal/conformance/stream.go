@@ -1,0 +1,109 @@
+// Streamed chaos soaks: the live-streaming counterpart of RunChaos.
+// Where RunChaos only checks the reliability contract, RunChaosStream
+// additionally streams every workload's full trace through a bounded
+// flight-recorder ring — the long-soak observability mode the
+// post-hoc exporter cannot provide (an unbounded ring or lost
+// history). The soak's accounting separates the two drop notions:
+// events the ring overwrote after the streamer saved them (expected —
+// that is the ring staying bounded) versus events lost to the stream
+// (a pump-cadence bug; must be zero).
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"simtmp/internal/fault"
+	"simtmp/internal/mpx"
+	"simtmp/internal/simt"
+	"simtmp/internal/telemetry"
+)
+
+// StreamSoakReport accounts one streamed chaos soak.
+type StreamSoakReport struct {
+	// Workloads is the number of workloads streamed.
+	Workloads int
+	// Failures lists conformance violations (replayable; empty on a
+	// clean soak).
+	Failures []ChaosFailure
+	// Emitted counts telemetry events recorded across all workloads;
+	// Streamed counts those written to the streams. A lossless soak
+	// has Streamed == Emitted.
+	Emitted, Streamed uint64
+	// StreamDropped counts events the rings overwrote before the
+	// streamers ingested them — events lost to the stream. Zero on a
+	// correctly pumped soak, however small the ring.
+	StreamDropped uint64
+	// RingDropped counts ring wrap-around overwrites — events that no
+	// longer fit the bounded ring but had already been streamed. A
+	// nonzero value with StreamDropped == 0 is the bounded-memory
+	// witness: the soak's history exceeded the ring yet reached the
+	// stream intact.
+	RingDropped uint64
+	// MaxBuffered is the peak per-workload streamer buffering.
+	MaxBuffered int
+	// Bytes and Chunks total the streamed output.
+	Bytes, Chunks uint64
+}
+
+// RunChaosStream replays n seeded chaos workloads at one level — the
+// same deterministic workloads RunChaos checks — each with a live
+// streamer attached, and writes every workload's complete chunked
+// trace to w as one newline-delimited JSON document per workload, in
+// index order. Workloads shard across a bounded worker pool (workers
+// <= 0 selects GOMAXPROCS, 1 is fully sequential) into per-index
+// buffers, so the soak's streamed bytes are identical sequential vs
+// parallel and across replays of the same seed.
+//
+// tcfg sizes each workload's recorder (Enabled forced on; its Stream
+// field is overridden per workload); watermark sets the chunk flush
+// threshold (0 = default). The returned error reports only writer
+// failures — conformance violations land in the report's Failures.
+func RunChaosStream(level mpx.Level, seed int64, n int, mix fault.Config, tcfg telemetry.Config, watermark int, w io.Writer, workers int) (StreamSoakReport, error) {
+	rep := StreamSoakReport{Workloads: n}
+
+	type slot struct {
+		buf     bytes.Buffer
+		stats   telemetry.StreamStats
+		emitted uint64
+		ringDr  uint64
+		err     error // conformance violation
+		serr    error // stream finalization error
+	}
+	slots := make([]slot, n)
+	simt.ParallelFor(n, workers, func(i int) {
+		s := &slots[i]
+		cfg := tcfg
+		cfg.Stream = &telemetry.StreamConfig{W: &s.buf, Watermark: watermark}
+		_, _, rec, err := ChaosWorkloadTraced(level, seed, i, mix, cfg)
+		s.err = err
+		s.serr = rec.CloseStream()
+		s.stats = rec.Stream().Stats()
+		s.emitted = rec.Emitted()
+		s.ringDr = rec.Dropped()
+	})
+
+	for i := range slots {
+		s := &slots[i]
+		if s.err != nil {
+			rep.Failures = append(rep.Failures, ChaosFailure{Level: level, Index: i, Seed: seed, Err: s.err})
+		}
+		if s.serr != nil {
+			return rep, fmt.Errorf("conformance: workload %d stream: %w", i, s.serr)
+		}
+		rep.Emitted += s.emitted
+		rep.Streamed += s.stats.Events
+		rep.StreamDropped += s.stats.Dropped
+		rep.RingDropped += s.ringDr
+		rep.Bytes += s.stats.Bytes
+		rep.Chunks += s.stats.Chunks
+		if s.stats.MaxBuffered > rep.MaxBuffered {
+			rep.MaxBuffered = s.stats.MaxBuffered
+		}
+		if _, err := w.Write(s.buf.Bytes()); err != nil {
+			return rep, fmt.Errorf("conformance: workload %d merge: %w", i, err)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"simtmp/internal/mpx"
+	"simtmp/internal/telemetry"
+)
+
+// TestChaosStreamMatchesPostHoc pins the core streaming contract on a
+// real runtime workload: the chunks streamed live during a seeded
+// chaos workload concatenate to exactly the bytes the post-hoc
+// exporter produces for the same recorder — provided the ring held the
+// whole history.
+func TestChaosStreamMatchesPostHoc(t *testing.T) {
+	var streamed bytes.Buffer
+	cfg := telemetry.Config{
+		Enabled:    true,
+		BufferSize: 4096, // large enough that nothing wraps
+		Stream:     &telemetry.StreamConfig{W: &streamed, Watermark: 64},
+	}
+	_, _, rec, err := ChaosWorkloadTraced(mpx.FullMPI, *chaosSeed, 0, ChaosMix(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stream().Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("stream missed %d events despite an oversized ring", st.Dropped)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring wrapped (%d) despite being oversized; grow BufferSize", rec.Dropped())
+	}
+	if st.Events == 0 {
+		t.Fatal("workload streamed no events")
+	}
+
+	var posthoc bytes.Buffer
+	if err := rec.WriteTrace(&posthoc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), posthoc.Bytes()) {
+		t.Fatalf("live stream != post-hoc export (%d vs %d bytes)",
+			streamed.Len(), posthoc.Len())
+	}
+}
+
+// TestChaosStreamDeterministic pins byte-determinism of a streamed
+// soak across replays and across sequential vs host-parallel
+// execution.
+func TestChaosStreamDeterministic(t *testing.T) {
+	const n = 16
+	tcfg := telemetry.Config{Enabled: true, BufferSize: 512}
+	run := func(workers int) []byte {
+		var buf bytes.Buffer
+		rep, err := RunChaosStream(mpx.FullMPI, *chaosSeed, n, ChaosMix(), tcfg, 64, &buf, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failures) != 0 {
+			t.Fatalf("soak had %d conformance failures; first: %v", len(rep.Failures), rep.Failures[0].String())
+		}
+		if rep.StreamDropped != 0 {
+			t.Fatalf("workers=%d: stream missed %d events", workers, rep.StreamDropped)
+		}
+		return buf.Bytes()
+	}
+
+	seq := run(1)
+	par := run(0) // GOMAXPROCS workers
+	rep := run(1)
+	if !bytes.Equal(seq, par) {
+		t.Error("sequential and parallel soak streams differ")
+	}
+	if !bytes.Equal(seq, rep) {
+		t.Error("replaying the soak streamed different bytes")
+	}
+	if len(seq) == 0 {
+		t.Fatal("soak streamed nothing")
+	}
+}
+
+// TestChaosStreamBoundedSoak is the acceptance gate for the live
+// streamer: a full chaos soak streamed through a ring far smaller than
+// any workload's history. The ring wraps constantly (bounded memory,
+// by design) yet the stream loses nothing — every emitted event
+// reaches the writer.
+func TestChaosStreamBoundedSoak(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 120
+	}
+	tcfg := telemetry.Config{Enabled: true, BufferSize: 64}
+	rep, err := RunChaosStream(mpx.FullMPI, *chaosSeed, n, ChaosMix(), tcfg, 0, io.Discard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range rep.Failures {
+		if i >= 5 {
+			t.Errorf("... and %d more failures", len(rep.Failures)-i)
+			break
+		}
+		t.Error(f.String())
+	}
+	if rep.StreamDropped != 0 {
+		t.Errorf("stream missed %d of %d events through the bounded ring", rep.StreamDropped, rep.Emitted)
+	}
+	if rep.Streamed != rep.Emitted {
+		t.Errorf("streamed %d events, emitted %d; a lossless soak streams everything", rep.Streamed, rep.Emitted)
+	}
+	if rep.RingDropped == 0 {
+		t.Error("64-slot ring never wrapped; the soak lost its bounded-memory witness")
+	}
+	if rep.Bytes == 0 || rep.Chunks == 0 {
+		t.Errorf("soak accounting empty: %d bytes, %d chunks", rep.Bytes, rep.Chunks)
+	}
+	t.Logf("soak: %d workloads, %d events streamed, ring dropped %d (bounded), peak buffer %d, %d chunks, %d bytes",
+		rep.Workloads, rep.Streamed, rep.RingDropped, rep.MaxBuffered, rep.Chunks, rep.Bytes)
+}

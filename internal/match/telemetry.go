@@ -46,4 +46,7 @@ func emitKernelStats(rec *telemetry.Recorder, track int, base, end float64, occ 
 	rec.CounterAt(track, evOccupancy, base, float64(occ))
 	rec.CounterAt(track, evBallots, end, float64(ctrs.Ballot))
 	rec.CounterAt(track, evBranchDiv, end, float64(ctrs.Branch))
+	// Kernel-launch boundary: hand the pass's emissions to the live
+	// streamer (if any) while the ring still holds them.
+	rec.Pump()
 }

@@ -577,6 +577,9 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 	for g := range rt.pendingMsgs {
 		rt.stats.Unmatched += len(rt.pendingMsgs[g])
 	}
+	// Batch boundary: hand this step's emissions to the live streamer
+	// (if any) before a later step's ring wrap could overwrite them.
+	rt.rec.Pump()
 	return progress, nil
 }
 

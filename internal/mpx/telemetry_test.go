@@ -77,6 +77,71 @@ func TestTelemetryRecordsRuntimeEvents(t *testing.T) {
 	}
 }
 
+// TestSnapshotAtFixedSimTimeDeterministic pins the copy-on-read
+// determinism contract end to end: a snapshot taken after a fixed
+// number of progress steps of a seeded faulty workload exports
+// byte-identical trace and summary documents on every replay.
+func TestSnapshotAtFixedSimTimeDeterministic(t *testing.T) {
+	run := func() telemetry.Capture {
+		rt := New(Config{
+			GPUs: 2,
+			Fault: &fault.Config{
+				Seed:    7,
+				AckDrop: 0.5,
+				Drop:    0.2,
+			},
+			Telemetry: &telemetry.Config{Enabled: true, BufferSize: 1024},
+		})
+		for i := 0; i < 24; i++ {
+			if err := rt.Send(0, 1, envelope.Tag(i), 1, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.PostRecv(1, 0, envelope.Tag(i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A fixed number of progress steps lands every replay on the
+		// same simulated time, mid-drain.
+		for step := 0; step < 40; step++ {
+			if err := rt.Progress(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt.Recorder().Snapshot()
+	}
+
+	c1, c2 := run(), run()
+	if c1.Clock == 0 {
+		t.Fatal("snapshot clock is zero; the workload never progressed")
+	}
+	if c1.Clock != c2.Clock {
+		t.Fatalf("replay diverged: clock %v vs %v", c1.Clock, c2.Clock)
+	}
+	if c1.Emitted != c2.Emitted || c1.Dropped != c2.Dropped {
+		t.Fatalf("replay diverged: emitted %d/%d vs %d/%d",
+			c1.Emitted, c1.Dropped, c2.Emitted, c2.Dropped)
+	}
+	var t1, t2, s1, s2 bytes.Buffer
+	if err := c1.WriteTrace(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteTrace(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("snapshot traces differ across replays")
+	}
+	if err := c1.WriteSummary(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteSummary(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Errorf("snapshot summaries differ across replays:\n%s\n---\n%s", s1.String(), s2.String())
+	}
+}
+
 func TestTelemetryCorrelatesFaultsAndRetransmits(t *testing.T) {
 	// A heavy ack-drop mix forces retransmissions deterministically at
 	// this seed/volume; every retransmit must be preceded by fault

@@ -170,6 +170,13 @@ func (s *LaunchStats) Total() Counters {
 type Device struct {
 	Arch   *arch.Arch
 	Global *Memory
+	// AfterLaunch, when set, is invoked at the end of every Launch and
+	// LaunchParallel with the finished stats — a launch-boundary hook.
+	// The telemetry plane uses it to pump the flight recorder's live
+	// streamer at kernel ends, so streamed runs only need the ring to
+	// hold one launch's emissions. Called on the launching goroutine
+	// after all CTAs complete; it must not launch kernels itself.
+	AfterLaunch func(*LaunchStats)
 }
 
 // NewDevice creates a device of the given architecture with a global
@@ -205,6 +212,9 @@ func (d *Device) Launch(ctas, threadsPerCTA, sharedWords int, regsPerThread int,
 		c := NewCTA(i, threadsPerCTA, sharedWords)
 		kernel(c, d.Global)
 		stats.PerCTA[i] = c.Counters()
+	}
+	if d.AfterLaunch != nil {
+		d.AfterLaunch(stats)
 	}
 	return stats
 }

@@ -1,0 +1,53 @@
+package simt
+
+import (
+	"testing"
+
+	"simtmp/internal/arch"
+)
+
+// TestAfterLaunchHook pins the launch-boundary callback the telemetry
+// pump rides on: both launch paths invoke it exactly once, after the
+// kernel completes, with the stats they return.
+func TestAfterLaunchHook(t *testing.T) {
+	d := NewDevice(arch.PascalGTX1080(), 256)
+	var calls int
+	var seen *LaunchStats
+	d.AfterLaunch = func(st *LaunchStats) {
+		calls++
+		seen = st
+	}
+
+	kernel := func(c *CTA, g *Memory) {
+		w := c.Warp(0)
+		w.WithMask(1, func() {
+			w.StoreGlobal(g, func(int) int { return c.ID }, func(int) uint64 { return 1 })
+		})
+	}
+
+	st := d.Launch(2, 32, 0, 8, kernel)
+	if calls != 1 {
+		t.Fatalf("Launch fired AfterLaunch %d times, want 1", calls)
+	}
+	if seen != st {
+		t.Error("AfterLaunch saw different stats than Launch returned")
+	}
+	if seen.Total().GMemStore != 2 {
+		t.Error("AfterLaunch fired before the kernel completed")
+	}
+
+	st = d.LaunchParallel(4, 32, 0, 8, 2, kernel)
+	if calls != 2 {
+		t.Fatalf("LaunchParallel fired AfterLaunch %d more times, want 1", calls-1)
+	}
+	if seen != st {
+		t.Error("AfterLaunch saw different stats than LaunchParallel returned")
+	}
+
+	// The hook is optional: clearing it must not break launching.
+	d.AfterLaunch = nil
+	d.Launch(1, 32, 0, 8, kernel)
+	if calls != 2 {
+		t.Errorf("cleared hook still fired (%d calls)", calls)
+	}
+}

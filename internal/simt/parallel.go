@@ -115,5 +115,8 @@ func (d *Device) LaunchParallel(ctas, threadsPerCTA, sharedWords, regsPerThread,
 		kernel(c, d.Global)
 		stats.PerCTA[i] = c.Counters()
 	})
+	if d.AfterLaunch != nil {
+		d.AfterLaunch(stats)
+	}
 	return stats
 }

@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"simtmp/internal/stats"
 )
@@ -13,9 +16,13 @@ import (
 // return nil handles whose update methods are nil-safe, so
 // instrumented code registers and updates unconditionally.
 //
-// A Registry is not safe for concurrent use; it is owned by its
-// recorder's single driving goroutine.
+// Updates are race-safe without allocating — counters and gauges are
+// atomics, histograms take a mutex — so a supervisor goroutine may
+// call Snapshots (or Recorder.Snapshot) concurrently with the
+// runtime's hot-path updates. Determinism of exported values still
+// relies on the runtime driving all updates from one goroutine.
 type Registry struct {
+	mu         sync.Mutex
 	counters   []*Counter
 	gauges     []*Gauge
 	histograms []*Histogram
@@ -24,19 +31,20 @@ type Registry struct {
 // Counter is a monotonically increasing int64 metric.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Gauge is a last-value float64 metric.
 type Gauge struct {
 	name string
-	v    float64
+	bits atomic.Uint64 // math.Float64bits of the value
 }
 
 // Histogram is a named fixed-bucket distribution metric over a
 // stats.Histogram.
 type Histogram struct {
 	name string
+	mu   sync.Mutex
 	h    *stats.Histogram
 }
 
@@ -46,6 +54,8 @@ func (g *Registry) Counter(name string) *Counter {
 	if g == nil {
 		return nil
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, c := range g.counters {
 		if c.name == name {
 			return c
@@ -61,6 +71,8 @@ func (g *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		return nil
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, ga := range g.gauges {
 		if ga.name == name {
 			return ga
@@ -78,6 +90,8 @@ func (g *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if g == nil {
 		return nil
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, h := range g.histograms {
 		if h.name == name {
 			return h
@@ -93,7 +107,7 @@ func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
-	c.v += d
+	c.v.Add(d)
 }
 
 // Value returns the counter value (0 for nil).
@@ -101,7 +115,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Name returns the counter name ("" for nil).
@@ -117,7 +131,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Value returns the gauge value (0 for nil).
@@ -125,7 +139,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Name returns the gauge name ("" for nil).
@@ -141,7 +155,9 @@ func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	h.h.Observe(x)
+	h.mu.Unlock()
 }
 
 // Summary derives the distribution summary (zero for nil).
@@ -149,6 +165,8 @@ func (h *Histogram) Summary() stats.Summary {
 	if h == nil {
 		return stats.Summary{}
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.h.Summary()
 }
 
@@ -174,15 +192,20 @@ func (g *Registry) Snapshots() []Snapshot {
 	if g == nil {
 		return nil
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make([]Snapshot, 0, len(g.counters)+len(g.gauges)+len(g.histograms))
 	for _, c := range g.counters {
-		out = append(out, Snapshot{Name: c.name, Kind: "counter", Value: float64(c.v)})
+		out = append(out, Snapshot{Name: c.name, Kind: "counter", Value: float64(c.v.Load())})
 	}
 	for _, ga := range g.gauges {
-		out = append(out, Snapshot{Name: ga.name, Kind: "gauge", Value: ga.v})
+		out = append(out, Snapshot{Name: ga.name, Kind: "gauge", Value: math.Float64frombits(ga.bits.Load())})
 	}
 	for _, h := range g.histograms {
-		out = append(out, Snapshot{Name: h.name, Kind: "histogram", Value: float64(h.h.N()), Dist: h.h.Summary()})
+		h.mu.Lock()
+		n, dist := h.h.N(), h.h.Summary()
+		h.mu.Unlock()
+		out = append(out, Snapshot{Name: h.name, Kind: "histogram", Value: float64(n), Dist: dist})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Kind != out[j].Kind {

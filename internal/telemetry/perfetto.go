@@ -1,8 +1,6 @@
 package telemetry
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 )
@@ -22,37 +20,35 @@ type traceEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// traceFile is the JSON-object form of the trace-event format.
-type traceFile struct {
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
-	TraceEvents     []traceEvent `json:"traceEvents"`
+// PerfettoExporter renders events as Chrome trace-event JSON (the
+// "JSON object format"), loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Simulated seconds map to microseconds on the trace
+// timebase; each track becomes one thread (tid) of process 0, labeled
+// via thread_name metadata. Metrics are not part of the trace format
+// and are ignored. The byte output is a pure function of the events —
+// see the package determinism contract.
+type PerfettoExporter struct {
+	// TrackNames labels the tid tracks via thread_name metadata
+	// ("track %d" when empty or missing); index = track.
+	TrackNames []string
 }
 
-// WriteTrace exports the retained events as Chrome trace-event JSON
-// (the "JSON object format"), loadable by Perfetto (ui.perfetto.dev)
-// and chrome://tracing. Simulated seconds map to microseconds on the
-// trace timebase; each recorder track becomes one thread (tid) of
-// process 0, labeled via thread_name metadata. The byte output is a
-// pure function of the recorded events — see the package determinism
-// contract. A nil recorder writes a valid empty trace.
-func (r *Recorder) WriteTrace(w io.Writer) error {
-	f := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
-	if r != nil {
-		for tr := range r.tracks {
-			name := NameOf(r.tracks[tr].name)
-			if name == "" {
-				name = fmt.Sprintf("track %d", tr)
-			}
-			f.TraceEvents = append(f.TraceEvents, traceEvent{
-				Name: "thread_name", Ph: "M", Pid: 0, Tid: tr,
-				Args: map[string]any{"name": name},
-			})
-		}
-		for _, ev := range r.Events() {
-			f.TraceEvents = append(f.TraceEvents, toTraceEvent(ev))
-		}
+// Export implements Exporter.
+func (x PerfettoExporter) Export(w io.Writer, evs []Event, _ []Snapshot) error {
+	e := newChunkEncoder(w, nil)
+	e.ensureHeader(x.TrackNames)
+	for _, ev := range evs {
+		e.add(ev)
 	}
-	return json.NewEncoder(w).Encode(f)
+	e.closeTrace(x.TrackNames)
+	return e.err
+}
+
+// WriteTrace exports the retained events as Chrome trace-event JSON —
+// PerfettoExporter over the recorder's current state. A nil recorder
+// writes a valid empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	return PerfettoExporter{TrackNames: r.TrackNames()}.Export(w, r.Events(), nil)
 }
 
 // simToMicros converts simulated seconds to trace-timebase

@@ -1,0 +1,63 @@
+package telemetry
+
+import "io"
+
+// Capture is a copy-on-read view of a recorder: the retained events in
+// export order, the metric snapshots, track labels, the simulated
+// clock, and ring/stream accounting. It shares no storage with the
+// recorder, so it stays valid — and byte-stable — however far the
+// runtime progresses after the capture.
+type Capture struct {
+	// Clock is the simulated-time cursor at the capture.
+	Clock float64
+	// Events holds the retained events in export order (see
+	// Recorder.Events).
+	Events []Event
+	// Metrics holds the registry snapshots (see Registry.Snapshots).
+	Metrics []Snapshot
+	// TrackNames labels the tracks; index = track id.
+	TrackNames []string
+	// Emitted counts events ever emitted; Dropped counts those the
+	// ring overwrote (Emitted - Dropped = len(Events)).
+	Emitted, Dropped uint64
+	// Stream is the attached streamer's accounting at the capture
+	// (zero without one).
+	Stream StreamStats
+}
+
+// Snapshot captures a consistent copy-on-read view of the recorder, so
+// a supervisor goroutine can export mid-drain — while the runtime keeps
+// emitting — without stopping it. The capture is atomic with respect to
+// emission, and for a deterministic workload a snapshot taken at a
+// fixed simulated time is byte-identical across replays (the property
+// the mpx telemetry tests pin). A nil recorder captures a zero view.
+// Cold path — it copies freely.
+func (r *Recorder) Snapshot() Capture {
+	if r == nil {
+		return Capture{}
+	}
+	r.mu.Lock()
+	c := Capture{
+		Clock:      r.clock,
+		Events:     r.eventsLocked(),
+		TrackNames: r.trackNamesLocked(),
+		Emitted:    r.emittedLocked(),
+		Dropped:    r.droppedLocked(),
+	}
+	if r.stream != nil {
+		c.Stream = r.stream.statsLocked()
+	}
+	r.mu.Unlock()
+	c.Metrics = r.reg.Snapshots()
+	return c
+}
+
+// WriteTrace exports the capture as Perfetto trace-event JSON.
+func (c Capture) WriteTrace(w io.Writer) error {
+	return PerfettoExporter{TrackNames: c.TrackNames}.Export(w, c.Events, c.Metrics)
+}
+
+// WriteSummary renders the capture's human-readable digest.
+func (c Capture) WriteSummary(w io.Writer) error {
+	return SummaryExporter{TrackNames: c.TrackNames, Dropped: c.Dropped}.Export(w, c.Events, c.Metrics)
+}

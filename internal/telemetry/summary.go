@@ -5,53 +5,67 @@ import (
 	"io"
 )
 
-// WriteSummary renders a human-readable digest of the recording: per-
-// track event counts by kind, ring drop counts, and the metrics
-// registry. Like WriteTrace, the output is deterministic for a given
-// recorded sequence. A nil recorder writes a one-line "disabled" note.
-func (r *Recorder) WriteSummary(w io.Writer) error {
-	if r == nil {
-		_, err := fmt.Fprintln(w, "telemetry: disabled")
-		return err
+// SummaryExporter renders a human-readable digest: per-track event
+// counts by kind, ring drop accounting, and the metric snapshots. Like
+// the trace exporters, the output is deterministic for a given input.
+type SummaryExporter struct {
+	// TrackNames labels the tracks ("track %d" when empty or missing);
+	// index = track. Tracks beyond the events' highest still count
+	// toward the header's track total, matching the recorder's shape.
+	TrackNames []string
+	// Dropped is the number of events lost to ring wrap-around.
+	Dropped uint64
+}
+
+// Export implements Exporter.
+func (x SummaryExporter) Export(w io.Writer, evs []Event, m []Snapshot) error {
+	ntracks := len(x.TrackNames)
+	for _, ev := range evs {
+		if int(ev.Track) >= ntracks {
+			ntracks = int(ev.Track) + 1
+		}
 	}
 	if _, err := fmt.Fprintf(w, "telemetry: %d events on %d tracks (%d dropped by ring wrap)\n",
-		r.Len(), len(r.tracks), r.Dropped()); err != nil {
+		len(evs), ntracks, x.Dropped); err != nil {
 		return err
 	}
-	for tr := range r.tracks {
-		t := &r.tracks[tr]
-		n := t.retained()
-		if n == 0 {
+	type kinds struct{ spans, instants, counters, total int }
+	per := make([]kinds, ntracks)
+	for _, ev := range evs {
+		k := &per[ev.Track]
+		k.total++
+		switch ev.Kind {
+		case KindSpan:
+			k.spans++
+		case KindCounter:
+			k.counters++
+		default:
+			k.instants++
+		}
+	}
+	for tr := 0; tr < ntracks; tr++ {
+		k := per[tr]
+		if k.total == 0 {
 			continue
 		}
-		var spans, instants, counters int
-		start := t.n - uint64(n)
-		for i := 0; i < n; i++ {
-			switch t.buf[(start+uint64(i))&t.mask].Kind {
-			case KindSpan:
-				spans++
-			case KindCounter:
-				counters++
-			default:
-				instants++
-			}
+		name := ""
+		if tr < len(x.TrackNames) {
+			name = x.TrackNames[tr]
 		}
-		name := NameOf(t.name)
 		if name == "" {
 			name = fmt.Sprintf("track %d", tr)
 		}
 		if _, err := fmt.Fprintf(w, "  %-12s %6d events  (%d spans, %d instants, %d counters)\n",
-			name, n, spans, instants, counters); err != nil {
+			name, k.total, k.spans, k.instants, k.counters); err != nil {
 			return err
 		}
 	}
-	snaps := r.reg.Snapshots()
-	if len(snaps) > 0 {
+	if len(m) > 0 {
 		if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
 			return err
 		}
 	}
-	for _, s := range snaps {
+	for _, s := range m {
 		var err error
 		switch s.Kind {
 		case "histogram":
@@ -64,4 +78,16 @@ func (r *Recorder) WriteSummary(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteSummary renders the human-readable digest of the recording —
+// SummaryExporter over a consistent snapshot. A nil recorder writes a
+// one-line "disabled" note.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "telemetry: disabled")
+		return err
+	}
+	c := r.Snapshot()
+	return SummaryExporter{TrackNames: c.TrackNames, Dropped: c.Dropped}.Export(w, c.Events, c.Metrics)
 }

@@ -1,8 +1,8 @@
 // Package telemetry is the runtime's observability plane: a typed
 // event model, a bounded per-track ring-buffer flight recorder, a
-// metrics registry (counters, gauges, fixed-bucket histograms), and
-// exporters for Chrome/Perfetto trace-event JSON and a human-readable
-// summary.
+// metrics registry (counters, gauges, fixed-bucket histograms), and a
+// unified Exporter family — Chrome/Perfetto trace-event JSON, a
+// human-readable summary, and chunked live streaming.
 //
 // Two contracts shape the design:
 //
@@ -25,6 +25,14 @@
 // receiver check and the disabled configuration costs nothing on hot
 // paths (the zero-allocation and determinism contracts of the match
 // engines hold unchanged).
+//
+// Recording is driven by one goroutine — the runtime's progress loop —
+// which is what defines the deterministic emission order. The recorder
+// itself is mutex-guarded, so a supervisor goroutine may additionally
+// call Snapshot at any time for a consistent copy-on-read view (see
+// Capture) without stopping the runtime, and a Streamer attached via
+// Config.Stream drains the ring incrementally to an io.Writer as the
+// simulated clock advances (see StreamConfig).
 package telemetry
 
 import (
@@ -142,6 +150,11 @@ type Config struct {
 	// Off by default: wall timestamps vary run to run, so enabling it
 	// forfeits byte-identical exported traces.
 	HostClock bool
+	// Stream, when set with a non-nil writer, attaches a live Streamer
+	// to the recorder: retained events are incrementally exported to
+	// Stream.W as chunked trace-event JSON while the clock advances,
+	// so long soaks stream their full history through a bounded ring.
+	Stream *StreamConfig
 }
 
 // withDefaults fills zero fields and normalizes BufferSize to a power
@@ -170,17 +183,20 @@ type track struct {
 }
 
 // Recorder is the flight recorder: per-track bounded event rings plus
-// the metrics registry. A Recorder is NOT safe for concurrent
-// recording; each runtime records from its single driving goroutine
-// (the engines' host-parallel workers never emit — instrumentation
-// sits in the sequential orchestration code), which is also what keeps
-// recorded ordering deterministic.
+// the metrics registry. Recording happens from the runtime's single
+// driving goroutine (the engines' host-parallel workers never emit —
+// instrumentation sits in the sequential orchestration code), which is
+// what keeps recorded ordering deterministic; the mutex exists so that
+// a second goroutine may take a Snapshot — or read Len/Dropped/Events —
+// concurrently with emission without a data race.
 type Recorder struct {
+	mu        sync.Mutex
 	hostClock bool
 	bufSize   int
 	clock     float64
 	epoch     time.Time
 	tracks    []track
+	stream    *Streamer
 	reg       Registry
 }
 
@@ -200,6 +216,12 @@ func New(cfg Config) *Recorder {
 	for i := range r.tracks {
 		r.tracks[i] = newTrack(cfg.BufferSize)
 	}
+	if cfg.Stream != nil && cfg.Stream.W != nil {
+		// Cannot fail: the recorder is fresh and the writer non-nil.
+		if _, err := NewStreamer(r, *cfg.Stream); err != nil {
+			panic("telemetry: " + err.Error())
+		}
+	}
 	return r
 }
 
@@ -211,12 +233,21 @@ func newTrack(size int) track {
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // SetClock sets the simulated-time cursor subsequent clock-relative
-// emissions stamp. The runtime calls it once per progress step.
+// emissions stamp. The runtime calls it once per progress step. With a
+// streamer attached this is also the drain edge: events recorded with
+// a simulated time before the new cursor are finalized for streaming
+// (every emission site stamps at or after the current cursor, so the
+// finalized prefix is complete).
 func (r *Recorder) SetClock(sim float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.clock = sim
+	if r.stream != nil {
+		r.stream.advanceLocked(sim)
+	}
+	r.mu.Unlock()
 }
 
 // Clock returns the simulated-time cursor (0 for nil).
@@ -224,6 +255,8 @@ func (r *Recorder) Clock() float64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.clock
 }
 
@@ -233,16 +266,44 @@ func (r *Recorder) SetTrackName(tr int, name string) {
 	if r == nil || tr < 0 {
 		return
 	}
+	id := Name(name)
+	r.mu.Lock()
 	r.grow(tr)
-	r.tracks[tr].name = Name(name)
+	r.tracks[tr].name = id
+	r.mu.Unlock()
 }
 
 // TrackName returns the label of a track ("" when unnamed).
 func (r *Recorder) TrackName(tr int) string {
-	if r == nil || tr < 0 || tr >= len(r.tracks) {
+	if r == nil || tr < 0 {
 		return ""
 	}
-	return NameOf(r.tracks[tr].name)
+	r.mu.Lock()
+	var id NameID
+	if tr < len(r.tracks) {
+		id = r.tracks[tr].name
+	}
+	r.mu.Unlock()
+	return NameOf(id)
+}
+
+// TrackNames returns the labels of all tracks, index = track id ("" for
+// unnamed tracks; nil for a nil recorder).
+func (r *Recorder) TrackNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trackNamesLocked()
+}
+
+func (r *Recorder) trackNamesLocked() []string {
+	out := make([]string, len(r.tracks))
+	for i := range r.tracks {
+		out[i] = NameOf(r.tracks[i].name)
+	}
+	return out
 }
 
 // Tracks returns the number of tracks (0 for nil).
@@ -250,6 +311,8 @@ func (r *Recorder) Tracks() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.tracks)
 }
 
@@ -262,6 +325,52 @@ func (r *Recorder) Metrics() *Registry {
 	return &r.reg
 }
 
+// Stream returns the attached live streamer (nil when none).
+func (r *Recorder) Stream() *Streamer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stream
+}
+
+// Pump ingests newly recorded events into the attached streamer's
+// buffer before the ring can overwrite them. The runtime calls it at
+// batch boundaries — the end of each progress step and each kernel
+// launch — so a streamed run only needs the ring to hold one batch of
+// emissions, not the whole history. Pump never writes to the stream:
+// chunk boundaries depend only on SetClock advances and the watermark,
+// keeping the streamed bytes independent of how often the runtime
+// pumps. No-op without a streamer, or on a nil recorder.
+func (r *Recorder) Pump() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stream != nil && !r.stream.closed {
+		r.stream.ingestLocked()
+	}
+	r.mu.Unlock()
+}
+
+// CloseStream finalizes the attached streamer: ingests and flushes all
+// remaining events, writes the trace footer, and returns the stream's
+// first error. Idempotent; nil without a streamer. The recorder itself
+// stays usable (the ring is not consumed by streaming), but further
+// clock advances no longer stream.
+func (r *Recorder) CloseStream() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream == nil {
+		return nil
+	}
+	return r.stream.closeLocked()
+}
+
 // grow ensures track tr exists (setup/cold path).
 func (r *Recorder) grow(tr int) {
 	for len(r.tracks) <= tr {
@@ -271,7 +380,7 @@ func (r *Recorder) grow(tr int) {
 
 // emit appends ev to its track's ring, overwriting the oldest event
 // once the ring is full. Steady-state cost: one bounds check, one
-// struct copy.
+// struct copy. Callers hold r.mu.
 func (r *Recorder) emit(ev Event) {
 	tr := int(ev.Track)
 	if tr < 0 {
@@ -293,7 +402,9 @@ func (r *Recorder) Instant(tr int, name NameID, a1 NameID, v1 int64, a2 NameID, 
 	if r == nil {
 		return
 	}
-	r.InstantAt(tr, name, r.clock, a1, v1, a2, v2)
+	r.mu.Lock()
+	r.emit(Event{Kind: KindInstant, Track: int32(tr), Name: name, Sim: r.clock, A1: a1, V1: v1, A2: a2, V2: v2})
+	r.mu.Unlock()
 }
 
 // InstantAt records a point event at an explicit simulated time.
@@ -301,7 +412,9 @@ func (r *Recorder) InstantAt(tr int, name NameID, sim float64, a1 NameID, v1 int
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.emit(Event{Kind: KindInstant, Track: int32(tr), Name: name, Sim: sim, A1: a1, V1: v1, A2: a2, V2: v2})
+	r.mu.Unlock()
 }
 
 // Span records a duration event [start, start+dur) in simulated
@@ -310,7 +423,9 @@ func (r *Recorder) Span(tr int, name NameID, start, dur float64, a1 NameID, v1 i
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.emit(Event{Kind: KindSpan, Track: int32(tr), Name: name, Sim: start, Dur: dur, A1: a1, V1: v1, A2: a2, V2: v2})
+	r.mu.Unlock()
 }
 
 // Counter records a counter-track sample at the clock cursor.
@@ -318,7 +433,9 @@ func (r *Recorder) Counter(tr int, name NameID, val float64) {
 	if r == nil {
 		return
 	}
-	r.CounterAt(tr, name, r.clock, val)
+	r.mu.Lock()
+	r.emit(Event{Kind: KindCounter, Track: int32(tr), Name: name, Sim: r.clock, Val: val})
+	r.mu.Unlock()
 }
 
 // CounterAt records a counter-track sample at an explicit simulated
@@ -327,7 +444,9 @@ func (r *Recorder) CounterAt(tr int, name NameID, sim, val float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.emit(Event{Kind: KindCounter, Track: int32(tr), Name: name, Sim: sim, Val: val})
+	r.mu.Unlock()
 }
 
 // Len returns the number of retained events across all tracks.
@@ -335,6 +454,12 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+func (r *Recorder) lenLocked() int {
 	n := 0
 	for i := range r.tracks {
 		n += r.tracks[i].retained()
@@ -348,6 +473,12 @@ func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedLocked()
+}
+
+func (r *Recorder) droppedLocked() uint64 {
 	var d uint64
 	for i := range r.tracks {
 		t := &r.tracks[i]
@@ -358,6 +489,25 @@ func (r *Recorder) Dropped() uint64 {
 	return d
 }
 
+// Emitted returns the number of events ever emitted across all tracks,
+// including those the ring has since overwritten.
+func (r *Recorder) Emitted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.emittedLocked()
+}
+
+func (r *Recorder) emittedLocked() uint64 {
+	var n uint64
+	for i := range r.tracks {
+		n += r.tracks[i].n
+	}
+	return n
+}
+
 func (t *track) retained() int {
 	if t.n > uint64(len(t.buf)) {
 		return len(t.buf)
@@ -365,29 +515,21 @@ func (t *track) retained() int {
 	return int(t.n)
 }
 
-// Events returns a copy of the retained events in export order:
-// ascending simulated time, ties broken by track then per-track
-// emission order. The order is a pure function of the recorded
-// sequence, so seeded replays export identically. Cold path — it
-// allocates freely.
-func (r *Recorder) Events() []Event {
-	if r == nil {
-		return nil
-	}
-	type keyed struct {
-		ev  Event
-		idx uint64 // per-track emission index (monotone)
-	}
-	var all []keyed
-	for ti := range r.tracks {
-		t := &r.tracks[ti]
-		n := t.retained()
-		start := t.n - uint64(n)
-		for i := 0; i < n; i++ {
-			seq := start + uint64(i)
-			all = append(all, keyed{ev: t.buf[seq&t.mask], idx: seq})
-		}
-	}
+// keyedEvent pairs an event with its per-track emission index so ties
+// in simulated time sort deterministically.
+type keyedEvent struct {
+	ev  Event
+	idx uint64 // per-track emission index (monotone)
+}
+
+// sortKeyed orders events for export: ascending simulated time, ties
+// broken by track then per-track emission order. The order is a pure
+// function of the recorded sequence, so seeded replays export
+// identically — and because it compares only (Sim, Track, idx), any
+// partition of the events into increasing disjoint Sim ranges sorts
+// each part exactly as the whole would, which is what makes streamed
+// chunk concatenation equal the post-hoc export.
+func sortKeyed(all []keyedEvent) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.ev.Sim != b.ev.Sim {
@@ -398,6 +540,31 @@ func (r *Recorder) Events() []Event {
 		}
 		return a.idx < b.idx
 	})
+}
+
+// Events returns a copy of the retained events in export order. Cold
+// path — it allocates freely.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsLocked()
+}
+
+func (r *Recorder) eventsLocked() []Event {
+	var all []keyedEvent
+	for ti := range r.tracks {
+		t := &r.tracks[ti]
+		n := t.retained()
+		start := t.n - uint64(n)
+		for i := 0; i < n; i++ {
+			seq := start + uint64(i)
+			all = append(all, keyedEvent{ev: t.buf[seq&t.mask], idx: seq})
+		}
+	}
+	sortKeyed(all)
 	out := make([]Event, len(all))
 	for i, k := range all {
 		out[i] = k.ev

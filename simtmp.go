@@ -178,11 +178,14 @@ const (
 func NewRuntime(cfg RuntimeConfig) *Runtime { return mpx.New(cfg) }
 
 // Telemetry: the deterministic flight recorder, metrics registry and
-// Perfetto trace export. Set RuntimeConfig.Telemetry to record a run;
-// the recorder stamps only simulated time, so replays of a seeded
-// workload export byte-identical traces.
+// the unified Exporter family (Perfetto trace export, human-readable
+// summary, chunked live streaming). Set RuntimeConfig.Telemetry to
+// record a run; the recorder stamps only simulated time, so replays of
+// a seeded workload export byte-identical traces — streamed or
+// post-hoc.
 type (
-	// TelemetryConfig enables and sizes the flight recorder.
+	// TelemetryConfig enables and sizes the flight recorder; its
+	// Stream field attaches a live streamer.
 	TelemetryConfig = telemetry.Config
 	// TelemetryRecorder is the per-runtime flight recorder (nil is a
 	// valid no-op recorder).
@@ -191,18 +194,51 @@ type (
 	TelemetryEvent = telemetry.Event
 	// MetricSnapshot is one exported metric value.
 	MetricSnapshot = telemetry.Snapshot
+	// TelemetryCapture is a copy-on-read snapshot of a recorder
+	// (Recorder.Snapshot) — export mid-run without stopping it.
+	TelemetryCapture = telemetry.Capture
+	// TelemetryExporter renders events and metrics to a writer; the
+	// implementations are PerfettoExporter, SummaryExporter and
+	// StreamExporter.
+	TelemetryExporter = telemetry.Exporter
+	// PerfettoExporter writes Chrome/Perfetto trace-event JSON.
+	PerfettoExporter = telemetry.PerfettoExporter
+	// SummaryExporter writes the human-readable telemetry digest.
+	SummaryExporter = telemetry.SummaryExporter
+	// StreamExporter writes the Perfetto trace as watermark-sized
+	// chunks — the one-shot form of the live streamer.
+	StreamExporter = telemetry.StreamExporter
+	// TelemetryStreamConfig parameterizes live streaming
+	// (TelemetryConfig.Stream or NewTelemetryStreamer).
+	TelemetryStreamConfig = telemetry.StreamConfig
+	// TelemetryStreamer drains a recorder to an io.Writer as chunked
+	// trace-event JSON while the runtime progresses.
+	TelemetryStreamer = telemetry.Streamer
+	// TelemetryStreamStats accounts a streamer's chunks, bytes and
+	// drop counters.
+	TelemetryStreamStats = telemetry.StreamStats
+	// TraceFlags is the shared -trace.* CLI flag surface.
+	TraceFlags = telemetry.CLIFlags
 )
 
 var (
 	// NewTelemetryRecorder builds a standalone recorder (nil unless
 	// enabled).
 	NewTelemetryRecorder = telemetry.New
+	// NewTelemetryStreamer attaches a live streamer to a recorder.
+	NewTelemetryStreamer = telemetry.NewStreamer
 	// ChaosMix is the default chaos-conformance fault brew.
 	ChaosMix = conformance.ChaosMix
 	// ChaosWorkloadTraced replays one seeded chaos workload with the
 	// flight recorder attached.
 	ChaosWorkloadTraced = conformance.ChaosWorkloadTraced
+	// RunChaosStream streams a whole chaos soak bounded-memory; see
+	// conformance.RunChaosStream.
+	RunChaosStream = conformance.RunChaosStream
 )
+
+// ChaosStreamReport accounts one streamed chaos soak.
+type ChaosStreamReport = conformance.StreamSoakReport
 
 // RunChaosTrace replays seeded chaos workloads (FullMPI semantics,
 // ChaosMix faults) and returns the flight recorder of the first one
@@ -210,21 +246,26 @@ var (
 // fault → retransmit → match-pass chain on one simulated-time axis.
 // The scan is deterministic per seed; the same seed always returns the
 // same workload's byte-identical trace.
-func RunChaosTrace(seed int64) (*TelemetryRecorder, error) {
-	var first *TelemetryRecorder
+//
+// tcfg parameterizes the recorder (the zero value selects defaults;
+// Enabled is forced on). A tcfg.Stream writer receives the chosen
+// workload's trace live: the scan itself runs without telemetry, and
+// only the chosen workload is then replayed under tcfg, so the
+// streamed bytes cover exactly the workload the recorder holds.
+func RunChaosTrace(seed int64, tcfg TelemetryConfig) (*TelemetryRecorder, error) {
+	pick := 0
 	for i := 0; i < 64; i++ {
-		st, _, rec, err := conformance.ChaosWorkloadTraced(FullMPI, seed, i, ChaosMix(), TelemetryConfig{BufferSize: 8192})
+		st, _, err := conformance.ChaosWorkload(FullMPI, seed, i, ChaosMix())
 		if err != nil {
 			return nil, err
 		}
 		if st.Retries > 0 {
-			return rec, nil
-		}
-		if first == nil {
-			first = rec
+			pick = i
+			break
 		}
 	}
-	return first, nil
+	_, _, rec, err := conformance.ChaosWorkloadTraced(FullMPI, seed, pick, ChaosMix(), tcfg)
+	return rec, err
 }
 
 // Workload generation for experiments.
