@@ -124,6 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tolerance := fs.Float64("tolerance", 0.15, "relative tolerance for simulated-rate records under -regress")
 	regressWrite := fs.Bool("regress.write", false, "write a fresh BENCH_<date>.json baseline after the -regress run")
 	regressWall := fs.Bool("regress.wall", false, "also compare wall-clock records under -regress (host-dependent)")
+	soakRun := fs.Bool("soak", false, "run the open-loop traffic soak profiles (per-message latency SLOs)")
+	soakRegress := fs.Bool("soak.regress", false, "with -soak: compare the soak/* records against the latest BENCH_*.json baseline")
+	soakWrite := fs.Bool("soak.write", false, "with -soak: merge this run's soak/* records into the latest baseline as BENCH_<date>.json")
+	soakSeed := fs.Int64("soak.seed", 0, "with -soak: override the base seed (0 = the tracked default)")
+	soakMessages := fs.Int("soak.messages", 0, "with -soak: per-seed message count (0 = the tracked default)")
+	soakInflate := fs.Float64("soak.inflate", 1, "with -soak: multiply latency records (gate-validation hook; leave at 1)")
 	var trace simtmp.TraceFlags
 	trace.Register(fs)
 
@@ -138,6 +144,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *regress {
 		return runRegress(stdout, stderr, *regressDir, *tolerance, *regressWrite, *regressWall)
+	}
+	if *soakRun {
+		return runSoak(stdout, stderr, soakOpts{
+			csv: *csvOut, dir: *regressDir, tol: *tolerance,
+			seed: *soakSeed, messages: *soakMessages, inflate: *soakInflate,
+			regress: *soakRegress, write: *soakWrite,
+		})
 	}
 	if trace.Active() {
 		return trace.Run(stdout, stderr, "matchbench", func(cfg simtmp.TelemetryConfig) (*simtmp.TelemetryRecorder, error) {
@@ -204,6 +217,90 @@ func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall b
 		return 1
 	}
 	return 0
+}
+
+// soakOpts bundles the -soak.* flag surface.
+type soakOpts struct {
+	csv            bool
+	dir            string
+	tol            float64
+	seed           int64
+	messages       int
+	inflate        float64
+	regress, write bool
+}
+
+// runSoak executes the tracked open-loop soak profiles, prints their
+// latency SLOs, and optionally compares (-soak.regress) or blesses
+// (-soak.write) the soak/* records against the latest BENCH_*.json
+// baseline. Exit codes: 0 clean, 1 on SLO regressions, a tripped
+// cross-seed spread budget, or run failure.
+func runSoak(stdout, stderr io.Writer, o soakOpts) int {
+	if (o.regress || o.write) && (o.seed != 0 || o.messages != 0) {
+		fmt.Fprintln(stderr, "matchbench: -soak.regress/-soak.write track the default profiles; drop -soak.seed/-soak.messages")
+		return 2
+	}
+	results, err := simtmp.RunSoakProfiles(0, o.messages, o.seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "matchbench:", err)
+		return 1
+	}
+	recs := simtmp.SoakBenchRecords(results, o.inflate)
+
+	if o.csv {
+		if err := simtmp.WriteCSV(stdout, recs); err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
+	} else {
+		for _, r := range results {
+			s := r.Suite
+			fmt.Fprintf(stdout, "soak/%-7s p50 %8.2fus  p99 %8.2fus  p99.9 %8.2fus  PRQ peak %5d  UMQ peak %3d  spread %5.1f%%\n",
+				r.Profile, s.P50, s.P99, s.P999, s.PRQPeak, s.UMQPeak, 100*s.Spread)
+		}
+	}
+
+	// The stability budgets are calibrated at the tracked profile size,
+	// so only a default-configuration run is held to them; smoke runs
+	// with -soak.seed/-soak.messages just report their spread.
+	code := 0
+	if o.seed == 0 && o.messages == 0 {
+		for _, r := range results {
+			if !r.Suite.SpreadOK {
+				fmt.Fprintf(stderr, "matchbench: soak profile %s cross-seed spread %.1f%% exceeds its stability budget\n",
+					r.Profile, 100*r.Suite.Spread)
+				code = 1
+			}
+		}
+	}
+
+	if o.regress {
+		base, path, err := simtmp.LoadLatestBenchBaseline(o.dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
+		soakBase := simtmp.SoakOnlyBaseline(base)
+		if len(soakBase.Records) == 0 {
+			fmt.Fprintf(stderr, "matchbench: baseline %s has no soak/* records (rerun with -soak.write to add them)\n", path)
+			return 1
+		}
+		cur := simtmp.BenchReport{Records: recs}
+		regs := simtmp.CompareBench(soakBase, cur, o.tol, false)
+		simtmp.PrintRegress(stdout, cur, path, o.tol, regs)
+		if len(regs) > 0 {
+			code = 1
+		}
+	}
+	if o.write {
+		p, err := simtmp.MergeSoakBaseline(o.dir, recs)
+		if err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "soak: wrote baseline %s (%d soak records)\n", p, len(recs))
+	}
+	return code
 }
 
 func main() {

@@ -220,6 +220,69 @@ func TestRunTraceStream(t *testing.T) {
 	}
 }
 
+// TestRunSoakCSV: -soak -csv emits one row per tracked soak record
+// with the SLO names in the first column.
+func TestRunSoakCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-soak", "-csv", "-soak.messages", "4000"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 19 {
+		t.Fatalf("want header + 18 record rows, got %d:\n%s", len(lines), out.String())
+	}
+	for _, want := range []string{"soak/steady/p50_us", "soak/bursty/p99_us", "soak/faulty/p999_us"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("CSV missing record %q", want)
+		}
+	}
+}
+
+// TestRunSoakRegressGate is the acceptance path end to end: bless a
+// baseline, pass a clean comparison, then fail on an injected 2×
+// latency regression.
+func TestRunSoakRegressGate(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-soak", "-soak.write", "-regress.dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("bless run exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "soak: wrote baseline") {
+		t.Fatalf("bless run did not write a baseline:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-soak", "-soak.regress", "-regress.dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("clean regress exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "regress: ok") {
+		t.Errorf("clean regress did not report ok:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-soak", "-soak.regress", "-soak.inflate", "2", "-regress.dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("injected 2x regression exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: soak/steady/p99_us") {
+		t.Errorf("inflated run did not flag the p99 SLO:\n%s", out.String())
+	}
+}
+
+// TestRunSoakOverrideGuard: blessing or comparing with non-default
+// seed/messages is a usage error — the baseline tracks the default
+// profiles only.
+func TestRunSoakOverrideGuard(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-soak", "-soak.write", "-soak.seed", "5"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "default profiles") {
+		t.Errorf("guard message missing:\n%s", errOut.String())
+	}
+}
+
 // TestRunTraceDeterministic: the same -trace.seed must emit
 // byte-identical files across invocations.
 func TestRunTraceDeterministic(t *testing.T) {

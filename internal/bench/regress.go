@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"testing"
 	"time"
@@ -47,11 +48,36 @@ type BenchRecord struct {
 }
 
 // BenchReport is one full regression run: every tracked record plus
-// the host context the wall-clock numbers were measured under.
+// the host context the wall-clock numbers were measured under and a
+// fingerprint of the binary that produced it (the beads protocol's
+// fresh-binary requirement: a baseline must say which code measured
+// it, so stale-binary numbers cannot masquerade as current ones).
 type BenchReport struct {
 	Date       string        `json:"date"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	Revision   string        `json:"vcs_revision,omitempty"`
+	Dirty      bool          `json:"vcs_dirty,omitempty"`
 	Records    []BenchRecord `json:"records"`
+}
+
+// fingerprint fills the binary identity from build info. Binaries built
+// without VCS stamping (go test, plain go build in a non-repo) get the
+// Go version only.
+func (r *BenchReport) fingerprint() {
+	r.GoVersion = runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			r.Revision = s.Value
+		case "vcs.modified":
+			r.Dirty = s.Value == "true"
+		}
+	}
 }
 
 // RunRegress executes the tracked benchmark suite and returns the
@@ -63,6 +89,7 @@ func RunRegress(workers int) BenchReport {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	rep.fingerprint()
 	add := func(recs ...BenchRecord) { rep.Records = append(rep.Records, recs...) }
 
 	// Simulated rates: every figure point and Table II row. These are
@@ -97,6 +124,15 @@ func RunRegress(workers int) BenchReport {
 	// ns/op is machine-dependent (wall); allocs/op is the zero-alloc
 	// contract and must stay exactly zero.
 	add(hostBenchmarks()...)
+
+	// Open-loop soak SLOs: deterministic latency quantiles under load.
+	// An error here is a driver or model bug, not a measurement failure
+	// — same contract as the host-benchmark warmup above.
+	soaks, err := RunSoak(workers, 0, 0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: regress soak: %v", err))
+	}
+	add(SoakRecords(soaks, 1)...)
 	return rep
 }
 

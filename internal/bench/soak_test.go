@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// soakOnce runs the tracked soak profiles at their regression size
+// (the spread budgets are calibrated there), shared across the tests
+// in this file (the pipeline is deterministic, so reuse is sound).
+func soakOnce(t *testing.T) []SoakResult {
+	t.Helper()
+	res, err := RunSoak(0, 0, 0)
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	return res
+}
+
+// TestSoakRecordsShape pins the record inventory: every profile
+// contributes its three latency SLOs, two residency peaks, and the
+// spread gate, all as deterministic sim records.
+func TestSoakRecordsShape(t *testing.T) {
+	res := soakOnce(t)
+	if len(res) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(res))
+	}
+	recs := SoakRecords(res, 1)
+	if len(recs) != 18 {
+		t.Fatalf("records = %d, want 18 (6 per profile)", len(recs))
+	}
+	byName := map[string]BenchRecord{}
+	for _, r := range recs {
+		if r.Kind != KindSim {
+			t.Errorf("%s: kind %q, want sim (soak metrics are deterministic)", r.Name, r.Kind)
+		}
+		if !strings.HasPrefix(r.Name, "soak/") {
+			t.Errorf("record %q lacks the soak/ prefix", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	for _, p := range []string{"steady", "bursty", "faulty"} {
+		for _, q := range []string{"p50_us", "p99_us", "p999_us"} {
+			r, ok := byName["soak/"+p+"/"+q]
+			if !ok {
+				t.Errorf("missing soak/%s/%s", p, q)
+				continue
+			}
+			if r.HigherIsBetter {
+				t.Errorf("%s: latency must be lower-is-better", r.Name)
+			}
+			if r.Value <= 0 {
+				t.Errorf("%s = %v, want > 0", r.Name, r.Value)
+			}
+		}
+		if r := byName["soak/"+p+"/seed_spread_ok"]; r.Value != 1 {
+			t.Errorf("soak/%s/seed_spread_ok = %v, want 1 (budget %v exceeded: spread too wide)",
+				p, r.Value, r.Name)
+		}
+	}
+	// p50 ≤ p99 ≤ p999 within each profile.
+	for _, p := range []string{"steady", "bursty", "faulty"} {
+		p50 := byName["soak/"+p+"/p50_us"].Value
+		p99 := byName["soak/"+p+"/p99_us"].Value
+		p999 := byName["soak/"+p+"/p999_us"].Value
+		if !(p50 <= p99 && p99 <= p999) {
+			t.Errorf("%s: quantiles out of order: %v/%v/%v", p, p50, p99, p999)
+		}
+	}
+}
+
+// TestSoakInjectedRegression is the acceptance check for the SLO gate:
+// an artificially injected 2× latency regression must fail the
+// comparison on every latency record, while an unchanged run passes.
+func TestSoakInjectedRegression(t *testing.T) {
+	res := soakOnce(t)
+	base := BenchReport{Records: SoakRecords(res, 1)}
+
+	if regs := Compare(base, BenchReport{Records: SoakRecords(res, 1)}, 0.15, false); len(regs) != 0 {
+		t.Fatalf("identical soak run flagged: %v", regs)
+	}
+
+	cur := BenchReport{Records: SoakRecords(res, 2)} // injected 2× SLO regression
+	regs := Compare(base, cur, 0.15, false)
+	flagged := map[string]bool{}
+	for _, r := range regs {
+		flagged[r.Name] = true
+	}
+	for _, p := range []string{"steady", "bursty", "faulty"} {
+		for _, q := range []string{"p50_us", "p99_us", "p999_us"} {
+			if !flagged["soak/"+p+"/"+q] {
+				t.Errorf("2× inflated soak/%s/%s not flagged", p, q)
+			}
+		}
+	}
+	if len(regs) != 9 {
+		t.Errorf("regressions = %d (%v), want exactly the 9 latency records", len(regs), regs)
+	}
+}
+
+// TestSoakSpreadGateTripsCompare: a suite that loses cross-seed
+// stability (seed_spread_ok 1 → 0) must register as a regression
+// against a baseline that recorded 1.
+func TestSoakSpreadGateTripsCompare(t *testing.T) {
+	res := soakOnce(t)
+	base := BenchReport{Records: SoakRecords(res, 1)}
+	cur := BenchReport{Records: SoakRecords(res, 1)}
+	for i := range cur.Records {
+		if cur.Records[i].Name == "soak/steady/seed_spread_ok" {
+			cur.Records[i].Value = 0
+		}
+	}
+	regs := Compare(base, cur, 0.15, false)
+	if len(regs) != 1 || regs[0].Name != "soak/steady/seed_spread_ok" {
+		t.Errorf("Compare = %v, want exactly the tripped spread gate", regs)
+	}
+}
+
+// TestSoakRecordsDeterministic: two full soak executions emit identical
+// record sets — the property the committed baseline depends on.
+func TestSoakRecordsDeterministic(t *testing.T) {
+	a := SoakRecords(soakOnce(t), 1)
+	b := SoakRecords(soakOnce(t), 1)
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReportFingerprint: RunRegress-produced reports must carry the
+// binary fingerprint (Go version always; VCS fields when stamped).
+func TestReportFingerprint(t *testing.T) {
+	var rep BenchReport
+	rep.fingerprint()
+	if rep.GoVersion == "" {
+		t.Error("fingerprint left GoVersion empty")
+	}
+}

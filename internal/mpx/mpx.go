@@ -116,6 +116,21 @@ type Config struct {
 	// it is opt-in for benchmarking and regression runs.
 	MeasureAllocs bool
 
+	// EngineWorkers bounds the host goroutines each matching engine
+	// uses to simulate its device-parallel phases (0 = GOMAXPROCS, the
+	// engines' own default; 1 forces sequential execution). Engine
+	// results are bit-identical either way; the knob exists so
+	// determinism tests and load drivers can pin the execution mode.
+	EngineWorkers int
+
+	// OnDeliver, when set, is invoked once per delivered receive during
+	// a progress step, with the handle and the simulated transport time
+	// of the delivering step. It runs with the runtime lock held, so
+	// the callback must not call back into the runtime (record and
+	// return). Load drivers (internal/soak) use it to capture
+	// per-message arrival→match latency without polling handles.
+	OnDeliver func(r *Recv, simNow float64)
+
 	// Telemetry, when non-nil and enabled, attaches a flight recorder
 	// (one track per GPU) capturing send/retransmit/credit-stall
 	// events, per-step match spans, fault-injection markers, and
@@ -164,6 +179,16 @@ func (r *Recv) Message() (gas.Message, error) {
 }
 
 // Stats accumulates the simulated matching work of a runtime.
+//
+// Overflow and reset semantics: every counter is a monotone total
+// since the runtime was created (or since the last ResetStats call).
+// Counters are plain ints, which the compile-time guard below pins to
+// 64 bits, so even a soak pushing 10^9 messages per host-second would
+// take centuries to wrap one — overflow is out of the design envelope
+// rather than merely unlikely. Counters never reset implicitly:
+// Stats() is a pure read and may be called repeatedly (interval deltas
+// are the caller's subtraction); ResetStats establishes a new zero for
+// the whole view, including the merged transport/fault counters.
 type Stats struct {
 	Matches     int
 	SimSeconds  float64
@@ -199,6 +224,11 @@ type Stats struct {
 	DrainAllocs      uint64  // heap allocations during Drain calls
 	DrainAllocBytes  uint64  // heap bytes allocated during Drain calls
 }
+
+// Stats counters must not wrap during multi-billion-message soak runs,
+// so the runtime requires a 64-bit int: the index below is 0 on 64-bit
+// platforms and -1 (a compile error) on 32-bit ones.
+var _ = [1]struct{}{}[(^uint(0)>>62)>>1-1]
 
 // Rate returns cumulative matches per simulated second.
 func (s Stats) Rate() float64 {
@@ -275,6 +305,11 @@ type Runtime struct {
 	// deciding pre-postedness per message.
 	seq   uint64
 	stats Stats
+	// base holds the external cumulative counters (cluster link stats,
+	// fault-plane injections) observed at the last ResetStats, so the
+	// merged Stats view resets consistently even though those sources
+	// cannot be zeroed themselves.
+	base struct{ corrupt, invalid, drops, stallSteps int }
 
 	// Telemetry plane (all nil when Config.Telemetry is off; every
 	// handle is nil-safe, so emission sites are unconditional).
@@ -354,12 +389,12 @@ func (rt *Runtime) newEngine(g int) match.Matcher {
 	case NoSourceWildcard, NoUnexpected:
 		return match.NewPartitionedMatcher(match.PartitionedConfig{
 			Arch: rt.cfg.Arch, Queues: rt.cfg.Queues, Compact: rt.cfg.Level != NoUnexpected,
-			Recorder: rt.rec, Track: g,
+			Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g,
 		})
 	case Unordered:
-		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch, Recorder: rt.rec, Track: g})
+		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch, Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g})
 	default:
-		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true, Recorder: rt.rec, Track: g})
+		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true, Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g})
 	}
 }
 
@@ -551,6 +586,9 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 			if preposted {
 				rt.stats.PrePostedMsgs++
 			}
+			if rt.cfg.OnDeliver != nil {
+				rt.cfg.OnDeliver(recvs[ri], rt.now)
+			}
 		}
 		if rt.cfg.Level == NoUnexpected && unmatchedMsgs > 0 {
 			for i, used := range usedMsg {
@@ -643,23 +681,67 @@ func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 
 // Stats returns the accumulated simulated-work statistics, merged with
 // the transport's detection counters (per-GPU link stats) and, when
-// the fault plane is active, its injection counters.
+// the fault plane is active, its injection counters. Reading is pure:
+// repeated calls return consistent monotone totals with no implicit
+// reset (see the Stats type for the overflow/reset contract).
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	return rt.mergedStatsLocked()
+}
+
+func (rt *Runtime) mergedStatsLocked() Stats {
 	st := rt.stats
 	for g := 0; g < rt.cluster.Size(); g++ {
 		ls := rt.cluster.GPU(g).LinkStats()
 		st.Corrupt += ls.Corrupt
 		st.Invalid += ls.Invalid
 	}
+	st.Corrupt -= rt.base.corrupt
+	st.Invalid -= rt.base.invalid
 	if rt.injector != nil {
 		c := rt.injector.Counters()
-		st.Drops = c.Drops
-		st.StallSteps = c.StallSteps
+		st.Drops = c.Drops - rt.base.drops
+		st.StallSteps = c.StallSteps - rt.base.stallSteps
 	}
 	return st
 }
+
+// ResetStats zeroes the cumulative Stats view: the runtime's own
+// counters are cleared and the externally sourced counters (link-level
+// corruption detection, fault-plane injections) are re-based so the
+// next Stats call reads zero everywhere. Load drivers use it to
+// exclude a warmup phase from steady-state accounting. In-flight
+// state — pending messages, posted receives, flow windows, the
+// simulated clock — is untouched; only the accounting restarts.
+func (rt *Runtime) ResetStats() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stats = Stats{}
+	rt.base.corrupt, rt.base.invalid = 0, 0
+	for g := 0; g < rt.cluster.Size(); g++ {
+		ls := rt.cluster.GPU(g).LinkStats()
+		rt.base.corrupt += ls.Corrupt
+		rt.base.invalid += ls.Invalid
+	}
+	if rt.injector != nil {
+		c := rt.injector.Counters()
+		rt.base.drops, rt.base.stallSteps = c.Drops, c.StallSteps
+	}
+}
+
+// Now returns the simulated transport-clock time in seconds: the
+// number of progress steps taken so far times Poll.
+func (rt *Runtime) Now() float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.now
+}
+
+// Poll returns the simulated seconds one progress step advances the
+// transport clock (one kernel-launch overhead on the configured
+// architecture). It is fixed at construction.
+func (rt *Runtime) Poll() float64 { return rt.poll }
 
 // EngineName reports the matching engine backing this runtime.
 func (rt *Runtime) EngineName() string { return rt.engines[0].Name() }

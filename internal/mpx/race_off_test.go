@@ -1,0 +1,7 @@
+//go:build !race
+
+package mpx
+
+// raceEnabled scales the long-run counter audit down under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

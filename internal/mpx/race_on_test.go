@@ -1,0 +1,8 @@
+//go:build race
+
+package mpx
+
+// raceEnabled scales the long-run counter audit down under the race
+// detector, whose per-access instrumentation makes the full
+// multi-million-message run needlessly slow in CI.
+const raceEnabled = true

@@ -1,0 +1,140 @@
+// Arrival processes for the open-loop soak driver. Both are generated
+// in continuous simulated time from a seeded source, so a soak's
+// offered traffic is a pure function of its configuration — replays
+// are exact, including every burst boundary.
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Process selects the arrival process shape.
+type Process int
+
+const (
+	// Poisson is memoryless arrivals at a constant mean rate — the
+	// classic open-loop steady-state regime.
+	Poisson Process = iota
+	// Bursty is a two-state Markov-modulated Poisson process (MMPP-2):
+	// exponential dwell times alternate between a quiet state and a
+	// burst state whose rate is BurstConfig.Factor times the mean,
+	// while the time-weighted mean rate stays at the configured Rate.
+	// This is the regime where queueing — and therefore tail latency —
+	// actually appears at utilizations that look safe on average.
+	Bursty
+)
+
+// String names the process.
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// BurstConfig shapes the Bursty (MMPP-2) process.
+type BurstConfig struct {
+	// Factor multiplies the mean rate while in the burst state
+	// (default 8). Factor*Fraction must stay below 1 so the quiet
+	// state keeps a positive rate.
+	Factor float64
+	// Fraction is the long-run fraction of time spent in the burst
+	// state (default 0.1).
+	Fraction float64
+	// MeanArrivals is the expected number of arrivals in one burst
+	// episode (default 256); together with Factor it sets the dwell
+	// times.
+	MeanArrivals float64
+}
+
+func (b BurstConfig) withDefaults() BurstConfig {
+	if b.Factor <= 0 {
+		b.Factor = 8
+	}
+	if b.Fraction <= 0 {
+		b.Fraction = 0.1
+	}
+	if b.MeanArrivals <= 0 {
+		b.MeanArrivals = 256
+	}
+	return b
+}
+
+// validate rejects parameterizations without a positive quiet-state
+// rate or a meaningful burst.
+func (b BurstConfig) validate() error {
+	if b.Fraction >= 1 {
+		return fmt.Errorf("soak: burst fraction %v must be < 1", b.Fraction)
+	}
+	if b.Factor*b.Fraction >= 1 {
+		return fmt.Errorf("soak: burst factor %v × fraction %v ≥ 1 leaves no quiet-state rate", b.Factor, b.Fraction)
+	}
+	if b.Factor <= 1 {
+		return fmt.Errorf("soak: burst factor %v must exceed 1", b.Factor)
+	}
+	return nil
+}
+
+// arrivals yields successive absolute arrival times.
+type arrivals struct {
+	rng  *rand.Rand
+	now  float64
+	rate float64 // current-state rate
+
+	// MMPP-2 state (bursty only).
+	bursty              bool
+	rateQuiet, rateHigh float64
+	dwellQuiet, dwellHi float64 // mean state dwell times, sim seconds
+	inBurst             bool
+	nextSwitch          float64
+}
+
+// newArrivals builds the process. meanRate is arrivals per simulated
+// second; cfg must already be defaulted and validated for Bursty.
+func newArrivals(p Process, meanRate float64, cfg BurstConfig, rng *rand.Rand) *arrivals {
+	a := &arrivals{rng: rng, rate: meanRate}
+	if p != Bursty {
+		return a
+	}
+	a.bursty = true
+	a.rateHigh = meanRate * cfg.Factor
+	// Solve the time-weighted mean: fraction·high + (1−fraction)·quiet
+	// = mean.
+	a.rateQuiet = meanRate * (1 - cfg.Fraction*cfg.Factor) / (1 - cfg.Fraction)
+	a.dwellHi = cfg.MeanArrivals / a.rateHigh
+	a.dwellQuiet = a.dwellHi * (1 - cfg.Fraction) / cfg.Fraction
+	a.rate = a.rateQuiet
+	a.nextSwitch = a.rng.ExpFloat64() * a.dwellQuiet
+	return a
+}
+
+// next returns the next absolute arrival time. For the MMPP the
+// memorylessness of the exponential lets the pending inter-arrival be
+// redrawn at each state switch without biasing the process.
+func (a *arrivals) next() float64 {
+	if !a.bursty {
+		a.now += a.rng.ExpFloat64() / a.rate
+		return a.now
+	}
+	for {
+		dt := a.rng.ExpFloat64() / a.rate
+		if a.now+dt <= a.nextSwitch {
+			a.now += dt
+			return a.now
+		}
+		a.now = a.nextSwitch
+		a.inBurst = !a.inBurst
+		if a.inBurst {
+			a.rate = a.rateHigh
+			a.nextSwitch = a.now + a.rng.ExpFloat64()*a.dwellHi
+		} else {
+			a.rate = a.rateQuiet
+			a.nextSwitch = a.now + a.rng.ExpFloat64()*a.dwellQuiet
+		}
+	}
+}

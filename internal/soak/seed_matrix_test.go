@@ -1,0 +1,49 @@
+package soak
+
+import (
+	"flag"
+	"testing"
+
+	"simtmp/internal/mpx"
+)
+
+// -soak.seed lets CI's seed matrix point the soak tests at different
+// corners of the arrival space (mirrors -chaos.seed in conformance).
+var soakSeed = flag.Int64("soak.seed", 1, "seed for the seed-matrix soak run")
+
+// TestSoakSeedMatrix runs a short open-loop soak at the matrix seed
+// under every process and checks the invariants that must hold for
+// any seed: full delivery, ordered quantiles within [Min, Max], and
+// byte-identical replay.
+func TestSoakSeedMatrix(t *testing.T) {
+	msgs := 10_000
+	if testing.Short() {
+		msgs = 3_000
+	}
+	for _, proc := range []Process{Poisson, Bursty} {
+		cfg := Config{
+			Level:       mpx.Unordered,
+			Seed:        *soakSeed,
+			Messages:    msgs,
+			Warmup:      msgs / 10,
+			Process:     proc,
+			KeepRecords: true,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", *soakSeed, proc, err)
+		}
+		if got := len(rep.Records); got < msgs-cfg.Warmup || got > msgs {
+			t.Errorf("seed %d %v: %d records, want in [%d, %d]",
+				*soakSeed, proc, got, msgs-cfg.Warmup, msgs)
+		}
+		q := rep.Latency
+		if !(q.Min <= q.P50 && q.P50 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+			t.Errorf("seed %d %v: quantiles out of order: %+v", *soakSeed, proc, q)
+		}
+		if q.P50 <= 0 {
+			t.Errorf("seed %d %v: non-positive p50 %v", *soakSeed, proc, q.P50)
+		}
+		sameRecords(t, proc.String(), rep.Records, soakRecords(t, cfg))
+	}
+}

@@ -1,0 +1,238 @@
+package soak
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simtmp/internal/mpx"
+)
+
+// TestProcessPoissonRate checks the Poisson generator's empirical mean
+// rate against the configured one.
+func TestProcessPoissonRate(t *testing.T) {
+	const rate = 1e6
+	const n = 200_000
+	a := newArrivals(Poisson, rate, BurstConfig{}.withDefaults(), rand.New(rand.NewSource(1)))
+	var last float64
+	for i := 0; i < n; i++ {
+		last = a.next()
+	}
+	got := float64(n) / last
+	if math.Abs(got-rate)/rate > 0.02 {
+		t.Errorf("empirical rate %.0f, want %.0f ±2%%", got, rate)
+	}
+}
+
+// TestProcessBurstyMeanPreserved checks that the MMPP-2's time-weighted
+// mean rate matches the configured mean despite the burst modulation,
+// and that burst episodes actually modulate the short-term rate.
+func TestProcessBurstyMeanPreserved(t *testing.T) {
+	const rate = 1e6
+	const n = 400_000
+	cfg := BurstConfig{}.withDefaults()
+	if err := cfg.validate(); err != nil {
+		t.Fatalf("default burst config invalid: %v", err)
+	}
+	a := newArrivals(Bursty, rate, cfg, rand.New(rand.NewSource(2)))
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = a.next()
+	}
+	got := float64(n) / times[n-1]
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("empirical mean rate %.0f, want %.0f ±5%%", got, rate)
+	}
+	// Short-window rates must spread far beyond Poisson fluctuation:
+	// with bursts 8× the mean and quiet ≈0.22× the mean, the max/min
+	// windowed rate ratio should be large.
+	const win = 1000
+	minR, maxR := math.Inf(1), 0.0
+	for i := win; i < n; i += win {
+		r := win / (times[i] - times[i-win])
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR/minR < 4 {
+		t.Errorf("windowed rate ratio %.1f (min %.0f, max %.0f); bursts not modulating", maxR/minR, minR, maxR)
+	}
+}
+
+func TestBurstConfigValidate(t *testing.T) {
+	cases := []BurstConfig{
+		{Factor: 8, Fraction: 1.0, MeanArrivals: 256}, // fraction ≥ 1
+		{Factor: 8, Fraction: 0.2, MeanArrivals: 256}, // factor·fraction ≥ 1
+		{Factor: 0.5, Fraction: 0.1, MeanArrivals: 1}, // factor ≤ 1
+	}
+	for i, c := range cases {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d (%+v): validate accepted an invalid config", i, c)
+		}
+	}
+	if err := (BurstConfig{}.withDefaults()).validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+// TestSoakSmoke drives a short soak end to end and sanity-checks the
+// report: full delivery, positive latencies, coherent quantile ordering,
+// and an offered rate the delivered rate tracks (open loop at 50%
+// utilization must not fall behind).
+func TestSoakSmoke(t *testing.T) {
+	msgs := 30_000
+	if testing.Short() {
+		msgs = 5_000
+	}
+	rep, err := Run(Config{
+		Level:       mpx.Unordered,
+		Seed:        1,
+		Messages:    msgs,
+		Warmup:      msgs / 10,
+		KeepRecords: true,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	// Stats re-base at the warmup boundary: every steady message is
+	// counted, plus any warmup stragglers still in flight at the reset.
+	if rep.Stats.Matches < msgs-msgs/10 || rep.Stats.Matches > msgs {
+		t.Errorf("steady matches = %d, want within [%d, %d]", rep.Stats.Matches, msgs-msgs/10, msgs)
+	}
+	if got := len(rep.Records); got != msgs-msgs/10 {
+		t.Fatalf("records = %d, want %d", got, msgs-msgs/10)
+	}
+	for i, l := range rep.Records {
+		if l <= 0 {
+			t.Fatalf("record %d: non-positive latency %v µs", i, l)
+		}
+	}
+	q := rep.Latency
+	if !(q.Min <= q.P50 && q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+		t.Errorf("quantiles out of order: %+v", q)
+	}
+	if q.P50 <= 0 {
+		t.Errorf("p50 = %v, want > 0", q.P50)
+	}
+	if rep.DeliveredRate < 0.5*rep.OfferedRate {
+		t.Errorf("delivered rate %.0f lags offered %.0f; soak not keeping up at 50%% utilization", rep.DeliveredRate, rep.OfferedRate)
+	}
+	if rep.PRQPeak <= 0 {
+		t.Errorf("PRQ peak = %d, want > 0", rep.PRQPeak)
+	}
+	// Histogram and records must agree on the sample count.
+	if rep.Hist.N() != uint64(len(rep.Records)) {
+		t.Errorf("hist N = %d, records = %d", rep.Hist.N(), len(rep.Records))
+	}
+}
+
+// TestSoakBurstyTail pins the reason the bursty process exists: at the
+// same mean utilization, MMPP-2 arrivals must produce a worse tail than
+// Poisson arrivals.
+func TestSoakBurstyTail(t *testing.T) {
+	base := Config{
+		Level:       mpx.Unordered,
+		Seed:        42,
+		Messages:    40_000,
+		Utilization: 0.7,
+		KeepRecords: true,
+	}
+	if testing.Short() {
+		base.Messages = 10_000
+	}
+	pois := base
+	pois.Process = Poisson
+	burst := base
+	burst.Process = Bursty
+	pr, err := Run(pois)
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	br, err := Run(burst)
+	if err != nil {
+		t.Fatalf("bursty: %v", err)
+	}
+	if br.Latency.P99 <= pr.Latency.P99 {
+		t.Errorf("bursty p99 %.2fµs ≤ poisson p99 %.2fµs at equal mean load; bursts should build queues", br.Latency.P99, pr.Latency.P99)
+	}
+	if br.PRQPeak <= pr.PRQPeak {
+		t.Errorf("bursty PRQ peak %d ≤ poisson %d; bursts should raise residency", br.PRQPeak, pr.PRQPeak)
+	}
+}
+
+// TestSoakTagGuard forces a flow to exceed its tag space under
+// Unordered and expects the fail-fast error instead of a silent
+// correctness violation.
+func TestSoakTagGuard(t *testing.T) {
+	_, err := Run(Config{
+		Level:    mpx.Unordered,
+		Seed:     3,
+		Messages: 2_000,
+		Tags:     8,
+		Rate:     1e12, // all arrivals land before the first progress step
+	})
+	if err == nil {
+		t.Fatal("soak accepted a run that wraps an 8-tag space under Unordered")
+	}
+	t.Logf("got expected guard: %v", err)
+}
+
+// TestSoakLevels runs the soak across all four semantic levels to pin
+// that the driver's traffic pattern is legal under each contract (the
+// receive is always posted before the message's first progress step, so
+// even NoUnexpected holds).
+func TestSoakLevels(t *testing.T) {
+	for _, lvl := range []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered} {
+		rep, err := Run(Config{
+			Level:    lvl,
+			Seed:     7,
+			Messages: 5_000,
+		})
+		if err != nil {
+			t.Errorf("%v: %v", lvl, err)
+			continue
+		}
+		if rep.Stats.Matches != 5_000 {
+			t.Errorf("%v: matches = %d, want 5000", lvl, rep.Stats.Matches)
+		}
+	}
+}
+
+// TestRunSuite checks the multi-seed harness: distinct seeds, the
+// beads-style spread gate, and aggregate peaks.
+func TestRunSuite(t *testing.T) {
+	msgs := 20_000
+	if testing.Short() {
+		msgs = 5_000
+	}
+	sr, err := RunSuite(SuiteConfig{
+		Base: Config{Level: mpx.Unordered, Seed: 100, Messages: msgs, KeepRecords: true},
+	})
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	if len(sr.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(sr.Runs))
+	}
+	seen := map[int64]bool{}
+	for _, r := range sr.Runs {
+		seen[r.Seed] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("seeds not distinct: %v", seen)
+	}
+	if sr.P99 <= 0 || sr.P50 <= 0 {
+		t.Errorf("aggregate quantiles not positive: %+v", sr)
+	}
+	if !sr.SpreadOK {
+		t.Errorf("cross-seed spread %.3f exceeds the 10%% gate", sr.Spread)
+	}
+	for _, r := range sr.Runs {
+		if r.PRQPeak > sr.PRQPeak {
+			t.Errorf("suite PRQ peak %d below run peak %d", sr.PRQPeak, r.PRQPeak)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"simtmp/internal/mpx"
+	"simtmp/internal/telemetry"
+)
+
+// TestSoakStreamedTelemetry runs a soak with the live streamer
+// attached through a ring far smaller than the event volume: the
+// stream must lose nothing (the runtime pumps at every launch
+// boundary), emit a complete parseable trace by the time Run returns,
+// and stay byte-deterministic across replays.
+func TestSoakStreamedTelemetry(t *testing.T) {
+	msgs := 8_000
+	if testing.Short() {
+		msgs = 2_000
+	}
+	run := func() ([]byte, *Report) {
+		var w bytes.Buffer
+		rep, err := Run(Config{
+			Level:    mpx.Unordered,
+			Seed:     23,
+			Messages: msgs,
+			Telemetry: &telemetry.Config{
+				Enabled:    true,
+				BufferSize: 512,
+				Stream:     &telemetry.StreamConfig{W: &w, Watermark: 128},
+			},
+		})
+		if err != nil {
+			t.Fatalf("soak: %v", err)
+		}
+		return w.Bytes(), rep
+	}
+
+	trace1, rep := run()
+	if rep.Stream.Dropped != 0 {
+		t.Errorf("stream dropped %d events under soak volume", rep.Stream.Dropped)
+	}
+	if rep.Stream.Events == 0 {
+		t.Fatal("stream saw no events; telemetry not attached")
+	}
+	if rep.Stream.Late != 0 {
+		t.Errorf("stream Late = %d, want 0", rep.Stream.Late)
+	}
+	if rep.Stream.Chunks < 2 {
+		t.Errorf("chunks = %d; soak volume should stream incrementally", rep.Stream.Chunks)
+	}
+	if rep.Stream.MaxBuffered > 4096 {
+		t.Errorf("MaxBuffered = %d; streamer memory not bounded", rep.Stream.MaxBuffered)
+	}
+
+	// Run finalizes the stream, so the bytes must already be one
+	// complete trace document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace1, &doc); err != nil {
+		t.Fatalf("streamed soak trace is not complete JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("streamed soak trace has no events")
+	}
+
+	trace2, rep2 := run()
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("same-seed streamed soak traces differ")
+	}
+	if rep.Stream != rep2.Stream {
+		t.Errorf("stream accounting differs across replays:\n first %+v\nsecond %+v", rep.Stream, rep2.Stream)
+	}
+}
+
+// TestSoakLatencyMetricRegistered: the driver registers its latency
+// histogram in the recorder's metrics registry; the summary must agree
+// with the report's sample count.
+func TestSoakLatencyMetricRegistered(t *testing.T) {
+	var w bytes.Buffer
+	rep, err := Run(Config{
+		Level:    mpx.Unordered,
+		Seed:     29,
+		Messages: 3_000,
+		Telemetry: &telemetry.Config{
+			Enabled: true,
+			Stream:  &telemetry.StreamConfig{W: &w},
+		},
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if rep.Hist.N() != 3_000 {
+		t.Fatalf("hist N = %d, want 3000", rep.Hist.N())
+	}
+}

@@ -129,6 +129,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}
+	// The extremes are known exactly; answering them directly also
+	// keeps Quantile(1) on the max when the top occupied bucket holds a
+	// single sample (interpolation would return that bucket's lower
+	// edge).
+	if q == 0 {
+		return h.min
+	}
+	if q == 1 {
+		return h.max
+	}
 	rank := q * float64(h.n-1)
 	cum := 0.0
 	for i, c := range h.counts {

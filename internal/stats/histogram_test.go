@@ -135,3 +135,50 @@ func TestHistogramPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestHistogramQuantileWithinRange is the property companion to the
+// edge-case tests: for arbitrary samples, every quantile must land
+// inside [Min, Max], q=0 exactly on Min, q=1 exactly on Max — the
+// clamping contract the soak latency SLOs rely on when quantiles come
+// from buckets instead of raw records.
+func TestHistogramQuantileWithinRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram(ExpBuckets(0.125, 1.25, 40))
+		for _, x := range raw {
+			h.Observe(float64(x) / 7)
+		}
+		if len(raw) == 0 {
+			return h.Quantile(0.5) == 0 // empty: defined as 0, no panic
+		}
+		if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+			return false
+		}
+		for _, q := range []float64{0.001, 0.25, 0.5, 0.9, 0.99, 0.999} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramSingleSamplePerBucket: with exactly one sample in a
+// bucket, interpolation must return that bucket's clamped lower edge
+// rather than dividing by zero (c−1 == 0).
+func TestHistogramSingleSamplePerBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, x := range []float64{1.5, 3, 6} { // one per bucket
+		h.Observe(x)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1.5}, {0.5, 2}, {1, 6},
+	} {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The soak-volume streamer audit: the bounded ring and the watermark
+// are exercised exactly at their boundaries (ring exactly full, one
+// past full, chunk exactly at the watermark) and then under sustained
+// volume far beyond the ring size, where the stream must lose nothing
+// while holding only bounded memory.
+
+var evSoakInst = Name("test.soak.inst")
+
+// TestStreamRingExactlyFull pins the off-by-one edge of ingest's wrap
+// accounting: a burst of exactly BufferSize events between pumps is
+// lossless (the ring is exactly full, nothing overwritten), while one
+// more event drops exactly one.
+func TestStreamRingExactlyFull(t *testing.T) {
+	const ring = 16 // power of two: used verbatim as the ring size
+	for _, c := range []struct {
+		burst       int
+		wantDropped uint64
+	}{
+		{ring - 1, 0},
+		{ring, 0}, // exactly full: t.n−cur == len(buf), still lossless
+		{ring + 1, 1},
+		{2 * ring, uint64(ring)},
+	} {
+		var w bytes.Buffer
+		r := New(Config{Enabled: true, BufferSize: ring,
+			Stream: &StreamConfig{W: &w, Watermark: 4}})
+		r.SetClock(1e-6)
+		for i := 0; i < c.burst; i++ {
+			r.InstantAt(0, evSoakInst, 2e-6, 0, 0, 0, 0)
+		}
+		r.SetClock(3e-6) // single ingest sees the whole burst
+		if err := r.CloseStream(); err != nil {
+			t.Fatal(err)
+		}
+		st := r.Stream().Stats()
+		if st.Dropped != c.wantDropped {
+			t.Errorf("burst %d into ring %d: Dropped = %d, want %d",
+				c.burst, ring, st.Dropped, c.wantDropped)
+		}
+		if want := uint64(c.burst) - c.wantDropped; st.Events != want {
+			t.Errorf("burst %d: Events = %d, want %d", c.burst, st.Events, want)
+		}
+	}
+}
+
+// TestStreamWatermarkExactFill pins the flush trigger at its boundary:
+// batches of exactly Watermark finalized events flush exactly one
+// chunk each (no flush early, none held back), and a batch one short
+// of the watermark flushes nothing until close.
+func TestStreamWatermarkExactFill(t *testing.T) {
+	const w = 32
+	var buf bytes.Buffer
+	var chunks int
+	r := New(Config{Enabled: true, BufferSize: 1024,
+		Stream: &StreamConfig{W: &buf, Watermark: w,
+			OnChunk: func([]byte) { chunks++ }}})
+
+	clock := 1e-6
+	r.SetClock(clock)
+	for batch := 1; batch <= 3; batch++ {
+		for i := 0; i < w; i++ {
+			r.InstantAt(0, evSoakInst, clock, 0, 0, 0, 0)
+		}
+		r.Pump()
+		clock += 1e-6
+		r.SetClock(clock) // finalizes exactly w events → exactly one flush
+		if chunks != batch {
+			t.Fatalf("after batch %d: %d chunks, want %d", batch, chunks, batch)
+		}
+	}
+
+	// One short of the watermark: no flush until close drains it.
+	for i := 0; i < w-1; i++ {
+		r.InstantAt(0, evSoakInst, clock, 0, 0, 0, 0)
+	}
+	clock += 1e-6
+	r.SetClock(clock)
+	if chunks != 3 {
+		t.Fatalf("sub-watermark batch flushed early: %d chunks", chunks)
+	}
+	if err := r.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 4 {
+		t.Errorf("close flushed %d chunks total, want 4", chunks)
+	}
+	if st := r.Stream().Stats(); st.Events != 4*w-1 || st.Dropped != 0 {
+		t.Errorf("Events/Dropped = %d/%d, want %d/0", st.Events, st.Dropped, 4*w-1)
+	}
+}
+
+// TestStreamSoakVolume drives two orders of magnitude more events than
+// the ring holds with the runtime's pump cadence: the stream must see
+// every event exactly once, buffer only O(watermark + batch) events at
+// peak, and do it all deterministically.
+func TestStreamSoakVolume(t *testing.T) {
+	const (
+		ring  = 256
+		batch = 128
+		total = 1563 * batch // ≈200k, a whole number of batches
+	)
+	run := func() ([]byte, StreamStats) {
+		var w bytes.Buffer
+		r := New(Config{Enabled: true, Tracks: 2, BufferSize: ring,
+			Stream: &StreamConfig{W: &w, Watermark: 256}})
+		clock := 1e-6
+		r.SetClock(clock)
+		for i := 0; i < total; i += batch {
+			for j := 0; j < batch; j++ {
+				r.InstantAt(j%2, evSoakInst, clock, argStreamV, int64(i+j), 0, 0)
+			}
+			r.Pump() // the runtime pumps at every launch boundary
+			clock += 1e-6
+			r.SetClock(clock)
+		}
+		if err := r.CloseStream(); err != nil {
+			t.Fatal(err)
+		}
+		return w.Bytes(), r.Stream().Stats()
+	}
+
+	bytes1, st := run()
+	if st.Dropped != 0 {
+		t.Errorf("soak volume dropped %d events from the stream", st.Dropped)
+	}
+	if st.Events != total {
+		t.Errorf("streamed %d events, want %d", st.Events, total)
+	}
+	if st.Late != 0 {
+		t.Errorf("Late = %d, want 0 (all stamps at the recorder clock)", st.Late)
+	}
+	// Bounded memory: the ring wrapped ~780 times, yet the streamer
+	// held at most one watermark of ready events plus one batch of
+	// pending ones.
+	if r := New(Config{Enabled: true, BufferSize: ring}); r == nil {
+		t.Fatal("sanity: recorder enabled")
+	}
+	if st.MaxBuffered > 2*256+2*batch {
+		t.Errorf("MaxBuffered = %d; streamer memory is not bounded by watermark+batch", st.MaxBuffered)
+	}
+	if st.Chunks < uint64(total)/512 {
+		t.Errorf("only %d chunks for %d events; streaming did not happen incrementally", st.Chunks, total)
+	}
+
+	bytes2, _ := run()
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Error("soak-volume stream is not byte-deterministic across replays")
+	}
+}

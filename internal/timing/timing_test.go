@@ -2,6 +2,7 @@ package timing
 
 import (
 	"testing"
+	"testing/quick"
 
 	"simtmp/internal/arch"
 	"simtmp/internal/simt"
@@ -171,5 +172,58 @@ func TestBackoff(t *testing.T) {
 	}
 	if got := Backoff(10, 5, 1); got != 5 {
 		t.Errorf("Backoff with base above cap = %v, want 5", got)
+	}
+}
+
+// TestBackoffProperties is the property-based companion to the table
+// test above, over randomized (base, max, attempt): the schedule must
+// be deterministic, never exceed the cap, never undercut min(base,max),
+// grow monotonically with the attempt number, and double exactly until
+// the cap bites.
+func TestBackoffProperties(t *testing.T) {
+	f := func(rawBase, rawMax uint16, rawAttempt uint8) bool {
+		base := float64(rawBase)/64 + 1e-6 // positive, spans (0, ~1024]
+		max := float64(rawMax)/16 + 1e-6   // positive, spans (0, ~4096]
+		attempt := int(rawAttempt) % 64
+
+		d := Backoff(base, max, attempt)
+		if d != Backoff(base, max, attempt) { // deterministic
+			return false
+		}
+		if d > max { // cap respected
+			return false
+		}
+		floor := base
+		if max < floor {
+			floor = max
+		}
+		if d < floor { // never below min(base, cap)
+			return false
+		}
+		if next := Backoff(base, max, attempt+1); next < d { // monotone growth
+			return false
+		}
+		// Exact doubling below the cap: attempts 1..k give base·2^(i−1)
+		// until that value reaches max.
+		want := base
+		for i := 1; i <= attempt; i++ {
+			if want >= max {
+				want = max
+				break
+			}
+			if i > 1 {
+				want *= 2
+			}
+		}
+		if want > max {
+			want = max
+		}
+		if attempt >= 1 && d != want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
 	}
 }

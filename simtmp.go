@@ -36,6 +36,7 @@ import (
 	"simtmp/internal/fault"
 	"simtmp/internal/match"
 	"simtmp/internal/mpx"
+	"simtmp/internal/soak"
 	"simtmp/internal/telemetry"
 	"simtmp/internal/trace"
 	"simtmp/internal/workload"
@@ -375,6 +376,55 @@ var (
 	LoadLatestBenchBaseline = bench.LoadLatestBaseline
 	// PrintRegress renders a regression comparison outcome.
 	PrintRegress = bench.PrintRegress
+)
+
+// Open-loop traffic soak (cmd/matchbench -soak): arrivals at a
+// configured rate in simulated time, per-message arrival→match latency
+// SLOs, and the multi-seed suite the regression gate tracks.
+type (
+	// SoakConfig parameterizes one open-loop soak run.
+	SoakConfig = soak.Config
+	// SoakReport is one soak run's outcome (quantiles, peaks, stats).
+	SoakReport = soak.Report
+	// SoakQuantiles is a latency distribution summary in µs.
+	SoakQuantiles = soak.Quantiles
+	// SoakBurstConfig shapes the MMPP-2 bursty arrival process.
+	SoakBurstConfig = soak.BurstConfig
+	// SoakProcess selects the arrival process (SoakPoisson/SoakBursty).
+	SoakProcess = soak.Process
+	// SoakSuiteConfig parameterizes a multi-seed soak suite.
+	SoakSuiteConfig = soak.SuiteConfig
+	// SoakSuiteReport aggregates a multi-seed soak.
+	SoakSuiteReport = soak.SuiteReport
+	// SoakProfileSpec is one tracked soak profile in the regression
+	// suite.
+	SoakProfileSpec = bench.SoakProfile
+	// SoakProfileResult is one tracked profile's suite outcome.
+	SoakProfileResult = bench.SoakResult
+)
+
+// Arrival process selectors.
+const (
+	SoakPoisson = soak.Poisson
+	SoakBursty  = soak.Bursty
+)
+
+var (
+	// RunSoak executes one open-loop soak run.
+	RunSoak = soak.Run
+	// RunSoakSuite executes a multi-seed soak suite.
+	RunSoakSuite = soak.RunSuite
+	// SoakProfiles lists the regression-tracked soak profiles.
+	SoakProfiles = bench.SoakProfiles
+	// RunSoakProfiles executes every tracked profile as a 3-seed suite.
+	RunSoakProfiles = bench.RunSoak
+	// SoakBenchRecords converts suite outcomes into tracked records.
+	SoakBenchRecords = bench.SoakRecords
+	// MergeSoakBaseline blesses fresh soak records into the latest
+	// baseline file.
+	MergeSoakBaseline = bench.MergeSoakBaseline
+	// SoakOnlyBaseline filters a report down to its soak/* records.
+	SoakOnlyBaseline = bench.SoakOnlyBaseline
 )
 
 // printAblations renders all four ablation studies.
