@@ -130,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	soakSeed := fs.Int64("soak.seed", 0, "with -soak: override the base seed (0 = the tracked default)")
 	soakMessages := fs.Int("soak.messages", 0, "with -soak: per-seed message count (0 = the tracked default)")
 	soakInflate := fs.Float64("soak.inflate", 1, "with -soak: multiply latency records (gate-validation hook; leave at 1)")
+	soakUncap := fs.Bool("soak.uncap", false, "with -soak: strip the overload profiles' queue caps (gate-validation hook; a capped baseline must fail)")
 	var trace simtmp.TraceFlags
 	trace.Register(fs)
 
@@ -149,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSoak(stdout, stderr, soakOpts{
 			csv: *csvOut, dir: *regressDir, tol: *tolerance,
 			seed: *soakSeed, messages: *soakMessages, inflate: *soakInflate,
-			regress: *soakRegress, write: *soakWrite,
+			uncap: *soakUncap, regress: *soakRegress, write: *soakWrite,
 		})
 	}
 	if trace.Active() {
@@ -227,6 +228,7 @@ type soakOpts struct {
 	seed           int64
 	messages       int
 	inflate        float64
+	uncap          bool
 	regress, write bool
 }
 
@@ -240,7 +242,11 @@ func runSoak(stdout, stderr io.Writer, o soakOpts) int {
 		fmt.Fprintln(stderr, "matchbench: -soak.regress/-soak.write track the default profiles; drop -soak.seed/-soak.messages")
 		return 2
 	}
-	results, err := simtmp.RunSoakProfiles(0, o.messages, o.seed)
+	if o.write && o.uncap {
+		fmt.Fprintln(stderr, "matchbench: refusing to bless an uncapped run as a baseline; drop -soak.uncap")
+		return 2
+	}
+	results, err := simtmp.RunSoakProfiles(0, o.messages, o.seed, o.uncap)
 	if err != nil {
 		fmt.Fprintln(stderr, "matchbench:", err)
 		return 1

@@ -228,10 +228,13 @@ func TestRunSoakCSV(t *testing.T) {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 19 {
-		t.Fatalf("want header + 18 record rows, got %d:\n%s", len(lines), out.String())
+	if len(lines) != 47 {
+		t.Fatalf("want header + 46 record rows, got %d:\n%s", len(lines), out.String())
 	}
-	for _, want := range []string{"soak/steady/p50_us", "soak/bursty/p99_us", "soak/faulty/p999_us"} {
+	for _, want := range []string{
+		"soak/steady/p50_us", "soak/bursty/p99_us", "soak/faulty/p999_us",
+		"soak/overload/1.5x/caps_ok", "soak/overload/2x/shed_total", "soak/overload/slow/caps_ok",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("CSV missing record %q", want)
 		}

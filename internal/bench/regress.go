@@ -128,7 +128,7 @@ func RunRegress(workers int) BenchReport {
 	// Open-loop soak SLOs: deterministic latency quantiles under load.
 	// An error here is a driver or model bug, not a measurement failure
 	// — same contract as the host-benchmark warmup above.
-	soaks, err := RunSoak(workers, 0, 0)
+	soaks, err := RunSoak(workers, 0, 0, false)
 	if err != nil {
 		panic(fmt.Sprintf("bench: regress soak: %v", err))
 	}

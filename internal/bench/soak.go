@@ -44,8 +44,13 @@ type SoakProfile struct {
 }
 
 // SoakProfiles returns the tracked profiles. messages and seed override
-// the defaults when positive / non-zero (the CLI smoke hooks).
-func SoakProfiles(messages int, seed int64) []SoakProfile {
+// the defaults when positive / non-zero (the CLI smoke hooks). uncap
+// strips the overload profiles' queue caps — the gate-validation hook
+// behind matchbench -soak.uncap: an uncapped 2× overload run must fail
+// -soak.regress on exploded residency peaks and vanished shed counts,
+// proving the overload gates actually bite. It is false in every real
+// run.
+func SoakProfiles(messages int, seed int64, uncap bool) []SoakProfile {
 	if messages <= 0 {
 		messages = soakMessages
 	}
@@ -72,6 +77,38 @@ func SoakProfiles(messages int, seed int64) []SoakProfile {
 	faulty.Utilization = 0.4
 	faulty.Fault = &fault.Config{Seed: seed, Drop: 0.05}
 
+	// Overload profiles: bounded queues + shed policy, offered load
+	// pushed past capacity for the middle 30% of the run. The caps are
+	// sized above the steady working set at the profiles' utilizations
+	// so the steady phases run clean and only the overload excursion
+	// sheds.
+	overCaps := soak.OverloadConfig{UMQCap: 64, PRQCap: 256, StagingCap: 32}
+	if uncap {
+		overCaps = soak.OverloadConfig{}
+	}
+
+	over15 := base
+	over15.Process = soak.Poisson
+	over15.Utilization = 0.4
+	over15.Overload = overCaps
+	over15.Overload.Factor = 1.5
+	over15.Overload.Shed = mpx.ShedDropOldest
+
+	over2 := base
+	over2.Process = soak.Poisson
+	over2.Utilization = 0.5
+	over2.Overload = overCaps
+	over2.Overload.Factor = 2.0
+	over2.Overload.Shed = mpx.ShedReject
+
+	slowFault := fault.SlowReceiverProfile(seed)
+	overSlow := base
+	overSlow.Process = soak.Poisson
+	overSlow.Utilization = 0.5
+	overSlow.Fault = &slowFault
+	overSlow.Overload = overCaps
+	overSlow.Overload.Shed = mpx.ShedDropNewest
+
 	return []SoakProfile{
 		// Poisson at half capacity: the baseline SLO, beads 10% gate.
 		{"steady", steady, 0.10},
@@ -82,6 +119,18 @@ func SoakProfiles(messages int, seed int64) []SoakProfile {
 		// Lossy wire: the latency cost of retransmission. The tail is a
 		// handful of RTO spikes per seed (measured spread ≈0.76).
 		{"faulty", faulty, 0.90},
+		// 1.5× overload, DropOldest: sheds park and retransmit; the
+		// overload window's accepted-message tail dominates p99.9 and is
+		// seed-sensitive, so the budget is generous — the hard gates for
+		// these profiles are the caps_ok / shed_total / recovery records.
+		{"overload/1.5x", over15, 0.90},
+		// 2× overload, Reject: typed refusal at the staging cap; the
+		// driver sheds client-side at the would-block probes.
+		{"overload/2x", over2, 0.90},
+		// Slow consumer at steady 0.5 utilization: drain-rate collapse
+		// episodes (fault plane) back pressure up through ring credits
+		// into staging sheds — overload without a rate excursion.
+		{"overload/slow", overSlow, 0.90},
 	}
 }
 
@@ -93,10 +142,11 @@ type SoakResult struct {
 
 // RunSoak executes every tracked profile as a 3-seed suite. workers
 // bounds the per-suite host fan-out (0 = GOMAXPROCS); results are
-// identical either way.
-func RunSoak(workers, messages int, seed int64) ([]SoakResult, error) {
+// identical either way. uncap is the overload gate-validation hook
+// (see SoakProfiles).
+func RunSoak(workers, messages int, seed int64, uncap bool) ([]SoakResult, error) {
 	var out []SoakResult
-	for _, p := range SoakProfiles(messages, seed) {
+	for _, p := range SoakProfiles(messages, seed, uncap) {
 		sr, err := soak.RunSuite(soak.SuiteConfig{Base: p.Base, Workers: workers, MaxSpread: p.MaxSpread})
 		if err != nil {
 			return nil, fmt.Errorf("soak profile %s: %w", p.Name, err)
@@ -162,21 +212,77 @@ func SoakRecords(results []SoakResult, inflate float64) []BenchRecord {
 	peak := func(name string, v int) BenchRecord {
 		return BenchRecord{Name: name, Kind: KindSim, Value: float64(v), Unit: "msgs", HigherIsBetter: false}
 	}
+	boolRec := func(name string, v bool) BenchRecord {
+		val := 0.0
+		if v {
+			val = 1
+		}
+		return BenchRecord{Name: name, Kind: KindSim, Value: val, Unit: "bool", HigherIsBetter: true}
+	}
 	var recs []BenchRecord
 	for _, r := range results {
 		pfx := "soak/" + r.Profile + "/"
-		ok := 0.0
-		if r.Suite.SpreadOK {
-			ok = 1
-		}
 		recs = append(recs,
 			slo(pfx+"p50_us", r.Suite.P50),
 			slo(pfx+"p99_us", r.Suite.P99),
 			slo(pfx+"p999_us", r.Suite.P999),
 			peak(pfx+"prq_peak", r.Suite.PRQPeak),
 			peak(pfx+"umq_peak", r.Suite.UMQPeak),
-			BenchRecord{Name: pfx + "seed_spread_ok", Kind: KindSim, Value: ok, Unit: "bool", HigherIsBetter: true},
+			boolRec(pfx+"seed_spread_ok", r.Suite.SpreadOK),
 		)
+		recs = append(recs, overloadRecords(pfx, r.Suite.Runs)...)
+	}
+	return recs
+}
+
+// overloadRecords derives the overload-phase gates from a suite's
+// per-seed reports (empty for profiles without an overload phase):
+//
+//   - caps_ok: 1 iff every seed kept both residency peaks under its
+//     configured caps — the bounded-memory contract.
+//   - shed_total: total sheds across seeds (driver-side arrivals shed
+//     at typed backpressure + runtime-side sheds). Recorded as
+//     higher-is-better on purpose: the record exists to prove the shed
+//     machinery is exercising — turning the policy off (or inflating
+//     the caps) makes the sheds vanish and fails the gate, while
+//     runaway queue growth is caught by the peak records above.
+//   - recovery_ok / recovery_s: whether every seed's post-overload p99
+//     re-entered RecoveryFactor × steady p99, and the mean simulated
+//     time that took — the recovery-time SLO.
+func overloadRecords(pfx string, runs []*soak.Report) []BenchRecord {
+	if len(runs) == 0 || runs[0].OverloadEnd == 0 {
+		return nil
+	}
+	capsOK, shed, recovered, recAttempted := true, 0, true, false
+	recSecs := 0.0
+	for _, r := range runs {
+		capsOK = capsOK && r.CapsOK
+		shed += r.SheddedArrivals + r.Stats.Sheds
+		if r.SteadyP99 > 0 {
+			recAttempted = true
+			recovered = recovered && r.Recovered
+			recSecs += r.RecoverySimSeconds
+		}
+	}
+	boolRec := func(name string, v bool) BenchRecord {
+		val := 0.0
+		if v {
+			val = 1
+		}
+		return BenchRecord{Name: name, Kind: KindSim, Value: val, Unit: "bool", HigherIsBetter: true}
+	}
+	recs := []BenchRecord{
+		boolRec(pfx+"caps_ok", capsOK),
+		{Name: pfx + "shed_total", Kind: KindSim, Value: float64(shed), Unit: "msgs", HigherIsBetter: true},
+	}
+	if recAttempted {
+		recs = append(recs, boolRec(pfx+"recovery_ok", recovered))
+		if recovered {
+			recs = append(recs, BenchRecord{
+				Name: pfx + "recovery_s", Kind: KindSim,
+				Value: recSecs / float64(len(runs)), Unit: "s", HigherIsBetter: false,
+			})
+		}
 	}
 	return recs
 }

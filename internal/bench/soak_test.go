@@ -10,24 +10,33 @@ import (
 // in this file (the pipeline is deterministic, so reuse is sound).
 func soakOnce(t *testing.T) []SoakResult {
 	t.Helper()
-	res, err := RunSoak(0, 0, 0)
+	res, err := RunSoak(0, 0, 0, false)
 	if err != nil {
 		t.Fatalf("RunSoak: %v", err)
 	}
 	return res
 }
 
+// soakProfileNames is the tracked inventory, in emission order.
+var soakProfileNames = []string{
+	"steady", "bursty", "faulty",
+	"overload/1.5x", "overload/2x", "overload/slow",
+}
+
 // TestSoakRecordsShape pins the record inventory: every profile
 // contributes its three latency SLOs, two residency peaks, and the
-// spread gate, all as deterministic sim records.
+// spread gate; the overload profiles add their caps/shed/recovery
+// gates. All deterministic sim records.
 func TestSoakRecordsShape(t *testing.T) {
 	res := soakOnce(t)
-	if len(res) != 3 {
-		t.Fatalf("profiles = %d, want 3", len(res))
+	if len(res) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(res))
 	}
 	recs := SoakRecords(res, 1)
-	if len(recs) != 18 {
-		t.Fatalf("records = %d, want 18 (6 per profile)", len(recs))
+	// 6 per profile, plus caps_ok+shed_total for each overload profile
+	// and recovery_ok+recovery_s for the two rate-excursion profiles.
+	if len(recs) != 46 {
+		t.Fatalf("records = %d, want 46", len(recs))
 	}
 	byName := map[string]BenchRecord{}
 	for _, r := range recs {
@@ -39,7 +48,7 @@ func TestSoakRecordsShape(t *testing.T) {
 		}
 		byName[r.Name] = r
 	}
-	for _, p := range []string{"steady", "bursty", "faulty"} {
+	for _, p := range soakProfileNames {
 		for _, q := range []string{"p50_us", "p99_us", "p999_us"} {
 			r, ok := byName["soak/"+p+"/"+q]
 			if !ok {
@@ -59,12 +68,68 @@ func TestSoakRecordsShape(t *testing.T) {
 		}
 	}
 	// p50 ≤ p99 ≤ p999 within each profile.
-	for _, p := range []string{"steady", "bursty", "faulty"} {
+	for _, p := range soakProfileNames {
 		p50 := byName["soak/"+p+"/p50_us"].Value
 		p99 := byName["soak/"+p+"/p99_us"].Value
 		p999 := byName["soak/"+p+"/p999_us"].Value
 		if !(p50 <= p99 && p99 <= p999) {
 			t.Errorf("%s: quantiles out of order: %v/%v/%v", p, p50, p99, p999)
+		}
+	}
+	// Overload gates: caps held, shedding exercised, rate profiles
+	// recovered their post-overload p99.
+	for _, p := range []string{"overload/1.5x", "overload/2x", "overload/slow"} {
+		if r := byName["soak/"+p+"/caps_ok"]; r.Value != 1 {
+			t.Errorf("soak/%s/caps_ok = %v, want 1", p, r.Value)
+		}
+		if r := byName["soak/"+p+"/shed_total"]; r.Value <= 0 || !r.HigherIsBetter {
+			t.Errorf("soak/%s/shed_total = %v (hib=%v), want > 0 and higher-is-better", p, r.Value, r.HigherIsBetter)
+		}
+	}
+	for _, p := range []string{"overload/1.5x", "overload/2x"} {
+		if r := byName["soak/"+p+"/recovery_ok"]; r.Value != 1 {
+			t.Errorf("soak/%s/recovery_ok = %v, want 1", p, r.Value)
+		}
+		if r := byName["soak/"+p+"/recovery_s"]; r.Value <= 0 || r.HigherIsBetter {
+			t.Errorf("soak/%s/recovery_s = %v (hib=%v), want > 0 and lower-is-better", p, r.Value, r.HigherIsBetter)
+		}
+	}
+	if _, ok := byName["soak/overload/slow/recovery_ok"]; ok {
+		t.Errorf("slow-consumer profile has no rate excursion; recovery_ok should not be emitted")
+	}
+	if _, ok := byName["soak/steady/caps_ok"]; ok {
+		t.Errorf("steady profile has no overload phase; caps_ok should not be emitted")
+	}
+}
+
+// TestSoakUncapFailsGate is the overload acceptance check: stripping
+// the queue caps (matchbench -soak.uncap) must fail the comparison
+// against a capped baseline — residency peaks explode past tolerance
+// and the shed records vanish or zero out.
+func TestSoakUncapFailsGate(t *testing.T) {
+	base := BenchReport{Records: SoakRecords(soakOnce(t), 1)}
+	uncapped, err := RunSoak(0, 0, 0, true)
+	if err != nil {
+		t.Fatalf("RunSoak uncapped: %v", err)
+	}
+	regs := Compare(base, BenchReport{Records: SoakRecords(uncapped, 1)}, 0.15, false)
+	flagged := map[string]bool{}
+	for _, r := range regs {
+		flagged[r.Name] = true
+	}
+	for _, name := range []string{
+		"soak/overload/1.5x/shed_total",
+		"soak/overload/2x/shed_total",
+		"soak/overload/slow/shed_total",
+		"soak/overload/slow/prq_peak",
+	} {
+		if !flagged[name] {
+			t.Errorf("uncapped run did not regress %s", name)
+		}
+	}
+	for _, r := range regs {
+		if !strings.HasPrefix(r.Name, "soak/overload/") {
+			t.Errorf("uncapping regressed non-overload record %s", r.Name)
 		}
 	}
 }
@@ -86,15 +151,15 @@ func TestSoakInjectedRegression(t *testing.T) {
 	for _, r := range regs {
 		flagged[r.Name] = true
 	}
-	for _, p := range []string{"steady", "bursty", "faulty"} {
+	for _, p := range soakProfileNames {
 		for _, q := range []string{"p50_us", "p99_us", "p999_us"} {
 			if !flagged["soak/"+p+"/"+q] {
 				t.Errorf("2× inflated soak/%s/%s not flagged", p, q)
 			}
 		}
 	}
-	if len(regs) != 9 {
-		t.Errorf("regressions = %d (%v), want exactly the 9 latency records", len(regs), regs)
+	if len(regs) != 18 {
+		t.Errorf("regressions = %d (%v), want exactly the 18 latency records", len(regs), regs)
 	}
 }
 

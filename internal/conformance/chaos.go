@@ -19,6 +19,7 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -39,6 +40,19 @@ func ChaosMix() fault.Config {
 	}
 }
 
+// ChaosBackpressureMix is the overload brew: the wire still drops,
+// duplicates and loses acks, and receivers intermittently collapse
+// their drain rate — while every workload additionally runs with
+// bounded queues and a shed policy (see chaosWorkload's backpressure
+// mode). Pause/stall classes stay off so the only sustained pressure
+// is the slow-consumer regime the bounded queues must absorb.
+func ChaosBackpressureMix() fault.Config {
+	return fault.Config{
+		Drop: 0.03, Duplicate: 0.03, AckDrop: 0.10,
+		SlowReceiver: 0.05, SlowSteps: 6, SlowDrainLimit: 1,
+	}
+}
+
 // ChaosLevels returns the semantic levels a chaos run covers — all
 // four, so the matrix, partitioned and hash engines all sit under the
 // faulty wire.
@@ -51,13 +65,20 @@ type ChaosFailure struct {
 	Level mpx.Level
 	Index int
 	Seed  int64
-	Err   error
+	// Backpressure marks a bounded-queue (shed-policy) workload; the
+	// replay recipe differs.
+	Backpressure bool
+	Err          error
 }
 
 // String formats the failure with the replay recipe.
 func (f ChaosFailure) String() string {
-	return fmt.Sprintf("%v: workload %d (replay: conformance.ChaosWorkload(%v, %d, %d, conformance.ChaosMix())): %v",
-		f.Level, f.Index, f.Level, f.Seed, f.Index, f.Err)
+	fn, mix := "ChaosWorkload", "ChaosMix"
+	if f.Backpressure {
+		fn, mix = "ChaosBackpressureWorkload", "ChaosBackpressureMix"
+	}
+	return fmt.Sprintf("%v: workload %d (replay: conformance.%s(%v, %d, %d, conformance.%s())): %v",
+		f.Level, f.Index, fn, f.Level, f.Seed, f.Index, mix, f.Err)
 }
 
 // ChaosReport summarizes one level's chaos run. Stats aggregates the
@@ -85,7 +106,18 @@ type chaosRecv struct {
 // a non-nil error is a conformance violation. It is the replay handle
 // reported by failures.
 func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.Stats, int, error) {
-	st, n, _, err := chaosWorkload(level, seed, i, mix, nil)
+	st, n, _, err := chaosWorkload(level, seed, i, mix, nil, false)
+	return st, n, err
+}
+
+// ChaosBackpressureWorkload is ChaosWorkload with the runtime's
+// overload protection active: bounded staging/UMQ/PRQ (randomized per
+// workload) and a shed policy. The reliability contract it asserts is
+// the overload one — every send either accepted (and then delivered
+// exactly once, shed-and-recovered or not) or refused with the typed
+// ErrBackpressure; no third outcome, no silent loss.
+func ChaosBackpressureWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.Stats, int, error) {
+	st, n, _, err := chaosWorkload(level, seed, i, mix, nil, true)
 	return st, n, err
 }
 
@@ -97,10 +129,10 @@ func ChaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config) (mpx.St
 // handle — the property trace_test.go pins down.
 func ChaosWorkloadTraced(level mpx.Level, seed int64, i int, mix fault.Config, tcfg telemetry.Config) (mpx.Stats, int, *telemetry.Recorder, error) {
 	tcfg.Enabled = true
-	return chaosWorkload(level, seed, i, mix, &tcfg)
+	return chaosWorkload(level, seed, i, mix, &tcfg, false)
 }
 
-func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *telemetry.Config) (mpx.Stats, int, *telemetry.Recorder, error) {
+func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *telemetry.Config, bp bool) (mpx.Stats, int, *telemetry.Recorder, error) {
 	const mixMul = int64(-0x61C8864680B583EB) // golden-ratio multiplier (2^64/φ)
 	sub := seed ^ int64(i)*mixMul ^ int64(level)
 	rng := rand.New(rand.NewSource(sub))
@@ -108,10 +140,28 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 
 	gpus := 2 + rng.Intn(3)
 	n := 4 + rng.Intn(29)
-	rt := mpx.New(mpx.Config{
+	cfg := mpx.Config{
 		Level: level, GPUs: gpus, QueueCap: 8 + rng.Intn(24),
 		Fault: &mix, Telemetry: tcfg,
-	})
+	}
+	if bp {
+		// Backpressure mode: bounded queues and a shed policy, drawn
+		// from a separate stream so the workload shape (gpus, sends,
+		// receive modes) matches the unbounded run of the same handle.
+		bpRng := rand.New(rand.NewSource(sub ^ 0x5851F42D4C957F2D))
+		cfg.StagingCap = 1 + bpRng.Intn(3)
+		cfg.UMQCap = (gpus - 1) * (1 + bpRng.Intn(3))
+		cfg.PRQCap = n // bounded, sized so the harness's own posts fit
+		if level == mpx.NoUnexpected {
+			// NoUnexpected pre-posts every receive before the first
+			// send, so a rejected send would strand its receive; the
+			// drop policies accept-and-recover instead.
+			cfg.Shed = []mpx.ShedPolicy{mpx.ShedDropOldest, mpx.ShedDropNewest}[bpRng.Intn(2)]
+		} else {
+			cfg.Shed = []mpx.ShedPolicy{mpx.ShedReject, mpx.ShedDropOldest, mpx.ShedDropNewest}[bpRng.Intn(3)]
+		}
+	}
+	rt := mpx.New(cfg)
 	rec := rt.Recorder()
 
 	// Receive shape per destination, uniform so that class counts stay
@@ -177,9 +227,20 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 			recvs = append(recvs, r)
 		}
 	}
+	shedSends := make([]bool, n)
+	rejects := 0
 	for k, s := range sends {
 		payload := []byte{byte(k)}
 		if err := rt.Send(s.src, s.dst, s.tag, 0, payload); err != nil {
+			if bp && errors.Is(err, mpx.ErrBackpressure) {
+				// Typed refusal (ShedReject at the staging cap): legal
+				// under overload. The message was never accepted, so no
+				// receive is posted for it and exactly-once expects zero
+				// deliveries.
+				shedSends[k] = true
+				rejects++
+				continue
+			}
 			return rt.Stats(), n, rec, fmt.Errorf("send %d: %w", k, err)
 		}
 		if level != mpx.NoUnexpected {
@@ -242,8 +303,12 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 		perFlow[fk] = append(perFlow[fk], k)
 	}
 	for k, c := range seen {
-		if c != 1 {
-			return rt.Stats(), n, rec, fmt.Errorf("send %d delivered %d times, want exactly once", k, c)
+		want := 1
+		if shedSends[k] {
+			want = 0 // refused with ErrBackpressure, never accepted
+		}
+		if c != want {
+			return rt.Stats(), n, rec, fmt.Errorf("send %d delivered %d times, want %d", k, c, want)
 		}
 	}
 	// Per-flow ordering: under the ordered levels, same-class messages
@@ -258,7 +323,23 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 			}
 		}
 	}
-	return rt.Stats(), n, rec, nil
+	st := rt.Stats()
+	if bp {
+		// The overload contract on top of exactly-once: every shed the
+		// harness observed was a typed refusal the runtime also counted,
+		// and every frame a drop policy parked was recovered (NACK or
+		// deadline retransmit) before the drain settled — no third
+		// outcome, no silent loss.
+		if st.ShedRejects != rejects {
+			return st, n, rec, fmt.Errorf("runtime counted %d rejects, harness observed %d ErrBackpressure",
+				st.ShedRejects, rejects)
+		}
+		if st.ShedDrops != st.ShedRecovered {
+			return st, n, rec, fmt.Errorf("silent loss: %d frames shed by drop policy, %d recovered",
+				st.ShedDrops, st.ShedRecovered)
+		}
+	}
+	return st, n, rec, nil
 }
 
 // addStats accumulates the counters of b into a.
@@ -276,6 +357,16 @@ func addStats(a *mpx.Stats, b mpx.Stats) {
 	a.Invalid += b.Invalid
 	a.StallSteps += b.StallSteps
 	a.ProgressSteps += b.ProgressSteps
+	a.Sheds += b.Sheds
+	a.ShedRejects += b.ShedRejects
+	a.ShedDrops += b.ShedDrops
+	a.ShedRecovered += b.ShedRecovered
+	a.RecvRejects += b.RecvRejects
+	a.Nacks += b.Nacks
+	a.NackRetransmits += b.NackRetransmits
+	a.CreditStalls += b.CreditStalls
+	a.StateTransitions += b.StateTransitions
+	a.SlowDrains += b.SlowDrains
 }
 
 // RunChaos runs n seeded chaos workloads per semantic level with the
@@ -296,6 +387,19 @@ func RunChaos(seed int64, n int, mix fault.Config) []ChaosReport {
 // reports (including failure order and every replay recipe) identical
 // to the sequential run.
 func RunChaosParallel(seed int64, n int, mix fault.Config, workers int) []ChaosReport {
+	return runChaos(seed, n, mix, workers, false)
+}
+
+// RunChaosBackpressure is RunChaosParallel with every workload in
+// backpressure mode: bounded staging/UMQ/PRQ plus a per-workload shed
+// policy on top of the fault mix, asserting the overload reliability
+// contract (typed refusal or recovered shed; exactly-once for every
+// accepted message). Use ChaosBackpressureMix for the companion brew.
+func RunChaosBackpressure(seed int64, n int, mix fault.Config, workers int) []ChaosReport {
+	return runChaos(seed, n, mix, workers, true)
+}
+
+func runChaos(seed int64, n int, mix fault.Config, workers int, bp bool) []ChaosReport {
 	levels := ChaosLevels()
 	reports := make([]ChaosReport, len(levels))
 
@@ -307,7 +411,14 @@ func RunChaosParallel(seed int64, n int, mix fault.Config, workers int) []ChaosR
 	slots := make([]slot, len(levels)*n)
 	simt.ParallelFor(len(slots), workers, func(k int) {
 		level, i := levels[k/n], k%n
-		st, msgs, err := ChaosWorkload(level, seed, i, mix)
+		var st mpx.Stats
+		var msgs int
+		var err error
+		if bp {
+			st, msgs, err = ChaosBackpressureWorkload(level, seed, i, mix)
+		} else {
+			st, msgs, err = ChaosWorkload(level, seed, i, mix)
+		}
 		slots[k] = slot{stats: st, msgs: msgs, err: err}
 	})
 
@@ -322,7 +433,9 @@ func RunChaosParallel(seed int64, n int, mix fault.Config, workers int) []ChaosR
 			rep.Messages += s.msgs
 			addStats(&rep.Stats, s.stats)
 			if s.err != nil {
-				rep.Failures = append(rep.Failures, ChaosFailure{Level: level, Index: i, Seed: seed, Err: s.err})
+				rep.Failures = append(rep.Failures, ChaosFailure{
+					Level: level, Index: i, Seed: seed, Backpressure: bp, Err: s.err,
+				})
 			}
 		}
 		reports[li] = rep
@@ -352,6 +465,33 @@ func CheckChaosCoverage(rep ChaosReport, mix fault.Config) error {
 			return fmt.Errorf("%v: fault class left no trace: %s = 0 after %d workloads (stats %+v)",
 				rep.Level, c.name, rep.Workloads, rep.Stats)
 		}
+	}
+	return nil
+}
+
+// CheckBackpressureCoverage verifies a backpressure chaos run actually
+// exercised the overload machinery rather than passing vacuously: the
+// bounded queues shed, the refusal policy fired where it can (every
+// level except NoUnexpected, whose pre-posted receives restrict it to
+// the drop policies), drop-policy sheds were all recovered, and — when
+// the mix injects slow receivers — the drain throttling left a trace.
+func CheckBackpressureCoverage(rep ChaosReport, mix fault.Config) error {
+	st := rep.Stats
+	if st.Sheds == 0 {
+		return fmt.Errorf("%v: bounded queues never shed over %d workloads (stats %+v)",
+			rep.Level, rep.Workloads, st)
+	}
+	if rep.Level != mpx.NoUnexpected && st.ShedRejects == 0 {
+		return fmt.Errorf("%v: ShedReject policy left no trace over %d workloads (stats %+v)",
+			rep.Level, rep.Workloads, st)
+	}
+	if st.ShedDrops != st.ShedRecovered {
+		return fmt.Errorf("%v: aggregated silent loss: %d dropped, %d recovered",
+			rep.Level, st.ShedDrops, st.ShedRecovered)
+	}
+	if mix.SlowReceiver > 0 && st.SlowDrains == 0 {
+		return fmt.Errorf("%v: slow-receiver class left no trace: SlowDrains = 0 (stats %+v)",
+			rep.Level, st)
 	}
 	return nil
 }

@@ -91,6 +91,88 @@ func TestChaosSingleFaultClasses(t *testing.T) {
 	}
 }
 
+// TestChaosBackpressure is the overload conformance gate: seeded
+// workloads per level with bounded staging/UMQ/PRQ and a randomized
+// shed policy under the backpressure fault brew. Every accepted
+// message delivers exactly once, every refusal is the typed
+// ErrBackpressure the runtime also counted, every drop-policy shed is
+// recovered before the drain settles, and the aggregated stats prove
+// the machinery was exercised rather than idle.
+func TestChaosBackpressure(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 120
+	}
+	mix := ChaosBackpressureMix()
+	for _, rep := range RunChaosBackpressure(*chaosSeed, n, mix, 0) {
+		rep := rep
+		t.Run(rep.Level.String(), func(t *testing.T) {
+			for i, f := range rep.Failures {
+				if i >= 5 {
+					t.Errorf("... and %d more failures", len(rep.Failures)-i)
+					break
+				}
+				t.Error(f.String())
+			}
+			if len(rep.Failures) > 0 {
+				return
+			}
+			if err := CheckBackpressureCoverage(rep, mix); err != nil {
+				t.Error(err)
+			}
+			// Accepted messages all matched; refused ones never entered.
+			if rep.Stats.Matches != rep.Messages-rep.Stats.ShedRejects {
+				t.Errorf("matches %d != sends %d - rejects %d",
+					rep.Stats.Matches, rep.Messages, rep.Stats.ShedRejects)
+			}
+			t.Logf("%s engine: %d workloads, %d msgs, sheds %d (rejects %d, drops %d, recovered %d), nacks %d, credit stalls %d, transitions %d, slow drains %d",
+				rep.Engine, rep.Workloads, rep.Messages, rep.Stats.Sheds,
+				rep.Stats.ShedRejects, rep.Stats.ShedDrops, rep.Stats.ShedRecovered,
+				rep.Stats.Nacks, rep.Stats.CreditStalls, rep.Stats.StateTransitions,
+				rep.Stats.SlowDrains)
+		})
+	}
+}
+
+// TestChaosBackpressureReplayDeterminism: the backpressure replay
+// handle reproduces a workload bit-for-bit, shed decisions included.
+func TestChaosBackpressureReplayDeterminism(t *testing.T) {
+	mix := ChaosBackpressureMix()
+	for _, level := range ChaosLevels() {
+		for i := 0; i < 5; i++ {
+			s1, n1, e1 := ChaosBackpressureWorkload(level, 77, i, mix)
+			s2, n2, e2 := ChaosBackpressureWorkload(level, 77, i, mix)
+			s1.DrainWallSeconds, s2.DrainWallSeconds = 0, 0
+			if s1 != s2 || n1 != n2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("%v backpressure workload %d replay diverged:\n%+v %d %v\n%+v %d %v",
+					level, i, s1, n1, e1, s2, n2, e2)
+			}
+		}
+	}
+}
+
+// TestRunChaosBackpressureParallelMatchesSequential extends the
+// sharding-invariance pin to the backpressure runner: shed decisions
+// and recovery counts merge identically regardless of host fan-out.
+func TestRunChaosBackpressureParallelMatchesSequential(t *testing.T) {
+	const n = 40
+	mix := ChaosBackpressureMix()
+	seq := RunChaosBackpressure(99, n, mix, 1)
+	par := RunChaosBackpressure(99, n, mix, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Level != p.Level || s.Messages != p.Messages || s.Stats != p.Stats {
+			t.Errorf("%v: reports diverge:\n%+v\n%+v", s.Level, s.Stats, p.Stats)
+		}
+		if len(s.Failures) != len(p.Failures) {
+			t.Errorf("%v: failure counts differ: %d vs %d", s.Level, len(s.Failures), len(p.Failures))
+		}
+	}
+}
+
 // TestRunChaosParallelMatchesSequential: sharding the chaos workloads
 // across a host worker pool must not change the reports — same
 // aggregated stats, same message counts, same failures in the same

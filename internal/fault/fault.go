@@ -45,6 +45,7 @@ var (
 	evDelay     = telemetry.Name("fault.delay")
 	evAckDrop   = telemetry.Name("fault.ackdrop")
 	evStall     = telemetry.Name("fault.stall")
+	evSlow      = telemetry.Name("fault.slow")
 	evPause     = telemetry.Name("fault.pause")
 	evStarve    = telemetry.Name("fault.starve")
 	argSrc      = telemetry.Name("src")
@@ -89,12 +90,23 @@ type Config struct {
 	// receiver withholds freed ring slots for StarveSteps steps.
 	CreditStarve float64
 
+	// SlowReceiver is the per-drain-round probability that a receiver
+	// enters a slow episode: for SlowSteps progress steps it drains at
+	// most SlowDrainLimit messages per step instead of everything —
+	// the consumer is alive but its service rate has collapsed, the
+	// overload regime that fills queues without ever tripping a stall
+	// detector. Its roll is only consumed when the class is enabled, so
+	// replays of configurations predating the class stay bit-exact.
+	SlowReceiver float64
+
 	// Durations, in progress steps. Zero values take the defaults
-	// (delay ≤ 4, stall 4, pause 3, starve 3).
-	MaxDelaySteps int
-	StallSteps    int
-	PauseSteps    int
-	StarveSteps   int
+	// (delay ≤ 4, stall 4, pause 3, starve 3, slow 8 at ≤ 2 drains).
+	MaxDelaySteps  int
+	StallSteps     int
+	PauseSteps     int
+	StarveSteps    int
+	SlowSteps      int
+	SlowDrainLimit int
 }
 
 // withDefaults fills zero durations.
@@ -111,7 +123,30 @@ func (c Config) withDefaults() Config {
 	if c.StarveSteps <= 0 {
 		c.StarveSteps = 3
 	}
+	if c.SlowSteps <= 0 {
+		c.SlowSteps = 8
+	}
+	if c.SlowDrainLimit <= 0 {
+		c.SlowDrainLimit = 2
+	}
 	return c
+}
+
+// SlowReceiverProfile is the tracked overload profile of a consumer
+// whose drain rate intermittently collapses: episodes are frequent and
+// long enough that sustained offered load backs up through the ring
+// into sender-side credit stalls, without any receiver ever being
+// declared dead.
+func SlowReceiverProfile(seed int64) Config {
+	return Config{Seed: seed, SlowReceiver: 0.05, SlowSteps: 12, SlowDrainLimit: 2}
+}
+
+// ReceiverStallProfile is the tracked overload profile of receivers
+// that stop draining entirely for extended windows — the hard edge of
+// the slow-receiver regime, long enough to exhaust ring credits and
+// force end-to-end backpressure onto senders.
+func ReceiverStallProfile(seed int64) Config {
+	return Config{Seed: seed, Stall: 0.03, StallSteps: 16}
 }
 
 // Counters tallies every fault the plane injected. The runtime's
@@ -129,6 +164,8 @@ type Counters struct {
 	Pauses        int // pause episodes triggered
 	PauseSteps    int // drain rounds suppressed by pauses
 	CreditStarves int // drain rounds that withheld credits
+	Slows         int // slow-receiver episodes triggered
+	SlowDrains    int // drain rounds throttled to SlowDrainLimit
 }
 
 // delayedFrame is a frame parked "on the wire".
@@ -153,6 +190,7 @@ type Injector struct {
 	delayed    []delayedFrame
 	stallUntil []int // per GPU: drains suppressed while step < stallUntil
 	pauseUntil []int // per GPU: sends+drains suppressed while step < pauseUntil
+	slowUntil  []int // per GPU: drains throttled while step < slowUntil
 	creditDue  []int // per GPU: withheld credits released at this step (0 = none)
 
 	ctr Counters
@@ -167,6 +205,7 @@ func New(c *gas.Cluster, cfg Config) *Injector {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		stallUntil: make([]int, c.Size()),
 		pauseUntil: make([]int, c.Size()),
+		slowUntil:  make([]int, c.Size()),
 		creditDue:  make([]int, c.Size()),
 	}
 }
@@ -254,7 +293,21 @@ func (in *Injector) Drain(dst int) []gas.Message {
 		in.stallUntil[dst] = in.step + in.cfg.StallSteps
 		return nil
 	}
-	msgs := in.c.GPU(dst).DrainKeepingCredits()
+	// Slow receiver: the drain happens but is throttled. The roll is
+	// consumed only when the class is enabled so that configurations
+	// predating it replay bit-exact (see Config.SlowReceiver).
+	limit := -1
+	if in.step < in.slowUntil[dst] {
+		in.ctr.SlowDrains++
+		limit = in.cfg.SlowDrainLimit
+	} else if in.cfg.SlowReceiver > 0 && in.rng.Float64() < in.cfg.SlowReceiver {
+		in.ctr.Slows++
+		in.ctr.SlowDrains++
+		in.rec.Instant(dst, evSlow, argSteps, int64(in.cfg.SlowSteps), 0, 0)
+		in.slowUntil[dst] = in.step + in.cfg.SlowSteps
+		limit = in.cfg.SlowDrainLimit
+	}
+	msgs := in.c.GPU(dst).DrainUpToKeepingCredits(limit)
 	if in.creditDue[dst] == 0 {
 		if in.rng.Float64() < in.cfg.CreditStarve {
 			in.ctr.CreditStarves++
@@ -314,6 +367,15 @@ func (in *Injector) StallGPU(g, steps int) {
 	in.ctr.Stalls++
 	in.rec.Instant(g, evStall, argSteps, int64(steps), 0, 0)
 	in.stallUntil[g] = in.step + steps
+}
+
+// SlowGPU manually throttles GPU g's receive path to the configured
+// SlowDrainLimit for the given number of progress steps (tests and
+// scripted slow-consumer scenarios).
+func (in *Injector) SlowGPU(g, steps int) {
+	in.ctr.Slows++
+	in.rec.Instant(g, evSlow, argSteps, int64(steps), 0, 0)
+	in.slowUntil[g] = in.step + steps
 }
 
 // PauseGPU manually halts GPU g (no sends, no drains) for the given

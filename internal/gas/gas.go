@@ -95,8 +95,18 @@ func (g *GPU) Drain() []Message {
 // The fault plane uses it to model a receiver starving its sender of
 // credits. The returned slice follows Drain's reuse contract.
 func (g *GPU) DrainKeepingCredits() []Message {
+	return g.DrainUpToKeepingCredits(-1)
+}
+
+// DrainUpToKeepingCredits is DrainKeepingCredits bounded to at most
+// max ring pops (max < 0 drains everything). The fault plane's
+// slow-receiver class uses it to model a consumer whose drain rate,
+// not its liveness, is the bottleneck: the ring keeps filling while
+// the receiver trickles. The returned slice follows Drain's reuse
+// contract.
+func (g *GPU) DrainUpToKeepingCredits(max int) []Message {
 	out := g.drainBuf[:0]
-	for {
+	for popped := 0; max < 0 || popped < max; popped++ {
 		w, ok := g.incoming.Pop()
 		if !ok {
 			break

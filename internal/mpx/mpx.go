@@ -137,6 +137,30 @@ type Config struct {
 	// queue-depth metrics. Nil (the default) records nothing and adds
 	// no allocations to the drain loop.
 	Telemetry *telemetry.Config
+
+	// Overload protection (see internal/mpx/flowcontrol.go). All
+	// bounds default to 0 = unbounded, which preserves the historical
+	// best-effort behavior bit-for-bit.
+
+	// UMQCap bounds each GPU's unexpected-message residency. It is
+	// enforced end-to-end: the cap is split into per-sender credit
+	// windows of max(1, UMQCap/(GPUs−1)) and senders stop transmitting
+	// (frames queue in staging) once a window is exhausted, so the
+	// receiver-side unexpected queue can never grow past
+	// window×(GPUs−1) regardless of offered load.
+	UMQCap int
+	// PRQCap bounds each GPU's posted-receive queue: PostRecv returns
+	// ErrBackpressure when the queue is full.
+	PRQCap int
+	// StagingCap bounds each flow's sender-side staging buffer (the
+	// outbox of not-yet-transmitted frames). When it fills, Send sheds
+	// per the Shed policy.
+	StagingCap int
+	// Shed selects the staging-overflow policy (default ShedReject).
+	Shed ShedPolicy
+	// Health tunes the per-endpoint overload state machine's
+	// hysteresis (zero value: defaults; see HealthConfig).
+	Health HealthConfig
 }
 
 // Recv is a posted receive handle. Its accessors synchronize with the
@@ -223,6 +247,28 @@ type Stats struct {
 	DrainWallSeconds float64 // host wall-clock spent inside Drain
 	DrainAllocs      uint64  // heap allocations during Drain calls
 	DrainAllocBytes  uint64  // heap bytes allocated during Drain calls
+
+	// Overload protection (the flow-control layer; all zero unless
+	// queue caps are configured — Config.UMQCap/PRQCap/StagingCap).
+	Sheds            int // staging-full shed events at senders
+	ShedRejects      int // sends refused with ErrBackpressure (ShedReject)
+	ShedDrops        int // frames parked by a drop policy
+	ShedRecovered    int // parked frames returned to staging (NACK or deadline)
+	RecvRejects      int // PostRecv calls refused by PRQCap
+	Nacks            int // missing flow sequences NACKed by receivers
+	NackRetransmits  int // parked frames recovered by a NACK
+	CreditStalls     int // transmit attempts blocked awaiting credit or ring space
+	StateTransitions int // endpoint health-state changes
+	// Simulated seconds each endpoint spent per health state, summed
+	// across GPUs (one poll per endpoint per progress step).
+	HealthySeconds    float64
+	CongestedSeconds  float64
+	SheddingSeconds   float64
+	RecoveringSeconds float64
+	// SlowDrains counts fault-plane drain rounds throttled by an
+	// injected slow receiver (merged from the injector; zero on a
+	// lossless wire).
+	SlowDrains int
 }
 
 // Stats counters must not wrap during multi-billion-message soak runs,
@@ -301,6 +347,17 @@ type Runtime struct {
 	rtoBase float64 // first retransmission deadline delta
 	rtoMax  float64 // backoff cap
 
+	// Overload-protection state (see flowcontrol.go): the per-flow
+	// credit window derived from Config.UMQCap, whether any bound is
+	// configured at all, the parked-frame recovery deadline, and the
+	// per-endpoint health machines. All fixed at construction except
+	// health, which progress steps advance.
+	creditWindow int
+	overload     bool
+	nackOn       bool // a drop policy may park frames ⇒ gap scan runs
+	parkTimeout  float64
+	health       []endpointHealth
+
 	// seq is the logical clock ordering sends against receive posts,
 	// deciding pre-postedness per message.
 	seq   uint64
@@ -309,15 +366,19 @@ type Runtime struct {
 	// fault-plane injections) observed at the last ResetStats, so the
 	// merged Stats view resets consistently even though those sources
 	// cannot be zeroed themselves.
-	base struct{ corrupt, invalid, drops, stallSteps int }
+	base struct{ corrupt, invalid, drops, stallSteps, slowDrains int }
 
 	// Telemetry plane (all nil when Config.Telemetry is off; every
 	// handle is nil-safe, so emission sites are unconditional).
-	rec       *telemetry.Recorder
-	mSends    *telemetry.Counter
-	mRetries  *telemetry.Counter
-	mUMQDepth *telemetry.Histogram
-	mPRQDepth *telemetry.Histogram
+	rec           *telemetry.Recorder
+	mSends        *telemetry.Counter
+	mRetries      *telemetry.Counter
+	mSheds        *telemetry.Counter
+	mNacks        *telemetry.Counter
+	mCreditStalls *telemetry.Counter
+	mStates       *telemetry.Counter
+	mUMQDepth     *telemetry.Histogram
+	mPRQDepth     *telemetry.Histogram
 }
 
 // New creates a runtime. It panics only on programmer errors (bad
@@ -344,6 +405,7 @@ func New(cfg Config) *Runtime {
 	if cfg.StallPatience <= 0 {
 		cfg.StallPatience = 100
 	}
+	cfg.Health = cfg.Health.withDefaults()
 	rt := &Runtime{
 		cfg:          cfg,
 		cluster:      gas.NewCluster(cfg.GPUs, cfg.Arch, cfg.QueueCap),
@@ -371,6 +433,28 @@ func New(cfg Config) *Runtime {
 	rt.poll = model.Seconds(model.P.LaunchOverhead)
 	rt.rtoBase = 4 * rt.poll
 	rt.rtoMax = 32 * rt.poll
+	// Overload protection: derive the per-flow credit window from the
+	// receiver's unexpected-message budget, and the parked-frame
+	// recovery deadline from the base retransmission delta — a park is
+	// a first-attempt retransmit, not a backed-off one, and parked
+	// frames count against the flow's transmit window, so a long
+	// deadline would throttle the whole flow into a shed convoy that
+	// outlives the overload (and it stays well under the StallPatience
+	// horizon, so a pending recovery never reads as a stall).
+	if cfg.UMQCap > 0 {
+		senders := cfg.GPUs - 1
+		if senders < 1 {
+			senders = 1
+		}
+		rt.creditWindow = cfg.UMQCap / senders
+		if rt.creditWindow < 1 {
+			rt.creditWindow = 1
+		}
+	}
+	rt.overload = rt.creditWindow > 0 || cfg.PRQCap > 0 || cfg.StagingCap > 0
+	rt.nackOn = cfg.StagingCap > 0 && cfg.Shed != ShedReject
+	rt.parkTimeout = rt.rtoBase
+	rt.health = make([]endpointHealth, cfg.GPUs)
 	rt.setupTelemetry()
 	for i := range rt.engines {
 		rt.engines[i] = rt.newEngine(i)
@@ -423,8 +507,26 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rt.seq++
 	fl := rt.txFlowFor(src, dst)
+	if rt.cfg.StagingCap > 0 && len(fl.outbox) >= rt.cfg.StagingCap {
+		// The staging buffer is full: shed per policy. The new frame is
+		// built lazily so a rejected send burns no sequence number and
+		// leaves no gap in the flow.
+		accepted, err := rt.shedSendLocked(fl, func() *frame {
+			rt.seq++
+			fl.nextFlow++
+			return &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow}
+		})
+		if !accepted {
+			return err
+		}
+		rt.stats.Sends++
+		rt.mSends.Add(1)
+		rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
+		_, err = rt.flushOutbox(fl)
+		return err
+	}
+	rt.seq++
 	fl.nextFlow++
 	fl.outbox = append(fl.outbox, &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
 	rt.stats.Sends++
@@ -459,6 +561,13 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.cfg.PRQCap > 0 && len(rt.pendingRecvs[dst]) >= rt.cfg.PRQCap {
+		rt.stats.RecvRejects++
+		rt.healthNoteShedLocked(dst)
+		rt.rec.Instant(dst, evShed, argQueued, int64(len(rt.pendingRecvs[dst])), 0, 0)
+		return nil, fmt.Errorf("%w: GPU %d posted-receive queue holds %d (cap %d)",
+			ErrBackpressure, dst, len(rt.pendingRecvs[dst]), rt.cfg.PRQCap)
+	}
 	rt.seq++
 	r := &Recv{rt: rt, gpu: dst, req: req, seq: rt.seq}
 	rt.pendingRecvs[dst] = append(rt.pendingRecvs[dst], r)
@@ -516,6 +625,14 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 		return progress, err
 	}
 	progress += rt.receiveLocked()
+	if rt.nackOn {
+		// Receiver-side gap scan: flow-sequence holes exposed by
+		// out-of-order arrivals NACK their shed (parked) frames back
+		// into the transmit path.
+		for g := 0; g < rt.cluster.Size(); g++ {
+			progress += rt.nackGapsLocked(g)
+		}
+	}
 	for g := 0; g < rt.cluster.Size(); g++ {
 		msgs := rt.pendingMsgs[g]
 		recvs := rt.pendingRecvs[g]
@@ -570,6 +687,16 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 			unmatchedMsgs--
 			rt.stats.Matches++
 			progress++
+			if rt.creditWindow > 0 && msgs[mi].Flow != 0 {
+				// The match frees the message's receiver residency:
+				// bump the flow's cumulative consumption, which flows
+				// back to the sender as a credit grant.
+				if s := int(msgs[mi].Env.Src); s >= 0 && s < rt.cluster.Size() {
+					if rx := rt.rx[g][s]; rx != nil {
+						rx.matched++
+					}
+				}
+			}
 
 			// Data movement: protocol picked by size, pre-postedness
 			// by logical clock.
@@ -615,6 +742,7 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 	for g := range rt.pendingMsgs {
 		rt.stats.Unmatched += len(rt.pendingMsgs[g])
 	}
+	rt.stepHealthLocked()
 	// Batch boundary: hand this step's emissions to the live streamer
 	// (if any) before a later step's ring wrap could overwrite them.
 	rt.rec.Pump()
@@ -703,6 +831,7 @@ func (rt *Runtime) mergedStatsLocked() Stats {
 		c := rt.injector.Counters()
 		st.Drops = c.Drops - rt.base.drops
 		st.StallSteps = c.StallSteps - rt.base.stallSteps
+		st.SlowDrains = c.SlowDrains - rt.base.slowDrains
 	}
 	return st
 }
@@ -727,7 +856,13 @@ func (rt *Runtime) ResetStats() {
 	if rt.injector != nil {
 		c := rt.injector.Counters()
 		rt.base.drops, rt.base.stallSteps = c.Drops, c.StallSteps
+		rt.base.slowDrains = c.SlowDrains
 	}
+	// The queue-depth histograms feed the steady-state occupancy view,
+	// so a warmup exclusion must re-base them too (nil-safe no-ops when
+	// telemetry is off).
+	rt.mUMQDepth.Reset()
+	rt.mPRQDepth.Reset()
 }
 
 // Now returns the simulated transport-clock time in seconds: the

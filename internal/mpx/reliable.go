@@ -75,16 +75,24 @@ type frame struct {
 
 // txFlow is the sender half of one (src,dst) flow: unsent frames
 // (outbox) and transmitted-but-unacked frames (inflight, bounded by
-// Config.Window).
+// Config.Window). Under flow control (Config.UMQCap/StagingCap) it
+// also carries the end-to-end credit state: the receiver's latest
+// cumulative consumption grant, the zero-window probe flag, and the
+// shed ledger of parked frames awaiting NACK or deadline recovery.
 type txFlow struct {
-	src, dst int
-	nextFlow uint64 // last wire sequence number assigned
-	outbox   []*frame
-	inflight []*frame
+	src, dst     int
+	nextFlow     uint64 // last wire sequence number assigned
+	outbox       []*frame
+	inflight     []*frame
+	consumedSeen uint64   // receiver's cumulative matched count, last granted
+	probe        bool     // credit-stalled with no ack to ride: refresh next step
+	parked       []*frame // shed frames (ascending flow order), no wire resources
 }
 
 // idle reports whether the flow holds no undelivered frames.
-func (fl *txFlow) idle() bool { return len(fl.outbox) == 0 && len(fl.inflight) == 0 }
+func (fl *txFlow) idle() bool {
+	return len(fl.outbox) == 0 && len(fl.inflight) == 0 && len(fl.parked) == 0
+}
 
 // has reports whether wire sequence number flow is awaiting an ack.
 func (fl *txFlow) has(flow uint64) bool {
@@ -116,6 +124,12 @@ func (fl *txFlow) ack(flow uint64) bool {
 type rxFlow struct {
 	next uint64
 	held map[uint64]gas.Message
+	// Flow-control state: the cumulative count of this flow's messages
+	// matched (the consumption grant advertised back to the sender),
+	// and the flow sequence below which gaps were already NACKed so
+	// each missing sequence is signalled exactly once.
+	matched     uint64
+	nackedBelow uint64
 }
 
 // StallError reports a Drain that stopped making progress while
@@ -176,14 +190,27 @@ func (rt *Runtime) rto(attempt int) float64 {
 }
 
 // flushOutbox transmits queued frames while the inflight window has
-// room, stopping (without error) at transport back-pressure. It
+// room and the receiver-granted credit window admits them, stopping
+// (without error) at credit exhaustion or transport back-pressure. It
 // returns the number of frames that left the outbox.
 func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 	moved := 0
 	for len(fl.outbox) > 0 && len(fl.inflight) < rt.cfg.Window {
 		fr := fl.outbox[0]
+		if rt.creditWindow > 0 && !rt.hasCreditLocked(fl, fr) {
+			// End-to-end credit stall: the receiver has not provisioned
+			// room. Raise the zero-window probe so the next progress
+			// step refreshes the grant even if no ack arrives.
+			fl.probe = true
+			rt.stats.CreditStalls++
+			rt.mCreditStalls.Add(1)
+			rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
+			break
+		}
 		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
 			if retryable(err) {
+				rt.stats.CreditStalls++
+				rt.mCreditStalls.Add(1)
 				rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
 				break
 			}
@@ -238,6 +265,15 @@ func (rt *Runtime) pumpFlowsLocked() (int, error) {
 			if fl == nil {
 				continue
 			}
+			if fl.probe {
+				// Zero-window probe: the flow credit-stalled with no ack
+				// to piggyback a grant on, so refresh it explicitly.
+				rt.grantCreditsLocked(fl)
+				fl.probe = false
+			}
+			if len(fl.parked) > 0 {
+				moved += rt.unparkDueLocked(fl)
+			}
 			m, err := rt.checkRetransmits(fl)
 			moved += m
 			if err != nil {
@@ -277,6 +313,11 @@ func (rt *Runtime) receiveLocked() int {
 					fl.ack(m.Flow)
 					rt.stats.Acks++
 					progress++
+					if rt.creditWindow > 0 {
+						// The ack piggybacks the receiver's cumulative
+						// consumption grant back to the sender.
+						rt.grantCreditsLocked(fl)
+					}
 				}
 			}
 			rx := rt.rxFlowFor(g, src)
@@ -331,7 +372,7 @@ func (rt *Runtime) inFlightLocked() int {
 	for src := range rt.tx {
 		for dst := range rt.tx[src] {
 			if fl := rt.tx[src][dst]; fl != nil {
-				n += len(fl.outbox) + len(fl.inflight)
+				n += len(fl.outbox) + len(fl.inflight) + len(fl.parked)
 			}
 		}
 	}

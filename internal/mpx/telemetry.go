@@ -18,12 +18,17 @@ var (
 	evRetransmit  = telemetry.Name("mpx.retransmit")
 	evCreditStall = telemetry.Name("mpx.credit_stall")
 	evMatch       = telemetry.Name("mpx.match")
+	evShed        = telemetry.Name("mpx.shed")
+	evNack        = telemetry.Name("mpx.nack")
+	evHealth      = telemetry.Name("mpx.health")
 	argDst        = telemetry.Name("dst")
 	argFlow       = telemetry.Name("flow")
 	argAttempts   = telemetry.Name("attempts")
 	argQueued     = telemetry.Name("queued")
 	argMatched    = telemetry.Name("matched")
 	argPending    = telemetry.Name("pending")
+	argState      = telemetry.Name("state")
+	argOcc        = telemetry.Name("occupancy_millis")
 )
 
 // setupTelemetry builds the runtime's recorder (one track per GPU),
@@ -46,6 +51,10 @@ func (rt *Runtime) setupTelemetry() {
 	reg := rt.rec.Metrics()
 	rt.mSends = reg.Counter("mpx.sends")
 	rt.mRetries = reg.Counter("mpx.retries")
+	rt.mSheds = reg.Counter("mpx.sheds")
+	rt.mNacks = reg.Counter("mpx.nacks")
+	rt.mCreditStalls = reg.Counter("mpx.credit_stalls")
+	rt.mStates = reg.Counter("mpx.health_transitions")
 	depths := stats.ExpBuckets(1, 2, 12)
 	rt.mUMQDepth = reg.Histogram("mpx.umq.depth", depths)
 	rt.mPRQDepth = reg.Histogram("mpx.prq.depth", depths)

@@ -34,6 +34,46 @@ type Ring struct {
 	credits int
 	// pendingCredits are consumed slots not yet returned to the sender.
 	pendingCredits int
+
+	// Cumulative credit-accounting totals (see CreditStats).
+	consumed int // Push calls that spent a credit
+	returned int // credits flushed back by ReturnCredits
+}
+
+// CreditStats is the typed view of a ring's credit accounting: the
+// live balances plus the cumulative totals the conservation property
+// is stated over. At all times
+//
+//	Available + PendingReturn + Occupied == Capacity
+//	Consumed == Returned + PendingReturn + Occupied
+//
+// — credits are conserved: none are minted, none are lost, across any
+// grant/consume/return sequence including index wraparound.
+type CreditStats struct {
+	Capacity      int // total credits granted at creation
+	Available     int // sender-side balance (Credits())
+	PendingReturn int // consumed slots not yet returned to the sender
+	Occupied      int // slots holding undelivered words (Len())
+	Consumed      int // cumulative credits spent by Push
+	Returned      int // cumulative credits flushed by ReturnCredits
+}
+
+// Conserved reports whether the two conservation identities hold.
+func (s CreditStats) Conserved() bool {
+	return s.Available+s.PendingReturn+s.Occupied == s.Capacity &&
+		s.Consumed == s.Returned+s.PendingReturn+s.Occupied
+}
+
+// CreditStats returns the ring's credit-accounting snapshot.
+func (r *Ring) CreditStats() CreditStats {
+	return CreditStats{
+		Capacity:      r.cap,
+		Available:     r.credits,
+		PendingReturn: r.pendingCredits,
+		Occupied:      r.Len(),
+		Consumed:      r.consumed,
+		Returned:      r.returned,
+	}
 }
 
 // control word offsets relative to base+cap.
@@ -85,6 +125,7 @@ func (r *Ring) Push(w uint64) error {
 	r.mem.Store(r.base+tail%r.cap, w)
 	r.mem.Store(r.base+r.cap+tailOff, uint64((tail+1)%(2*r.cap)))
 	r.credits--
+	r.consumed++
 	return nil
 }
 
@@ -108,6 +149,7 @@ func (r *Ring) Pop() (uint64, bool) {
 func (r *Ring) ReturnCredits() int {
 	n := r.pendingCredits
 	r.credits += n
+	r.returned += n
 	r.pendingCredits = 0
 	return n
 }

@@ -270,3 +270,67 @@ func TestInterleavedPushDrainReturn(t *testing.T) {
 			r.Credits(), r.Len(), capacity)
 	}
 }
+
+// TestCreditConservationProperty drives rings of several capacities
+// through random grant/consume/return schedules — long enough that the
+// head/tail indices wrap many times — and checks after every single
+// operation that credits are conserved: the live balances always sum
+// to the capacity, and the cumulative consumed total always equals
+// returned + pending + occupied. A ring that ever minted a credit (a
+// sender could overrun the receiver) or lost one (the flow would wedge
+// below capacity forever) fails immediately with the op trace length.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(ops []uint8, capSel uint8) bool {
+		r := newRing(1 + int(capSel%7)) // capacities 1..7 wrap quickly
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // bias toward pushes so the ring actually fills
+				_ = r.Push(uint64(op))
+			case 2:
+				r.Pop()
+			case 3:
+				r.ReturnCredits()
+			}
+			if s := r.CreditStats(); !s.Conserved() {
+				t.Logf("conservation violated: %+v", s)
+				return false
+			}
+		}
+		// Full drain + return must restore the entire balance.
+		for {
+			if _, ok := r.Pop(); !ok {
+				break
+			}
+		}
+		r.ReturnCredits()
+		s := r.CreditStats()
+		return s.Conserved() && s.Available == s.Capacity && s.PendingReturn == 0 && s.Occupied == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCreditStatsAccessor pins the typed accessor's fields against a
+// hand-driven sequence.
+func TestCreditStatsAccessor(t *testing.T) {
+	r := newRing(4)
+	for i := uint64(0); i < 3; i++ {
+		if err := r.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Pop()
+	want := CreditStats{Capacity: 4, Available: 1, PendingReturn: 1, Occupied: 2, Consumed: 3, Returned: 0}
+	if got := r.CreditStats(); got != want {
+		t.Fatalf("CreditStats = %+v, want %+v", got, want)
+	}
+	r.ReturnCredits()
+	want = CreditStats{Capacity: 4, Available: 2, PendingReturn: 0, Occupied: 2, Consumed: 3, Returned: 1}
+	if got := r.CreditStats(); got != want {
+		t.Fatalf("after return: CreditStats = %+v, want %+v", got, want)
+	}
+	if !r.CreditStats().Conserved() {
+		t.Error("Conserved() = false on a healthy ring")
+	}
+}

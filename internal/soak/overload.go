@@ -1,0 +1,132 @@
+// Overload phases for the soak driver: a window of the run where the
+// offered rate is scaled past the steady rate (1.5×, 2×, …) while the
+// runtime runs with bounded queues and a shed policy. The driver sheds
+// arrivals client-side at typed backpressure (probing the runtime so a
+// shed arrival never half-posts), records which arrivals were shed,
+// and derives the recovery metric the SLO gates: how much simulated
+// time after the overload window ends until a full arrival-order
+// window of messages is back under RecoveryFactor × the pre-overload
+// steady p99.
+//
+// Everything stays deterministic: the overload window is a fixed
+// arrival-index range, rate scaling divides the seeded inter-arrival
+// deltas, and shedding is a pure function of runtime state — so shed
+// counts, peaks and the recovery time are byte-identical across
+// replays and engine execution modes.
+package soak
+
+import (
+	"fmt"
+	"sort"
+
+	"simtmp/internal/mpx"
+)
+
+// OverloadConfig shapes a soak's overload phase and the runtime's
+// overload protection. The zero value disables both.
+type OverloadConfig struct {
+	// Factor scales the offered rate inside the overload window
+	// (2.0 = double the arrival rate). Values ≤ 1 leave the rate
+	// untouched (caps may still be exercised, e.g. by a slow-receiver
+	// fault profile).
+	Factor float64
+	// StartFrac/EndFrac bound the overload window as fractions of the
+	// total message count (defaults 0.4 and 0.7).
+	StartFrac, EndFrac float64
+
+	// UMQCap, PRQCap, StagingCap and Shed pass through to the runtime
+	// (see mpx.Config). At least one cap should be set for an overload
+	// phase to be survivable in bounded memory.
+	UMQCap, PRQCap, StagingCap int
+	Shed                       mpx.ShedPolicy
+
+	// RecoveryFactor is the recovery threshold: a post-overload window
+	// counts as recovered when its p99 ≤ RecoveryFactor × the steady
+	// (pre-overload) p99 (default 1.5).
+	RecoveryFactor float64
+	// WindowMsgs is the arrival-order window width for the phase
+	// quantiles (default 500).
+	WindowMsgs int
+}
+
+// active reports whether the config asks for any overload behavior.
+func (o OverloadConfig) active() bool {
+	return o.Factor > 1 || o.UMQCap > 0 || o.PRQCap > 0 || o.StagingCap > 0
+}
+
+func (o OverloadConfig) withDefaults() OverloadConfig {
+	if o.StartFrac <= 0 {
+		o.StartFrac = 0.4
+	}
+	if o.EndFrac <= 0 {
+		o.EndFrac = 0.7
+	}
+	if o.RecoveryFactor <= 0 {
+		o.RecoveryFactor = 1.5
+	}
+	if o.WindowMsgs <= 0 {
+		o.WindowMsgs = 500
+	}
+	return o
+}
+
+func (o OverloadConfig) validate() error {
+	if !o.active() {
+		return nil
+	}
+	if o.StartFrac >= o.EndFrac || o.EndFrac > 1 {
+		return fmt.Errorf("soak: overload window [%v,%v) must satisfy 0 < start < end ≤ 1", o.StartFrac, o.EndFrac)
+	}
+	return nil
+}
+
+// shedSentinel marks a shed arrival's slot in the per-message record:
+// offered, never sent, excluded from every latency quantile.
+const shedSentinel = -1
+
+// p99Of returns the p99 of the non-shed entries of a latency window,
+// or shedSentinel when fewer than minSamples survive (a window shed
+// almost whole carries no quantile signal).
+func p99Of(win []float64, minSamples int) float64 {
+	kept := make([]float64, 0, len(win))
+	for _, x := range win {
+		if x >= 0 {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) < minSamples {
+		return shedSentinel
+	}
+	sort.Float64s(kept)
+	return kept[(len(kept)-1)*99/100]
+}
+
+// applyRecovery fills the report's overload SLO fields from the
+// per-message record: the pre-overload steady p99, then the first
+// arrival-order window after the overload end whose p99 re-enters
+// RecoveryFactor × steady, and the simulated time that took.
+func applyRecovery(rep *Report, over OverloadConfig, arrive []float64, warmup, overStart, overEnd int) {
+	if len(rep.Records) == 0 || overStart <= warmup || overEnd <= overStart {
+		return
+	}
+	const minSamples = 20
+	steady := p99Of(rep.Records[:overStart-warmup], minSamples)
+	if steady <= 0 {
+		return
+	}
+	rep.SteadyP99 = steady
+	thresh := over.RecoveryFactor * steady
+	w := over.WindowMsgs
+	for s := overEnd; s+w <= len(arrive); s += w {
+		p := p99Of(rep.Records[s-warmup:s-warmup+w], minSamples)
+		if p < 0 {
+			continue
+		}
+		rep.RecoveryP99 = p
+		if p <= thresh {
+			rep.Recovered = true
+			rep.RecoverySimSeconds = arrive[s+w-1] - arrive[overEnd]
+			return
+		}
+	}
+}

@@ -76,6 +76,11 @@ type Config struct {
 	// Fault, when non-nil, runs the soak over the fault-injection
 	// plane — chaos under load.
 	Fault *fault.Config
+	// Overload shapes a mid-run overload phase (rate multiplier over a
+	// window of arrivals) and the runtime's bounded-queue caps and shed
+	// policy. Zero value: no overload, unbounded queues — the
+	// historical behavior.
+	Overload OverloadConfig
 	// Telemetry, when non-nil and enabled, attaches the flight
 	// recorder; the driver additionally registers a "soak.latency_us"
 	// histogram in its metrics registry.
@@ -106,6 +111,7 @@ func (c Config) withDefaults() Config {
 		c.Tags = 16384
 	}
 	c.Burst = c.Burst.withDefaults()
+	c.Overload = c.Overload.withDefaults()
 	return c
 }
 
@@ -156,6 +162,25 @@ type Report struct {
 	// config attached one (zero otherwise); the driver finalizes the
 	// stream before returning, so Dropped here is the run's total loss.
 	Stream telemetry.StreamStats
+
+	// Overload accounting (meaningful only when Config.Overload is
+	// active). OverloadStart/OverloadEnd are the arrival indices of
+	// the overload window; SheddedArrivals counts arrivals the driver
+	// shed client-side at typed backpressure (excluded from every
+	// latency quantile; runtime-side sheds are in Stats).
+	OverloadStart, OverloadEnd int
+	SheddedArrivals            int
+	// CapsOK asserts the configured bounds held for the whole run:
+	// neither the unexpected-message nor the posted-receive residency
+	// peak ever exceeded its cap (vacuously true for unset caps).
+	CapsOK bool
+	// Recovery SLO (requires KeepRecords and an overload rate window):
+	// SteadyP99 is the pre-overload steady p99 (µs), RecoveryP99 the
+	// p99 of the first post-overload window under RecoveryFactor ×
+	// SteadyP99, RecoverySimSeconds how much simulated time that took
+	// from the overload end, and Recovered whether it happened at all.
+	SteadyP99, RecoveryP99, RecoverySimSeconds float64
+	Recovered                                  bool
 }
 
 // Run executes one soak. Errors surface misconfiguration, transport
@@ -176,6 +201,9 @@ func Run(cfg Config) (*Report, error) {
 		if err := cfg.Burst.validate(); err != nil {
 			return nil, err
 		}
+	}
+	if err := cfg.Overload.validate(); err != nil {
+		return nil, err
 	}
 
 	// Delivery bookkeeping, filled by the runtime's delivery hook.
@@ -198,10 +226,13 @@ func Run(cfg Config) (*Report, error) {
 		records = make([]float64, cfg.Messages-cfg.Warmup)
 	}
 
+	over := cfg.Overload
 	rt := mpx.New(mpx.Config{
 		Level: cfg.Level, GPUs: cfg.GPUs, QueueCap: cfg.QueueCap,
 		Window: cfg.Window, EngineWorkers: cfg.EngineWorkers,
 		Fault: cfg.Fault, Telemetry: cfg.Telemetry,
+		UMQCap: over.UMQCap, PRQCap: over.PRQCap,
+		StagingCap: over.StagingCap, Shed: over.Shed,
 		OnDeliver: func(r *mpx.Recv, now float64) {
 			p, ok := inflight[r]
 			if !ok {
@@ -248,7 +279,32 @@ func Run(cfg Config) (*Report, error) {
 	arr := newArrivals(cfg.Process, rate, cfg.Burst, procRng)
 	tagNext := make([]int, cfg.GPUs*cfg.GPUs)
 
-	next := arr.next()
+	// Overload window in arrival indices. Inside it, the seeded
+	// inter-arrival deltas are divided by the overload factor — same
+	// random sequence, compressed in time — so the overloaded replay
+	// shares its randomness with the steady one.
+	overStart := int(float64(cfg.Messages) * over.StartFrac)
+	overEnd := int(float64(cfg.Messages) * over.EndFrac)
+	scaleRate := over.Factor > 1
+	rawPrev, schedPrev := 0.0, 0.0
+	nextArrival := func(idx int) float64 {
+		raw := arr.next()
+		if !scaleRate {
+			// No rate window: hand back the process's absolute times
+			// untouched, bit-identical to the pre-overload driver.
+			return raw
+		}
+		delta := raw - rawPrev
+		rawPrev = raw
+		if idx >= overStart && idx < overEnd {
+			delta /= over.Factor
+		}
+		schedPrev += delta
+		return schedPrev
+	}
+	shedArrivals := 0
+
+	next := nextArrival(0)
 	sent, steps := 0, 0
 	for sent < cfg.Messages || outstand > 0 {
 		now := float64(steps) * poll
@@ -261,6 +317,20 @@ func Run(cfg Config) (*Report, error) {
 			f := src*cfg.GPUs + dst
 			if cfg.Level == mpx.Unordered && flowOut[f] >= cfg.Tags {
 				return nil, fmt.Errorf("soak: flow %d→%d holds %d outstanding messages, wrapping the %d-tag space under Unordered; raise Tags or lower the offered rate", src, dst, flowOut[f], cfg.Tags)
+			}
+			if over.active() && (rt.PostRecvWouldBlock(dst) || rt.SendWouldBlock(src, dst)) {
+				// Typed backpressure: shed the arrival client-side,
+				// whole — nothing half-posted, nothing silently lost.
+				// The slot is recorded as shed so quantiles and the
+				// recovery metric exclude it.
+				shedArrivals++
+				arrive[sent] = next
+				if records != nil && sent >= cfg.Warmup {
+					records[sent-cfg.Warmup] = shedSentinel
+				}
+				sent++
+				next = nextArrival(sent)
+				continue
 			}
 			tag := envelope.Tag(tagNext[f] % cfg.Tags)
 			tagNext[f]++
@@ -276,7 +346,7 @@ func Run(cfg Config) (*Report, error) {
 			flowOut[f]++
 			outstand++
 			sent++
-			next = arr.next()
+			next = nextArrival(sent)
 		}
 		// Residency peaks are sampled at the step edge: receives posted
 		// and not yet delivered entering the match step (PRQ), and
@@ -316,9 +386,25 @@ func Run(cfg Config) (*Report, error) {
 		Hist: hist, Records: records, Stream: streamStats,
 	}
 	if simSeconds > 0 {
-		rep.DeliveredRate = float64(cfg.Messages) / simSeconds
+		rep.DeliveredRate = float64(cfg.Messages-shedArrivals) / simSeconds
 	}
 	rep.Latency = quantiles(hist, records)
+
+	rep.CapsOK = true
+	if over.active() {
+		rep.OverloadStart, rep.OverloadEnd = overStart, overEnd
+		rep.SheddedArrivals = shedArrivals
+		fc := rt.FlowControl()
+		if fc.UMQCapEffective > 0 && umqPeak > fc.UMQCapEffective*cfg.GPUs {
+			rep.CapsOK = false
+		}
+		if fc.PRQCap > 0 && prqPeak > fc.PRQCap*cfg.GPUs {
+			rep.CapsOK = false
+		}
+		if scaleRate && records != nil {
+			applyRecovery(rep, over, arrive, cfg.Warmup, overStart, overEnd)
+		}
+	}
 	return rep, nil
 }
 
@@ -341,8 +427,17 @@ func payloadFor(n int) []byte {
 // available, bucket-interpolated from the histogram otherwise.
 func quantiles(h *stats.Histogram, records []float64) Quantiles {
 	if len(records) > 0 {
-		s := make([]float64, len(records))
-		copy(s, records)
+		// Shed arrivals carry the negative sentinel — offered, never
+		// sent — and are excluded from every quantile.
+		s := make([]float64, 0, len(records))
+		for _, x := range records {
+			if x >= 0 {
+				s = append(s, x)
+			}
+		}
+		if len(s) == 0 {
+			return Quantiles{}
+		}
 		sort.Float64s(s)
 		sum := 0.0
 		for _, x := range s {

@@ -59,6 +59,16 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// Reset zeroes every count and the running aggregates, keeping the
+// bucket layout. Load drivers use it to re-base a distribution at the
+// end of a warmup phase without reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
 // Observe records one sample. It never allocates.
 func (h *Histogram) Observe(x float64) {
 	if h.n == 0 || x < h.min {

@@ -160,6 +160,18 @@ func (h *Histogram) Observe(x float64) {
 	h.mu.Unlock()
 }
 
+// Reset zeroes the distribution, keeping the bucket layout (no-op on
+// nil). The runtime re-bases its queue-depth histograms through this
+// when ResetStats excludes a warmup phase from steady-state accounting.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Reset()
+	h.mu.Unlock()
+}
+
 // Summary derives the distribution summary (zero for nil).
 func (h *Histogram) Summary() stats.Summary {
 	if h == nil {

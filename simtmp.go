@@ -36,6 +36,7 @@ import (
 	"simtmp/internal/fault"
 	"simtmp/internal/match"
 	"simtmp/internal/mpx"
+	"simtmp/internal/ring"
 	"simtmp/internal/soak"
 	"simtmp/internal/telemetry"
 	"simtmp/internal/trace"
@@ -177,6 +178,73 @@ const (
 
 // NewRuntime creates a message-passing runtime.
 func NewRuntime(cfg RuntimeConfig) *Runtime { return mpx.New(cfg) }
+
+// Overload protection: end-to-end credit flow control over bounded
+// queues with deterministic shedding. Configure via
+// RuntimeConfig.UMQCap/PRQCap/StagingCap + Shed; observe via
+// Runtime.FlowControl, Runtime.Health and the Shed*/Nack*/CreditStalls
+// counters in RuntimeStats.
+type (
+	// ShedPolicy selects what a bounded staging queue does when full.
+	ShedPolicy = mpx.ShedPolicy
+	// HealthState is an endpoint's overload condition
+	// (Healthy/Congested/Shedding/Recovering).
+	HealthState = mpx.HealthState
+	// HealthConfig tunes the health state machine's occupancy
+	// thresholds and hysteresis.
+	HealthConfig = mpx.HealthConfig
+	// EndpointHealth is one endpoint's health snapshot
+	// (Runtime.Health).
+	EndpointHealth = mpx.EndpointHealth
+	// FlowControlInfo describes the runtime's active flow-control
+	// configuration (Runtime.FlowControl).
+	FlowControlInfo = mpx.FlowControlInfo
+	// RingCreditStats is the typed credit-conservation view of one
+	// ring buffer.
+	RingCreditStats = ring.CreditStats
+	// SoakOverloadConfig shapes a soak run's overload excursion
+	// (SoakConfig.Overload): rate multiplier, queue caps, shed policy
+	// and the recovery SLO.
+	SoakOverloadConfig = soak.OverloadConfig
+)
+
+// Shed policies and health states.
+const (
+	// ShedReject refuses the send with ErrBackpressure.
+	ShedReject = mpx.ShedReject
+	// ShedDropOldest parks the oldest staged frame for NACK/deadline
+	// recovery.
+	ShedDropOldest = mpx.ShedDropOldest
+	// ShedDropNewest parks the newly staged frame instead.
+	ShedDropNewest = mpx.ShedDropNewest
+
+	HealthHealthy    = mpx.Healthy
+	HealthCongested  = mpx.Congested
+	HealthShedding   = mpx.Shedding
+	HealthRecovering = mpx.Recovering
+)
+
+var (
+	// ErrBackpressure is the typed refusal returned by Send (ShedReject
+	// at a full staging queue) and PostRecv (full PRQ).
+	ErrBackpressure = mpx.ErrBackpressure
+	// SlowReceiverFaultProfile is the tracked slow-consumer overload
+	// brew (drain-rate collapse episodes).
+	SlowReceiverFaultProfile = fault.SlowReceiverProfile
+	// ReceiverStallFaultProfile is the tracked hard-stall overload brew.
+	ReceiverStallFaultProfile = fault.ReceiverStallProfile
+	// ChaosBackpressureMix is the chaos brew paired with bounded-queue
+	// workloads.
+	ChaosBackpressureMix = conformance.ChaosBackpressureMix
+	// ChaosBackpressureWorkload replays one bounded-queue chaos
+	// workload (the failure handle's recipe).
+	ChaosBackpressureWorkload = conformance.ChaosBackpressureWorkload
+	// RunChaosBackpressure runs the bounded-queue chaos matrix.
+	RunChaosBackpressure = conformance.RunChaosBackpressure
+	// CheckBackpressureCoverage asserts a backpressure chaos run
+	// exercised the overload machinery.
+	CheckBackpressureCoverage = conformance.CheckBackpressureCoverage
+)
 
 // Telemetry: the deterministic flight recorder, metrics registry and
 // the unified Exporter family (Perfetto trace export, human-readable
