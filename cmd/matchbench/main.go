@@ -131,6 +131,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	soakMessages := fs.Int("soak.messages", 0, "with -soak: per-seed message count (0 = the tracked default)")
 	soakInflate := fs.Float64("soak.inflate", 1, "with -soak: multiply latency records (gate-validation hook; leave at 1)")
 	soakUncap := fs.Bool("soak.uncap", false, "with -soak: strip the overload profiles' queue caps (gate-validation hook; a capped baseline must fail)")
+	persistent := fs.Bool("persistent", false, "run the persistent-channel sweep (first-iteration cost, steady-state re-fire rate, cache hit rate)")
+	persistNoCache := fs.Bool("persist.nocache", false, "with -persistent or -regress: disable the seal cache (gate-validation hook; a cached baseline must fail)")
 	var trace simtmp.TraceFlags
 	trace.Register(fs)
 
@@ -144,7 +146,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *regress {
-		return runRegress(stdout, stderr, *regressDir, *tolerance, *regressWrite, *regressWall)
+		return runRegress(stdout, stderr, *regressDir, *tolerance, *regressWrite, *regressWall, *persistNoCache)
+	}
+	if *persistent {
+		return runPersistent(stdout, stderr, *csvOut, *persistNoCache)
 	}
 	if *soakRun {
 		return runSoak(stdout, stderr, soakOpts{
@@ -184,8 +189,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // against the latest committed baseline in dir, and optionally writes
 // the run as the new baseline. Exit codes: 0 clean, 1 regressions (or
 // a missing baseline without -regress.write).
-func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall bool) int {
-	rep := simtmp.RunRegress(0)
+func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall, persistNoCache bool) int {
+	if write && persistNoCache {
+		fmt.Fprintln(stderr, "matchbench: refusing to bless a nocache run as a baseline; drop -persist.nocache")
+		return 2
+	}
+	rep := simtmp.RunRegressOpt(0, persistNoCache)
 	base, path, err := simtmp.LoadLatestBenchBaseline(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		if !write {
@@ -217,6 +226,27 @@ func runRegress(stdout, stderr io.Writer, dir string, tol float64, write, wall b
 	if len(regs) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runPersistent executes the persistent-channel iteration sweep — the
+// -persistent mode: per iteration count, the first-iteration
+// (full-engine match + seal) cost, the steady-state O(1) re-fire rate,
+// the cache hit rate and the speedup over matching every iteration.
+func runPersistent(stdout, stderr io.Writer, csv, nocache bool) int {
+	rows, err := simtmp.PersistSweep(nocache)
+	if err != nil {
+		fmt.Fprintln(stderr, "matchbench:", err)
+		return 1
+	}
+	if csv {
+		if err := simtmp.WriteCSV(stdout, rows); err != nil {
+			fmt.Fprintln(stderr, "matchbench:", err)
+			return 1
+		}
+		return 0
+	}
+	simtmp.PrintPersistSweep(stdout, rows)
 	return 0
 }
 

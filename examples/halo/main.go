@@ -3,6 +3,12 @@
 // relaxation — receives name their neighbours explicitly, so the
 // runtime matches with the rank-partitioned engine (§VI-A) and the
 // aggregate matching rate rises accordingly.
+//
+// The exchange pattern is identical every iteration, so the channels
+// are persistent (MPI_Send_init/Recv_init): the first iteration runs
+// the full matching engine and seals each (src, dst, tag) pairing into
+// the match-handle cache; every later iteration re-fires in O(1) with
+// the engine never invoked (DESIGN.md §15).
 package main
 
 import (
@@ -57,28 +63,49 @@ func main() {
 		field[r] = float64(r)
 	}
 
+	// Build the persistent channels once: one send and one receive per
+	// (rank, direction). Matching happens on the first Start; later
+	// iterations re-fire through the sealed cache.
+	sends := make([][faces]*simtmp.SendChannel, gpus)
+	recvs := make([][faces]*simtmp.RecvChannel, gpus)
+	for r := 0; r < gpus; r++ {
+		for d, peer := range neighbours(r) {
+			s, err := rt.SendInit(r, peer, simtmp.Tag(d), 0, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sends[r][d] = s
+			h, err := rt.RecvInit(r, simtmp.Rank(peer), simtmp.Tag(opposite(d)), 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recvs[r][d] = h
+		}
+	}
+
 	for iter := 0; iter < iterations; iter++ {
-		// Pre-post all receives (the optimization LULESH itself ships
-		// with, per §VII-B), then send.
-		recvs := make([][faces]*simtmp.RecvHandle, gpus)
+		// Re-arm all receives first (the pre-posting optimization LULESH
+		// itself ships with, per §VII-B), then bind this iteration's
+		// field values and fire.
 		for r := 0; r < gpus; r++ {
-			for d, peer := range neighbours(r) {
-				h, err := rt.PostRecv(r, simtmp.Rank(peer), simtmp.Tag(opposite(d)), 0)
-				if err != nil {
-					log.Fatal(err)
-				}
-				recvs[r][d] = h
-			}
-		}
-		for r := 0; r < gpus; r++ {
-			payload := fmt.Sprintf("%g", field[r])
-			for d, peer := range neighbours(r) {
-				if err := rt.Send(r, peer, simtmp.Tag(d), 0, []byte(payload)); err != nil {
+			for d := 0; d < faces; d++ {
+				if err := recvs[r][d].Start(); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}
-		if ok, err := rt.Drain(4); err != nil {
+		for r := 0; r < gpus; r++ {
+			payload := []byte(fmt.Sprintf("%g", field[r]))
+			for d := 0; d < faces; d++ {
+				if err := sends[r][d].Bind(0, payload); err != nil {
+					log.Fatal(err)
+				}
+				if err := sends[r][d].Start(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if ok, err := rt.Drain(8); err != nil {
 			log.Fatal(err)
 		} else if !ok {
 			log.Fatal("halo exchange did not complete")
@@ -106,4 +133,7 @@ func main() {
 	fmt.Printf("\nengine: %s\n", rt.EngineName())
 	fmt.Printf("%d halo messages matched in %.2f simulated µs → %.2fM matches/s\n",
 		st.Matches, st.SimSeconds*1e6, st.Rate()/1e6)
+	fmt.Printf("persistent cache: %d seals, %d cached re-fires, %d engine matches (hit rate %.1f%%)\n",
+		st.CacheSeals, st.CacheHits, st.CacheMisses,
+		100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses))
 }

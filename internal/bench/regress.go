@@ -85,6 +85,14 @@ func (r *BenchReport) fingerprint() {
 // (0 = GOMAXPROCS); the sequential reference timings always run with
 // one worker, so the speedup records measure workers against it.
 func RunRegress(workers int) BenchReport {
+	return RunRegressOpt(workers, false)
+}
+
+// RunRegressOpt is RunRegress with the persistent-channel
+// gate-validation hook: persistNoCache disables the seal cache for the
+// persist/* profiles, which must fail a comparison against a blessed
+// baseline (hit rate and re-fire speedup collapse).
+func RunRegressOpt(workers int, persistNoCache bool) BenchReport {
 	rep := BenchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -133,6 +141,14 @@ func RunRegress(workers int) BenchReport {
 		panic(fmt.Sprintf("bench: regress soak: %v", err))
 	}
 	add(SoakRecords(soaks, 1)...)
+
+	// Persistent-channel profiles: the seal cache's re-fire speedup,
+	// hit rate and zero-alloc contract (DESIGN.md §15).
+	persists, err := RunPersistProfiles(persistNoCache)
+	if err != nil {
+		panic(fmt.Sprintf("bench: regress persist: %v", err))
+	}
+	add(PersistRecords(persists)...)
 	return rep
 }
 

@@ -367,6 +367,12 @@ func addStats(a *mpx.Stats, b mpx.Stats) {
 	a.CreditStalls += b.CreditStalls
 	a.StateTransitions += b.StateTransitions
 	a.SlowDrains += b.SlowDrains
+	a.PersistentSends += b.PersistentSends
+	a.PersistentRecvs += b.PersistentRecvs
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheSeals += b.CacheSeals
+	a.CacheInvalidations += b.CacheInvalidations
 }
 
 // RunChaos runs n seeded chaos workloads per semantic level with the

@@ -215,7 +215,7 @@ func (rt *Runtime) SendWouldBlock(src, dst int) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	fl := rt.tx[src][dst]
-	return fl != nil && len(fl.outbox) >= rt.cfg.StagingCap
+	return fl != nil && fl.staged() >= rt.cfg.StagingCap
 }
 
 // PostRecvWouldBlock reports whether a PostRecv on dst at this instant
@@ -270,19 +270,17 @@ func (rt *Runtime) shedSendLocked(fl *txFlow, newFrame func() *frame) (accepted 
 	rt.healthNoteShedLocked(fl.src)
 	switch rt.cfg.Shed {
 	case ShedDropOldest:
-		oldest := fl.outbox[0]
-		fl.outbox = fl.outbox[1:]
-		rt.parkLocked(fl, oldest)
-		fl.outbox = append(fl.outbox, newFrame())
+		rt.parkLocked(fl, fl.popHead())
+		fl.push(newFrame())
 		return true, nil
 	case ShedDropNewest:
 		rt.parkLocked(fl, newFrame())
 		return true, nil
 	default: // ShedReject
 		rt.stats.ShedRejects++
-		rt.rec.Instant(fl.src, evShed, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
+		rt.rec.Instant(fl.src, evShed, argDst, int64(fl.dst), argQueued, int64(fl.staged()))
 		return false, fmt.Errorf("%w: staging %d→%d holds %d frame(s) (cap %d, policy %v)",
-			ErrBackpressure, fl.src, fl.dst, len(fl.outbox), rt.cfg.StagingCap, rt.cfg.Shed)
+			ErrBackpressure, fl.src, fl.dst, fl.staged(), rt.cfg.StagingCap, rt.cfg.Shed)
 	}
 }
 
@@ -314,7 +312,7 @@ func insertByFlow(box []*frame, fr *frame) []*frame {
 func (rt *Runtime) unparkLocked(fl *txFlow, i int) {
 	fr := fl.parked[i]
 	fl.parked = append(fl.parked[:i], fl.parked[i+1:]...)
-	fl.outbox = insertByFlow(fl.outbox, fr)
+	fl.pushOrdered(fr)
 	rt.stats.ShedRecovered++
 }
 
@@ -414,7 +412,7 @@ func (rt *Runtime) occupancyLocked(g int) float64 {
 	if rt.cfg.StagingCap > 0 {
 		for dst := range rt.tx[g] {
 			if fl := rt.tx[g][dst]; fl != nil {
-				if f := float64(len(fl.outbox)+len(fl.parked)) / float64(rt.cfg.StagingCap); f > occ {
+				if f := float64(fl.staged()+len(fl.parked)) / float64(rt.cfg.StagingCap); f > occ {
 					occ = f
 				}
 			}

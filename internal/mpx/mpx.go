@@ -161,6 +161,13 @@ type Config struct {
 	// Health tunes the per-endpoint overload state machine's
 	// hysteresis (zero value: defaults; see HealthConfig).
 	Health HealthConfig
+
+	// DisablePersistentCache forces every persistent-channel iteration
+	// (SendInit/RecvInit, see persistent.go) through the full matching
+	// engine, as if nothing ever sealed. The observable results are
+	// identical by contract — the conformance suite and the bench
+	// regression gate run both modes differentially.
+	DisablePersistentCache bool
 }
 
 // Recv is a posted receive handle. Its accessors synchronize with the
@@ -174,6 +181,10 @@ type Recv struct {
 	delivered bool
 	msg       gas.Message
 	transfer  proto.Transfer
+	// ph, when non-nil, marks an engine-path receive owned by a
+	// persistent channel (see persistent.go): deliveries forward into
+	// the handle instead of being read through this Recv.
+	ph *PersistentRecv
 }
 
 // Transfer reports the simulated data movement of the delivered
@@ -269,6 +280,16 @@ type Stats struct {
 	// injected slow receiver (merged from the injector; zero on a
 	// lossless wire).
 	SlowDrains int
+
+	// Persistent matching (the sealed match-handle cache; see
+	// persistent.go — all zero unless SendInit/RecvInit channels are in
+	// use).
+	PersistentSends    int // partition fires through persistent send channels
+	PersistentRecvs    int // partition deliveries into persistent receive channels
+	CacheHits          int // deliveries served by a sealed handle, O(1), no engine
+	CacheMisses        int // persistent deliveries that ran the full engine
+	CacheSeals         int // handles sealed after an uncontested engine iteration
+	CacheInvalidations int // sealed handles revoked by a contesting post or message
 }
 
 // Stats counters must not wrap during multi-billion-message soak runs,
@@ -358,6 +379,18 @@ type Runtime struct {
 	parkTimeout  float64
 	health       []endpointHealth
 
+	// Persistent-request plane (see persistent.go): per-GPU sealed
+	// match-handle caches (allocated lazily on the first RecvInit),
+	// armed-but-incomplete iteration counts (Drain's termination
+	// includes them), this step's seal candidates, the reused
+	// invalidation scratch slice, and the simulated cost of one cached
+	// delivery.
+	pcaches     []*match.PersistentCache
+	openPersist []int
+	sealCand    [][]*PersistentRecv
+	invScratch  []match.HandleID
+	persistSec  float64
+
 	// seq is the logical clock ordering sends against receive posts,
 	// deciding pre-postedness per message.
 	seq   uint64
@@ -379,6 +412,10 @@ type Runtime struct {
 	mStates       *telemetry.Counter
 	mUMQDepth     *telemetry.Histogram
 	mPRQDepth     *telemetry.Histogram
+	mCacheHits    *telemetry.Counter
+	mCacheMisses  *telemetry.Counter
+	mCacheSeals   *telemetry.Counter
+	mCacheInvalids *telemetry.Counter
 }
 
 // New creates a runtime. It panics only on programmer errors (bad
@@ -415,6 +452,9 @@ func New(cfg Config) *Runtime {
 		scratch:      make([]gpuScratch, cfg.GPUs),
 		tx:           make([][]*txFlow, cfg.GPUs),
 		rx:           make([][]*rxFlow, cfg.GPUs),
+		pcaches:      make([]*match.PersistentCache, cfg.GPUs),
+		openPersist:  make([]int, cfg.GPUs),
+		sealCand:     make([][]*PersistentRecv, cfg.GPUs),
 	}
 	for g := 0; g < cfg.GPUs; g++ {
 		rt.tx[g] = make([]*txFlow, cfg.GPUs)
@@ -433,6 +473,7 @@ func New(cfg Config) *Runtime {
 	rt.poll = model.Seconds(model.P.LaunchOverhead)
 	rt.rtoBase = 4 * rt.poll
 	rt.rtoMax = 32 * rt.poll
+	rt.persistSec = model.Seconds(model.PersistentDeliverCycles())
 	// Overload protection: derive the per-flow credit window from the
 	// receiver's unexpected-message budget, and the parked-frame
 	// recovery deadline from the base retransmission delta — a park is
@@ -508,7 +549,7 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	fl := rt.txFlowFor(src, dst)
-	if rt.cfg.StagingCap > 0 && len(fl.outbox) >= rt.cfg.StagingCap {
+	if rt.cfg.StagingCap > 0 && fl.staged() >= rt.cfg.StagingCap {
 		// The staging buffer is full: shed per policy. The new frame is
 		// built lazily so a rejected send burns no sequence number and
 		// leaves no gap in the flow.
@@ -528,7 +569,7 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 	}
 	rt.seq++
 	fl.nextFlow++
-	fl.outbox = append(fl.outbox, &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
+	fl.push(&frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
 	rt.stats.Sends++
 	rt.mSends.Add(1)
 	rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
@@ -572,6 +613,9 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 	r := &Recv{rt: rt, gpu: dst, req: req, seq: rt.seq}
 	rt.pendingRecvs[dst] = append(rt.pendingRecvs[dst], r)
 	rt.stats.PostedRecvs++
+	// A non-persistent post can legally claim messages a sealed
+	// persistent channel was serving: unseal whatever it contests.
+	rt.persistInvalidatePostLocked(dst, req)
 	return r, nil
 }
 
@@ -716,6 +760,11 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 			if rt.cfg.OnDeliver != nil {
 				rt.cfg.OnDeliver(recvs[ri], rt.now)
 			}
+			if recvs[ri].ph != nil {
+				// An engine-path persistent delivery: forward into the
+				// owning handle (the cache-miss path).
+				rt.persistForwardLocked(recvs[ri], tr)
+			}
 		}
 		if rt.cfg.Level == NoUnexpected && unmatchedMsgs > 0 {
 			for i, used := range usedMsg {
@@ -737,6 +786,9 @@ func (rt *Runtime) progressStepLocked() (int, error) {
 		}
 		rt.pendingMsgs[g] = remainingMsgs
 		rt.pendingRecvs[g] = remainingRecvs
+		// Step-boundary cache maintenance: unseal tuples with an
+		// unexpected backlog, seal this step's uncontested candidates.
+		rt.persistStepLocked(g)
 	}
 	rt.stats.Unmatched = 0
 	for g := range rt.pendingMsgs {
@@ -785,7 +837,7 @@ func (rt *Runtime) Drain(maxSteps int) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		open := 0
+		open := rt.openPersistLocked()
 		for g := range rt.pendingRecvs {
 			open += len(rt.pendingRecvs[g])
 		}

@@ -71,6 +71,10 @@ type frame struct {
 	flow     uint64
 	attempts int     // transmissions so far
 	deadline float64 // simulated time of the next retransmission
+	// owner, when non-nil, is the persistent send channel this frame
+	// belongs to: the ack that retires the frame recycles it into the
+	// channel's pool (the zero-allocation re-fire path).
+	owner *PersistentSend
 }
 
 // txFlow is the sender half of one (src,dst) flow: unsent frames
@@ -80,18 +84,59 @@ type frame struct {
 // cumulative consumption grant, the zero-window probe flag, and the
 // shed ledger of parked frames awaiting NACK or deadline recovery.
 type txFlow struct {
-	src, dst     int
-	nextFlow     uint64 // last wire sequence number assigned
+	src, dst int
+	nextFlow uint64 // last wire sequence number assigned
+	// outbox is the staging queue, consumed from outHead: popping
+	// advances the head instead of re-slicing, and draining rewinds to
+	// the buffer's start, so steady-state traffic reuses one backing
+	// array forever instead of allocating as the slice walks off its
+	// capacity.
 	outbox       []*frame
+	outHead      int
 	inflight     []*frame
 	consumedSeen uint64   // receiver's cumulative matched count, last granted
 	probe        bool     // credit-stalled with no ack to ride: refresh next step
 	parked       []*frame // shed frames (ascending flow order), no wire resources
 }
 
+// staged returns the number of frames queued for transmission.
+func (fl *txFlow) staged() int { return len(fl.outbox) - fl.outHead }
+
+// stageHead returns the next frame to transmit (staged() must be > 0).
+func (fl *txFlow) stageHead() *frame { return fl.outbox[fl.outHead] }
+
+// push appends a frame to the staging queue.
+func (fl *txFlow) push(fr *frame) { fl.outbox = append(fl.outbox, fr) }
+
+// popHead removes and returns the staging queue's head, rewinding the
+// buffer when it drains so its capacity is reused.
+func (fl *txFlow) popHead() *frame {
+	fr := fl.outbox[fl.outHead]
+	fl.outbox[fl.outHead] = nil
+	fl.outHead++
+	if fl.outHead == len(fl.outbox) {
+		fl.outbox = fl.outbox[:0]
+		fl.outHead = 0
+	}
+	return fr
+}
+
+// pushOrdered inserts a frame into the staging queue keeping ascending
+// flow order among the staged frames (shed recovery re-offers frames
+// in sequence).
+func (fl *txFlow) pushOrdered(fr *frame) {
+	i := len(fl.outbox)
+	for i > fl.outHead && fl.outbox[i-1].flow > fr.flow {
+		i--
+	}
+	fl.outbox = append(fl.outbox, nil)
+	copy(fl.outbox[i+1:], fl.outbox[i:])
+	fl.outbox[i] = fr
+}
+
 // idle reports whether the flow holds no undelivered frames.
 func (fl *txFlow) idle() bool {
-	return len(fl.outbox) == 0 && len(fl.inflight) == 0 && len(fl.parked) == 0
+	return fl.staged() == 0 && len(fl.inflight) == 0 && len(fl.parked) == 0
 }
 
 // has reports whether wire sequence number flow is awaiting an ack.
@@ -104,15 +149,17 @@ func (fl *txFlow) has(flow uint64) bool {
 	return false
 }
 
-// ack retires wire sequence number flow from the inflight window.
-func (fl *txFlow) ack(flow uint64) bool {
+// ack retires wire sequence number flow from the inflight window,
+// returning the retired frame (nil if absent) so persistent-channel
+// frames can be recycled.
+func (fl *txFlow) ack(flow uint64) *frame {
 	for i, fr := range fl.inflight {
 		if fr.flow == flow {
 			fl.inflight = append(fl.inflight[:i], fl.inflight[i+1:]...)
-			return true
+			return fr
 		}
 	}
-	return false
+	return nil
 }
 
 // rxFlow is the receiver half of one (dst,src) flow: the next expected
@@ -195,8 +242,8 @@ func (rt *Runtime) rto(attempt int) float64 {
 // returns the number of frames that left the outbox.
 func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 	moved := 0
-	for len(fl.outbox) > 0 && len(fl.inflight) < rt.cfg.Window {
-		fr := fl.outbox[0]
+	for fl.staged() > 0 && len(fl.inflight) < rt.cfg.Window {
+		fr := fl.stageHead()
 		if rt.creditWindow > 0 && !rt.hasCreditLocked(fl, fr) {
 			// End-to-end credit stall: the receiver has not provisioned
 			// room. Raise the zero-window probe so the next progress
@@ -204,14 +251,14 @@ func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 			fl.probe = true
 			rt.stats.CreditStalls++
 			rt.mCreditStalls.Add(1)
-			rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
+			rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(fl.staged()))
 			break
 		}
 		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
 			if retryable(err) {
 				rt.stats.CreditStalls++
 				rt.mCreditStalls.Add(1)
-				rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(len(fl.outbox)))
+				rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(fl.staged()))
 				break
 			}
 			return moved, fmt.Errorf("mpx: send %d→%d: %w", fl.src, fl.dst, err)
@@ -219,7 +266,7 @@ func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 		fr.attempts = 1
 		fr.deadline = rt.now + rt.rto(1)
 		fl.inflight = append(fl.inflight, fr)
-		fl.outbox = fl.outbox[1:]
+		fl.popHead()
 		moved++
 	}
 	return moved, nil
@@ -310,13 +357,17 @@ func (rt *Runtime) receiveLocked() int {
 			// is the next chance to retire the frame.
 			if fl := rt.tx[src][g]; fl != nil && fl.has(m.Flow) {
 				if !rt.transport.DropAck(src, g, m.Flow) {
-					fl.ack(m.Flow)
-					rt.stats.Acks++
-					progress++
-					if rt.creditWindow > 0 {
-						// The ack piggybacks the receiver's cumulative
-						// consumption grant back to the sender.
-						rt.grantCreditsLocked(fl)
+					if fr := fl.ack(m.Flow); fr != nil {
+						rt.stats.Acks++
+						progress++
+						if fr.owner != nil {
+							fr.owner.recycle(fr)
+						}
+						if rt.creditWindow > 0 {
+							// The ack piggybacks the receiver's cumulative
+							// consumption grant back to the sender.
+							rt.grantCreditsLocked(fl)
+						}
 					}
 				}
 			}
@@ -337,6 +388,18 @@ func (rt *Runtime) receiveLocked() int {
 				}
 				delete(rx.held, rx.next)
 				rx.next++
+				// Persistent fast path: a frame whose tuple hits a
+				// sealed match handle is delivered straight into its
+				// channel — it never enters the unexpected queue. The
+				// delivery counts as consumption for credit purposes
+				// exactly like an engine match would.
+				if rt.persistDeliverLocked(g, mm) {
+					if rt.creditWindow > 0 {
+						rx.matched++
+					}
+					progress++
+					continue
+				}
 				rt.pendingMsgs[g] = append(rt.pendingMsgs[g], mm)
 				progress++
 			}
@@ -372,7 +435,7 @@ func (rt *Runtime) inFlightLocked() int {
 	for src := range rt.tx {
 		for dst := range rt.tx[src] {
 			if fl := rt.tx[src][dst]; fl != nil {
-				n += len(fl.outbox) + len(fl.inflight) + len(fl.parked)
+				n += fl.staged() + len(fl.inflight) + len(fl.parked)
 			}
 		}
 	}

@@ -14,21 +14,26 @@ import (
 // transport clock — never host time — so chaos replays export
 // byte-identical traces.
 var (
-	evSend        = telemetry.Name("mpx.send")
-	evRetransmit  = telemetry.Name("mpx.retransmit")
-	evCreditStall = telemetry.Name("mpx.credit_stall")
-	evMatch       = telemetry.Name("mpx.match")
-	evShed        = telemetry.Name("mpx.shed")
-	evNack        = telemetry.Name("mpx.nack")
-	evHealth      = telemetry.Name("mpx.health")
-	argDst        = telemetry.Name("dst")
-	argFlow       = telemetry.Name("flow")
-	argAttempts   = telemetry.Name("attempts")
-	argQueued     = telemetry.Name("queued")
-	argMatched    = telemetry.Name("matched")
-	argPending    = telemetry.Name("pending")
-	argState      = telemetry.Name("state")
-	argOcc        = telemetry.Name("occupancy_millis")
+	evSend            = telemetry.Name("mpx.send")
+	evRetransmit      = telemetry.Name("mpx.retransmit")
+	evCreditStall     = telemetry.Name("mpx.credit_stall")
+	evMatch           = telemetry.Name("mpx.match")
+	evShed            = telemetry.Name("mpx.shed")
+	evNack            = telemetry.Name("mpx.nack")
+	evHealth          = telemetry.Name("mpx.health")
+	evCacheSeal       = telemetry.Name("match.cache.seal")
+	evCacheHit        = telemetry.Name("match.cache.hit")
+	evCacheInvalidate = telemetry.Name("match.cache.invalidate")
+	argDst            = telemetry.Name("dst")
+	argFlow           = telemetry.Name("flow")
+	argAttempts       = telemetry.Name("attempts")
+	argQueued         = telemetry.Name("queued")
+	argMatched        = telemetry.Name("matched")
+	argPending        = telemetry.Name("pending")
+	argState          = telemetry.Name("state")
+	argOcc            = telemetry.Name("occupancy_millis")
+	argHandle         = telemetry.Name("handle")
+	argParts          = telemetry.Name("parts")
 )
 
 // setupTelemetry builds the runtime's recorder (one track per GPU),
@@ -55,6 +60,10 @@ func (rt *Runtime) setupTelemetry() {
 	rt.mNacks = reg.Counter("mpx.nacks")
 	rt.mCreditStalls = reg.Counter("mpx.credit_stalls")
 	rt.mStates = reg.Counter("mpx.health_transitions")
+	rt.mCacheHits = reg.Counter("match.cache.hits")
+	rt.mCacheMisses = reg.Counter("match.cache.misses")
+	rt.mCacheSeals = reg.Counter("match.cache.seals")
+	rt.mCacheInvalids = reg.Counter("match.cache.invalidations")
 	depths := stats.ExpBuckets(1, 2, 12)
 	rt.mUMQDepth = reg.Histogram("mpx.umq.depth", depths)
 	rt.mPRQDepth = reg.Histogram("mpx.prq.depth", depths)

@@ -202,3 +202,90 @@ func TestTelemetryCorrelatesFaultsAndRetransmits(t *testing.T) {
 		t.Errorf("summary missing mpx.retries:\n%s", buf.String())
 	}
 }
+
+// TestPersistentTelemetryDeterministicAcrossEngineWorkers pins the
+// seal-cache observability contract: a persistent workload (seal,
+// cached re-fires, one forced invalidation) exports byte-identical
+// trace and summary documents whether the matching engines run
+// sequentially or sharded across host workers, and the
+// match.cache.* events appear on the simulated-time axis.
+func TestPersistentTelemetryDeterministicAcrossEngineWorkers(t *testing.T) {
+	run := func(workers int) telemetry.Capture {
+		rt := New(Config{
+			GPUs:          2,
+			EngineWorkers: workers,
+			Telemetry:     &telemetry.Config{Enabled: true, BufferSize: 4096},
+		})
+		ps, err := rt.SendInit(0, 1, 3, 0, []byte("persistent payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := rt.RecvInit(1, 0, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			if k == 3 {
+				// A wildcard post on the sealed shadow plus its matching
+				// send: forces one invalidation mid-run.
+				if _, err := rt.PostRecv(1, envelope.AnySource, 3, 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := rt.Send(0, 1, 3, 0, []byte("inj")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := pr.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ps.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := rt.Drain(200); err != nil || !ok {
+				t.Fatalf("iter %d: Drain = %v, %v", k, ok, err)
+			}
+		}
+		st := rt.Stats()
+		if st.CacheSeals == 0 || st.CacheHits == 0 || st.CacheInvalidations == 0 {
+			t.Fatalf("workload did not exercise the cache: %+v", st)
+		}
+		var seals, hits, invalidates int
+		for _, ev := range rt.Recorder().Events() {
+			switch ev.Name {
+			case evCacheSeal:
+				seals++
+			case evCacheHit:
+				hits++
+			case evCacheInvalidate:
+				invalidates++
+			}
+		}
+		if seals != st.CacheSeals || hits != st.CacheHits || invalidates != st.CacheInvalidations {
+			t.Fatalf("event counts %d/%d/%d do not mirror stats %d/%d/%d",
+				seals, hits, invalidates, st.CacheSeals, st.CacheHits, st.CacheInvalidations)
+		}
+		return rt.Recorder().Snapshot()
+	}
+
+	seq, par := run(1), run(4)
+	var ts, tp, ss, sp bytes.Buffer
+	if err := seq.WriteTrace(&ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteTrace(&tp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ts.Bytes(), tp.Bytes()) {
+		t.Error("persistent trace bytes differ between sequential and parallel engines")
+	}
+	if err := seq.WriteSummary(&ss); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteSummary(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ss.Bytes(), sp.Bytes()) {
+		t.Errorf("persistent summaries differ between sequential and parallel engines:\n%s\n---\n%s",
+			ss.String(), sp.String())
+	}
+}

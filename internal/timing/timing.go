@@ -144,6 +144,17 @@ func (m Model) Seconds(cycles float64) float64 {
 	return cycles / m.A.ClockHz()
 }
 
+// PersistentDeliverCycles is the simulated cost of one cached
+// persistent-channel delivery (DESIGN.md §15): the sealed handle-table
+// entry load and the delivery-slot store, both L2-resident by
+// construction (the table is tiny and hot), plus a couple of ALU
+// cycles of bookkeeping. No matching phase runs at all — this is the
+// entire per-message cost, which is why cached re-fire rates sit far
+// above even the hash engine's.
+func (m Model) PersistentDeliverCycles() float64 {
+	return 2*m.P.L2TransCycles + 2
+}
+
 // KernelCycles estimates one kernel launch from its LaunchStats: CTAs
 // run in waves of at most the occupancy limit; CTAs within a wave share
 // the SM, which the model approximates by treating the wave's combined

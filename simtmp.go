@@ -179,6 +179,25 @@ const (
 // NewRuntime creates a message-passing runtime.
 func NewRuntime(cfg RuntimeConfig) *Runtime { return mpx.New(cfg) }
 
+// Persistent channels (DESIGN.md §15): match once, re-fire in O(1)
+// through the sealed match-handle cache. Build with
+// Runtime.SendInit/RecvInit (MPI_Send_init/Recv_init) or the
+// *Partitioned variants (MPI-4 partitioned communication with Pready),
+// re-arm with Start, and observe cache behaviour via the
+// CacheHits/CacheMisses/CacheSeals/CacheInvalidations counters in
+// RuntimeStats. Disable with RuntimeConfig.DisablePersistentCache.
+type (
+	// SendChannel is a persistent send (MPI_Send_init).
+	SendChannel = mpx.PersistentSend
+	// RecvChannel is a persistent receive (MPI_Recv_init).
+	RecvChannel = mpx.PersistentRecv
+	// ChannelStarter is anything StartChannels can re-arm.
+	ChannelStarter = mpx.Starter
+)
+
+// StartChannels re-arms a set of persistent channels (MPI_Startall).
+func StartChannels(handles ...ChannelStarter) error { return mpx.StartAll(handles...) }
+
 // Overload protection: end-to-end credit flow control over bounded
 // queues with deterministic shedding. Configure via
 // RuntimeConfig.UMQCap/PRQCap/StagingCap + Shed; observe via
@@ -436,6 +455,9 @@ type (
 var (
 	// RunRegress executes the tracked benchmark suite.
 	RunRegress = bench.RunRegress
+	// RunRegressOpt is RunRegress with the persistent nocache
+	// gate-validation hook.
+	RunRegressOpt = bench.RunRegressOpt
 	// CompareBench diffs a run against a baseline with a tolerance.
 	CompareBench = bench.Compare
 	// WriteBenchBaseline writes a report as BENCH_<date>.json.
@@ -493,6 +515,32 @@ var (
 	MergeSoakBaseline = bench.MergeSoakBaseline
 	// SoakOnlyBaseline filters a report down to its soak/* records.
 	SoakOnlyBaseline = bench.SoakOnlyBaseline
+)
+
+// Persistent-channel benchmarks (cmd/matchbench -persistent): the seal
+// cache's first-iteration cost, steady-state re-fire rate and hit
+// rate, plus the regression-tracked persist/* profiles.
+type (
+	// PersistProfileResult is one tracked persistent profile outcome.
+	PersistProfileResult = bench.PersistResult
+	// PersistSweepRow is one row of the -persistent iteration sweep.
+	PersistSweepRow = bench.PersistSweepPoint
+)
+
+var (
+	// RunPersistProfiles executes the tracked persist/* profiles.
+	RunPersistProfiles = bench.RunPersistProfiles
+	// PersistBenchRecords converts profile outcomes into records.
+	PersistBenchRecords = bench.PersistRecords
+	// PersistSweep runs the halo proxy across iteration counts.
+	PersistSweep = bench.PersistSweep
+	// PrintPersistSweep renders the -persistent table.
+	PrintPersistSweep = bench.PrintPersistSweep
+	// RunPersistentConformance runs the differential persistent suite
+	// (cached re-fire vs full-engine replay, byte-equal).
+	RunPersistentConformance = conformance.RunPersistent
+	// CheckPersistentCoverage asserts a persistent run was not vacuous.
+	CheckPersistentCoverage = conformance.CheckPersistentCoverage
 )
 
 // printAblations renders all four ablation studies.
