@@ -1,0 +1,309 @@
+// Command mpxcluster is the distributed-runner control CLI:
+//
+//	mpxcluster serve   — run the dispatcher (job queue, worker liveness, journal)
+//	mpxcluster submit  — define a job set; with -wait, collect the merged report
+//	mpxcluster status  — print the dispatcher's status snapshot
+//	mpxcluster drain   — stop assigning; workers finish in-flight jobs and exit
+//	mpxcluster local   — run the same job set in-process (the reference arm)
+//
+// Job sets shard seeded sweeps: bench cells, chaos/persistent
+// conformance fleets (seed ranges), soak profiles. Jobs are pure
+// functions of their specs, so a sharded run's merged report is
+// byte-identical to `mpxcluster local` on the same flags — regardless
+// of worker count, placement, or mid-run worker deaths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"simtmp/internal/bench"
+	"simtmp/internal/cluster"
+	"simtmp/internal/conformance"
+	"simtmp/internal/mpx"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpxcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream;
+// main is a thin shell so tests can drive the whole surface.
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mpxcluster <serve|submit|status|drain|local> [flags] (see -h of each)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return runServe(rest, w)
+	case "submit":
+		return runSubmit(rest, w)
+	case "status":
+		return runStatus(rest, w)
+	case "drain":
+		return runDrain(rest, w)
+	case "local":
+		return runLocal(rest, w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve, submit, status, drain or local)", cmd)
+	}
+}
+
+// runServe hosts the dispatcher until interrupted — or, once a drain
+// has been requested, until the last worker disconnects, so scripted
+// runs (CI) shut down cleanly without signals.
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxcluster serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:9070", "address to listen on (port 0 picks a free one)")
+		journal = fs.String("journal", "", "write-ahead journal path; a restart on the same path resumes the queue")
+		timeout = fs.Duration("heartbeat-timeout", 10*time.Second, "declare a worker dead after this silence")
+		sweep   = fs.Duration("sweep", time.Second, "liveness deadline check interval")
+		retries = fs.Int("max-attempts", 5, "assignments per job before it fails")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+		Transport:        cluster.TCPTransport{},
+		Addr:             *addr,
+		JournalPath:      *journal,
+		HeartbeatTimeout: *timeout,
+		SweepInterval:    *sweep,
+		MaxAttempts:      *retries,
+		Logf:             func(format string, a ...any) { fmt.Fprintf(w, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Fprintf(w, "mpxcluster: dispatcher listening at %s\n", d.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Fprintln(w, "mpxcluster: interrupted, shutting down")
+			return nil
+		case <-tick.C:
+			if st := d.Snapshot(); st.Draining && len(st.Workers) == 0 {
+				fmt.Fprintln(w, "mpxcluster: drained, shutting down")
+				return nil
+			}
+		}
+	}
+}
+
+// jobFlags builds a job set from shared submit/local flags.
+type jobFlags struct {
+	bench     string
+	chaosN    int
+	chaosLv   string
+	persistN  int
+	soak      string
+	soakMsgs  int
+	seed      int64
+	shard     int
+	backpress bool
+	trace     bool
+}
+
+func (jf *jobFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&jf.bench, "bench", "", "comma list of bench cells (fig4,fig5,fig6b,table2) or 'all'")
+	fs.IntVar(&jf.chaosN, "chaos", 0, "chaos conformance workloads per level (0 = none)")
+	fs.StringVar(&jf.chaosLv, "chaos-levels", "all", "comma list of level numbers 0-3, or 'all'")
+	fs.IntVar(&jf.persistN, "persistent", 0, "persistent conformance workloads per level (0 = none)")
+	fs.StringVar(&jf.soak, "soak", "", "comma list of soak profile names")
+	fs.IntVar(&jf.soakMsgs, "soak-messages", 0, "messages per soak seed (0 = profile default)")
+	fs.Int64Var(&jf.seed, "seed", 1, "base seed for conformance fleets and soak profiles")
+	fs.IntVar(&jf.shard, "shard", 50, "workloads per conformance shard job")
+	fs.BoolVar(&jf.backpress, "backpressure", false, "use the bounded-queue chaos contract")
+	fs.BoolVar(&jf.trace, "trace", false, "stream chaos flight-recorder telemetry to the dispatcher")
+}
+
+func (jf *jobFlags) jobs() ([]cluster.JobSpec, error) {
+	var jobs []cluster.JobSpec
+	if jf.bench != "" {
+		cells := strings.Split(jf.bench, ",")
+		if jf.bench == "all" {
+			cells = []string{cluster.BenchFig4, cluster.BenchFig5, cluster.BenchFig6b, cluster.BenchTable2}
+		}
+		jobs = append(jobs, cluster.BenchSweepJobs(cells)...)
+	}
+	levels, err := parseLevels(jf.chaosLv)
+	if err != nil {
+		return nil, err
+	}
+	if jf.chaosN > 0 {
+		chaos := cluster.ChaosFleetJobs(levels, jf.seed, jf.chaosN, jf.shard)
+		for i := range chaos {
+			chaos[i].Backpressure = jf.backpress
+			chaos[i].Trace = jf.trace
+		}
+		jobs = append(jobs, chaos...)
+	}
+	if jf.persistN > 0 {
+		jobs = append(jobs, cluster.PersistentFleetJobs(levels, jf.seed, jf.persistN, jf.shard)...)
+	}
+	if jf.soak != "" {
+		jobs = append(jobs, cluster.SoakJobs(strings.Split(jf.soak, ","), jf.soakMsgs, jf.seed)...)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty job set: pass -bench, -chaos, -persistent and/or -soak")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
+}
+
+func parseLevels(s string) ([]mpx.Level, error) {
+	if s == "" || s == "all" {
+		return conformance.ChaosLevels(), nil
+	}
+	var levels []mpx.Level
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < int(mpx.FullMPI) || n > int(mpx.Unordered) {
+			return nil, fmt.Errorf("bad level %q (want 0-3 or 'all')", part)
+		}
+		levels = append(levels, mpx.Level(n))
+	}
+	return levels, nil
+}
+
+// writeReport lands the canonical report bytes at -out (or summarizes
+// to w), optionally as a dated BENCH baseline for -regress.
+func writeReport(w io.Writer, rep cluster.MergedReport, out, baseline string) error {
+	if out != "" {
+		if err := os.WriteFile(out, rep.CanonicalJSON(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d jobs, %d records)\n", out, rep.Jobs, len(rep.Records))
+	} else {
+		fmt.Fprintf(w, "merged: %d jobs, %d workloads, %d messages, %d records, %d failures\n",
+			rep.Jobs, rep.Workloads, rep.Messages, len(rep.Records), len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+	if baseline != "" {
+		path, err := bench.WriteBaseline(baseline, rep.BenchReport())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote baseline %s\n", path)
+	}
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d conformance failures", len(rep.Failures))
+	}
+	return nil
+}
+
+func runSubmit(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxcluster submit", flag.ContinueOnError)
+	var jf jobFlags
+	jf.register(fs)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9070", "dispatcher address")
+		wait     = fs.Bool("wait", false, "hold the connection until the merged report is ready")
+		out      = fs.String("out", "", "write the merged report's canonical JSON here (-wait only)")
+		baseline = fs.String("baseline", "", "also write a dated BENCH baseline into this directory (-wait only)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jobs, err := jf.jobs()
+	if err != nil {
+		return err
+	}
+	ids, rep, err := cluster.SubmitJobs(cluster.TCPTransport{}, *addr, jobs, *wait)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "submitted %d jobs (ids %d..%d)\n", len(ids), ids[0], ids[len(ids)-1])
+	if !*wait {
+		return nil
+	}
+	return writeReport(w, rep, *out, *baseline)
+}
+
+func runStatus(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxcluster status", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9070", "dispatcher address")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := cluster.FetchStatus(cluster.TCPTransport{}, *addr)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, string(b))
+	return nil
+}
+
+func runDrain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxcluster drain", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9070", "dispatcher address")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cluster.DrainAll(cluster.TCPTransport{}, *addr); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "draining: workers finish in-flight jobs and disconnect")
+	return nil
+}
+
+func runLocal(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxcluster local", flag.ContinueOnError)
+	var jf jobFlags
+	jf.register(fs)
+	var (
+		out      = fs.String("out", "", "write the merged report's canonical JSON here")
+		baseline = fs.String("baseline", "", "also write a dated BENCH baseline into this directory")
+		verbose  = fs.Bool("v", false, "print a progress line per job")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jobs, err := jf.jobs()
+	if err != nil {
+		return err
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = w
+	}
+	rep, err := cluster.RunLocal(jobs, progress)
+	if err != nil {
+		return err
+	}
+	return writeReport(w, rep, *out, *baseline)
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simtmp/internal/cluster"
+)
+
+// syncBuffer is a goroutine-safe output sink for concurrently running
+// subcommands.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestUsageAndBadSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args should error with usage")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown subcommand error: %v", err)
+	}
+}
+
+func TestLocalIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	outA, outB := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	args := []string{"local", "-bench", "fig4,table2", "-chaos", "40", "-chaos-levels", "3", "-seed", "7", "-shard", "20"}
+	var buf bytes.Buffer
+	if err := run(append(args, "-out", outA), &buf); err != nil {
+		t.Fatalf("local A: %v\n%s", err, buf.String())
+	}
+	if err := run(append(args, "-out", outB, "-v"), &buf); err != nil {
+		t.Fatalf("local B: %v\n%s", err, buf.String())
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two local runs differ")
+	}
+	if !strings.Contains(buf.String(), "local: job ") {
+		t.Error("-v should print per-job progress")
+	}
+}
+
+func TestLocalRejectsEmptyAndBadJobSets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"local"}, &buf); err == nil {
+		t.Error("empty job set should error")
+	}
+	if err := run([]string{"local", "-bench", "fig9"}, &buf); err == nil {
+		t.Error("unknown bench cell should error")
+	}
+	if err := run([]string{"local", "-chaos", "10", "-chaos-levels", "7"}, &buf); err == nil {
+		t.Error("bad level should error")
+	}
+}
+
+// TestServeSubmitStatusDrain drives the full CLI quartet over real TCP
+// in-process: serve + two mpxd-equivalent workers, a waiting submit
+// whose report must equal `local` byte-for-byte, then status and
+// drain, after which serve exits on its own.
+func TestServeSubmitStatusDrain(t *testing.T) {
+	dir := t.TempDir()
+	serveOut := &syncBuffer{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"serve", "-addr", "127.0.0.1:0", "-journal", filepath.Join(dir, "journal.jsonl")}, serveOut)
+	}()
+	addrRe := regexp.MustCompile(`listening at (\S+)`)
+	var addr string
+	waitFor(t, "serve to announce its address", func() bool {
+		m := addrRe.FindStringSubmatch(serveOut.String())
+		if m == nil {
+			return false
+		}
+		addr = m[1]
+		return true
+	})
+
+	var workers []*cluster.Worker
+	for i := 0; i < 2; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Transport: cluster.TCPTransport{}, Addr: addr,
+			Name: "cli", Capacity: 2, HeartbeatInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartWorker %d: %v", i, err)
+		}
+		workers = append(workers, w)
+	}
+
+	jobArgs := []string{"-bench", "table2", "-chaos", "60", "-chaos-levels", "0,3", "-seed", "11", "-shard", "20"}
+	clusterJSON := filepath.Join(dir, "cluster.json")
+	var buf bytes.Buffer
+	if err := run(append([]string{"submit", "-addr", addr, "-wait", "-out", clusterJSON}, jobArgs...), &buf); err != nil {
+		t.Fatalf("submit: %v\n%s", err, buf.String())
+	}
+	localJSON := filepath.Join(dir, "local.json")
+	if err := run(append([]string{"local", "-out", localJSON}, jobArgs...), &buf); err != nil {
+		t.Fatalf("local: %v\n%s", err, buf.String())
+	}
+	cj, err := os.ReadFile(clusterJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := os.ReadFile(localJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj, lj) {
+		t.Fatal("wire-submitted report differs from local run")
+	}
+
+	buf.Reset()
+	if err := run([]string{"status", "-addr", addr}, &buf); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"done":`) || !strings.Contains(buf.String(), `"workers"`) {
+		t.Errorf("status output missing fields:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"drain", "-addr", addr}, &buf); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("serve exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after drain")
+	}
+	if !strings.Contains(serveOut.String(), "drained, shutting down") {
+		t.Error("serve should log its drained shutdown")
+	}
+}

@@ -1,0 +1,70 @@
+// Command mpxd is the cluster worker daemon: it dials a dispatcher
+// (mpxcluster serve), announces its name and concurrent-job capacity,
+// heartbeats, executes assigned jobs (bench sweep cells, conformance
+// shards, soak profiles — all pure functions of their specs), and
+// streams progress, telemetry chunks and typed results back over the
+// checksummed frame protocol. It exits 0 when the dispatcher drains
+// it, non-zero when the connection is lost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"simtmp/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpxd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the daemon against the given arguments and output
+// stream; main is a thin shell so tests can drive the whole surface.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mpxd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:9070", "dispatcher address to dial")
+		name      = fs.String("name", hostDefault(), "announced worker name (dispatcher may uniquify)")
+		capacity  = fs.Int("capacity", 1, "concurrent job capacity to announce")
+		heartbeat = fs.Duration("heartbeat", time.Second, "liveness beacon interval")
+		quiet     = fs.Bool("q", false, "suppress per-job log lines")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(w, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	worker, err := cluster.StartWorker(cluster.WorkerConfig{
+		Transport:         cluster.TCPTransport{},
+		Addr:              *addr,
+		Name:              *name,
+		Capacity:          *capacity,
+		HeartbeatInterval: *heartbeat,
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mpxd: registered as %s (capacity %d) at %s\n", worker.Name(), *capacity, *addr)
+	if err := worker.Wait(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mpxd: %s drained, exiting\n", worker.Name())
+	return nil
+}
+
+func hostDefault() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "mpxd"
+}

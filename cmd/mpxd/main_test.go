@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simtmp/internal/cluster"
+)
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonServesAndDrains runs the daemon against an in-process TCP
+// dispatcher: it must register, execute an assigned job, and exit 0
+// when drained.
+func TestDaemonServesAndDrains(t *testing.T) {
+	d, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+		Transport: cluster.TCPTransport{},
+		Addr:      "127.0.0.1:0",
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	out := &syncBuffer{}
+	daemonErr := make(chan error, 1)
+	go func() {
+		daemonErr <- run([]string{"-addr", d.Addr(), "-name", "testd", "-capacity", "2", "-heartbeat", "50ms"}, out)
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(d.Snapshot().Workers) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ws := d.Snapshot().Workers; len(ws) != 1 || ws[0].Name != "testd" || ws[0].Capacity != 2 {
+		t.Fatalf("daemon registration: %+v", ws)
+	}
+
+	if _, err := d.Submit(cluster.BenchSweepJobs([]string{cluster.BenchTable2})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WaitAll(30 * time.Second); err != nil {
+		t.Fatalf("job on daemon: %v", err)
+	}
+
+	d.Drain()
+	select {
+	case err := <-daemonErr:
+		if err != nil {
+			t.Fatalf("daemon exit after drain: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after drain")
+	}
+	for _, want := range []string{"registered as testd", "drained, exiting"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("daemon output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDaemonLostConnectionIsAnError: a dispatcher vanishing mid-life
+// must surface as a non-zero exit, not a silent drain.
+func TestDaemonLostConnectionIsAnError(t *testing.T) {
+	d, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+		Transport: cluster.TCPTransport{},
+		Addr:      "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &syncBuffer{}
+	daemonErr := make(chan error, 1)
+	go func() {
+		daemonErr <- run([]string{"-addr", d.Addr(), "-q"}, out)
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(d.Snapshot().Workers) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.Close()
+	select {
+	case err := <-daemonErr:
+		if err == nil {
+			t.Error("lost connection should be a daemon error")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not notice the lost dispatcher")
+	}
+}
+
+func TestDaemonBadFlagsAndUnreachable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1"}, &buf); err == nil {
+		t.Error("unreachable dispatcher should error")
+	}
+}

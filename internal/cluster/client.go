@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SubmitJobs dials a dispatcher and defines jobs. With wait set it
+// holds the connection until every job settles and returns the merged
+// report; otherwise the report is zero and only the IDs return.
+func SubmitJobs(t Transport, addr string, jobs []JobSpec, wait bool) ([]JobID, MergedReport, error) {
+	c, err := t.Dial(addr)
+	if err != nil {
+		return nil, MergedReport{}, fmt.Errorf("cluster: submit dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	if err := sendMsg(c, msgSubmit, submitMsg{Jobs: jobs, Wait: wait}); err != nil {
+		return nil, MergedReport{}, err
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		return nil, MergedReport{}, fmt.Errorf("cluster: submit awaiting ack: %w", err)
+	}
+	if f.Type == msgError {
+		e, _ := decodeMsg[errorMsg](f)
+		return nil, MergedReport{}, errors.New(e.Err)
+	}
+	ack, err := decodeMsg[submitAckMsg](f)
+	if err != nil {
+		return nil, MergedReport{}, err
+	}
+	if !wait {
+		return ack.IDs, MergedReport{}, nil
+	}
+	f, err = c.ReadFrame()
+	if err != nil {
+		return ack.IDs, MergedReport{}, fmt.Errorf("cluster: submit awaiting report: %w", err)
+	}
+	rep, err := decodeMsg[reportMsg](f)
+	if err != nil {
+		return ack.IDs, MergedReport{}, err
+	}
+	if rep.Failed > 0 {
+		return ack.IDs, rep.Report, fmt.Errorf("cluster: %d jobs failed (first: %s)", rep.Failed, rep.Err)
+	}
+	return ack.IDs, rep.Report, nil
+}
+
+// FetchStatus dials a dispatcher and returns its status snapshot.
+func FetchStatus(t Transport, addr string) (Status, error) {
+	c, err := t.Dial(addr)
+	if err != nil {
+		return Status{}, fmt.Errorf("cluster: status dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	if err := sendMsg(c, msgStatus, struct{}{}); err != nil {
+		return Status{}, err
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		return Status{}, fmt.Errorf("cluster: status awaiting reply: %w", err)
+	}
+	return decodeMsg[Status](f)
+}
+
+// DrainAll dials a dispatcher and asks it to drain: stop assigning and
+// tell every worker to finish in-flight jobs and disconnect.
+func DrainAll(t Transport, addr string) error {
+	c, err := t.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: drain dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	if err := sendMsg(c, msgDrainAll, struct{}{}); err != nil {
+		return err
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("cluster: drain awaiting ack: %w", err)
+	}
+	if f.Type == msgError {
+		e, _ := decodeMsg[errorMsg](f)
+		return errors.New(e.Err)
+	}
+	return nil
+}

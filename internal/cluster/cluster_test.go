@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"simtmp/internal/conformance"
+	"simtmp/internal/mpx"
+	"simtmp/internal/telemetry"
+)
+
+// killBusyWorker polls until some worker has a job in flight, kills
+// it, and returns once the dispatcher has registered the loss.
+func killBusyWorker(t *testing.T, d *Dispatcher, workers []*Worker) {
+	t.Helper()
+	byName := make(map[string]*Worker, len(workers))
+	for _, w := range workers {
+		byName[w.Name()] = w
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := d.Snapshot()
+		for _, ws := range st.Workers {
+			if ws.Inflight > 0 {
+				w := byName[ws.Name]
+				if w == nil {
+					t.Fatalf("unknown worker %q in snapshot", ws.Name)
+				}
+				t.Logf("killing worker %s with %d jobs in flight", ws.Name, ws.Inflight)
+				w.Kill()
+				waitSnapshot(t, d, func(st Status) bool { return st.WorkersLost >= 1 })
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no worker ever had a job in flight")
+}
+
+// TestClusterShardedRunByteIdenticalToLocal is the headline
+// equivalence contract from the issue: a bench sweep plus a 1000-seed
+// chaos conformance fleet, sharded over 3 loopback workers with one
+// worker killed mid-run, merges to the byte-identical report an
+// unfailed in-process run produces.
+func TestClusterShardedRunByteIdenticalToLocal(t *testing.T) {
+	const seed, fleetN = 20250808, 250 // ×4 levels = 1000 workloads
+	jobs := append(
+		BenchSweepJobs([]string{BenchFig4, BenchFig5, BenchFig6b, BenchTable2}),
+		ChaosFleetJobs(conformance.ChaosLevels(), seed, fleetN, 50)...,
+	)
+
+	lb := NewLoopback()
+	d := newTestDispatcher(t, lb, "")
+	workers := startTestWorkers(t, lb, 3, 1)
+	if _, err := d.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	killBusyWorker(t, d, workers)
+	rep, err := d.WaitAll(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Snapshot()
+	if st.WorkersLost < 1 {
+		t.Errorf("worker death not registered: %+v", st)
+	}
+	if st.Done != len(jobs) || st.Failed != 0 {
+		t.Fatalf("status %+v: want all %d jobs done", st, len(jobs))
+	}
+	t.Logf("cluster status: %d reassigned, %d dup results, %d workers lost",
+		st.Reassigned, st.DupResults, st.WorkersLost)
+
+	local, err := RunLocal(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := rep.CanonicalJSON(), local.CanonicalJSON()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded report differs from in-process run:\ncluster %d bytes, local %d bytes", len(got), len(want))
+	}
+	if len(rep.Failures) != 0 {
+		t.Errorf("conformance failures: %v", rep.Failures)
+	}
+}
+
+// TestClusterTCPEndToEnd runs the whole control plane over real
+// sockets: dispatcher on 127.0.0.1, three TCP workers, a waiting wire
+// submit — and the same byte-identity contract.
+func TestClusterTCPEndToEnd(t *testing.T) {
+	tr := TCPTransport{}
+	d, err := NewDispatcher(DispatcherConfig{
+		Transport:        tr,
+		Addr:             "127.0.0.1:0",
+		HeartbeatTimeout: time.Hour,
+		SweepInterval:    time.Hour,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewDispatcher over TCP: %v", err)
+	}
+	defer d.Close()
+	var workers []*Worker
+	for i := 0; i < 3; i++ {
+		w, err := StartWorker(WorkerConfig{
+			Transport:         tr,
+			Addr:              d.Addr(),
+			Name:              "tcp",
+			Capacity:          2,
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartWorker %d: %v", i, err)
+		}
+		workers = append(workers, w)
+	}
+	jobs := append(
+		BenchSweepJobs([]string{BenchFig4, BenchTable2}),
+		ChaosFleetJobs([]mpx.Level{mpx.FullMPI, mpx.Unordered}, 17, 60, 20)...,
+	)
+	ids, rep, err := SubmitJobs(tr, d.Addr(), jobs, true)
+	if err != nil {
+		t.Fatalf("SubmitJobs: %v", err)
+	}
+	if len(ids) != len(jobs) {
+		t.Fatalf("acked %d ids, want %d", len(ids), len(jobs))
+	}
+	local, err := RunLocal(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.CanonicalJSON(), local.CanonicalJSON()) {
+		t.Fatal("TCP wire-submitted report differs from in-process run")
+	}
+	st, err := FetchStatus(tr, d.Addr())
+	if err != nil {
+		t.Fatalf("FetchStatus: %v", err)
+	}
+	if st.Done != len(jobs) || len(st.Workers) != 3 {
+		t.Errorf("status %+v: want %d done on 3 workers", st, len(jobs))
+	}
+	if err := DrainAll(tr, d.Addr()); err != nil {
+		t.Fatalf("DrainAll: %v", err)
+	}
+	for _, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker exit after drain: %v", err)
+		}
+	}
+}
+
+// TestClusterTelemetryStreaming: a traced chaos shard streams its
+// flight-recorder chunks through the worker connection; concatenated
+// at the dispatcher they are byte-identical to tracing the same
+// workloads in-process.
+func TestClusterTelemetryStreaming(t *testing.T) {
+	spec := JobSpec{
+		Kind: KindChaos, Level: int(mpx.Unordered),
+		Seed: 6, Start: 3, Count: 4, Trace: true, Name: "chaos/traced",
+	}
+	lb := NewLoopback()
+	d := newTestDispatcher(t, lb, "")
+	startTestWorkers(t, lb, 1, 1)
+	ids, err := d.Submit([]JobSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WaitAll(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var streamed []byte
+	waitSnapshot(t, d, func(st Status) bool {
+		streamed = d.Telemetry(ids[0])
+		return len(streamed) > 0
+	})
+
+	// In-process reference: the identical traced workloads, streaming
+	// to a plain buffer.
+	var want bytes.Buffer
+	for k := 0; k < spec.Count; k++ {
+		_, _, rec, err := conformance.ChaosWorkloadTraced(
+			mpx.Level(spec.Level), spec.Seed, spec.Start+k, conformance.ChaosMix(),
+			telemetry.Config{BufferSize: 4096, Stream: &telemetry.StreamConfig{W: &want}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.CloseStream(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(streamed, want.Bytes()) {
+		t.Fatalf("streamed telemetry (%d bytes) differs from in-process trace (%d bytes)",
+			len(streamed), want.Len())
+	}
+}
+
+// TestClusterSoakAndPersistentJobs covers the remaining job kinds end
+// to end over the cluster.
+func TestClusterSoakAndPersistentJobs(t *testing.T) {
+	jobs := append(
+		PersistentFleetJobs([]mpx.Level{mpx.FullMPI, mpx.Unordered}, 8, 40, 20),
+		SoakJobs([]string{"steady"}, 400, 99)...,
+	)
+	lb := NewLoopback()
+	d := newTestDispatcher(t, lb, "")
+	startTestWorkers(t, lb, 2, 1)
+	if _, err := d.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.WaitAll(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunLocal(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.CanonicalJSON(), local.CanonicalJSON()) {
+		t.Fatal("persistent+soak cluster report differs from in-process run")
+	}
+}

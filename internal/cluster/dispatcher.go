@@ -1,0 +1,766 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"simtmp/internal/proto"
+)
+
+// Job states. Queued → Assigned → Running → Done|Failed, with
+// Assigned/Running falling back to Queued when the executing worker
+// dies (at-least-once; sound because jobs are pure).
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobAssigned
+	JobRunning
+	JobDone
+	JobFailed
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobAssigned:
+		return "assigned"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// DispatcherConfig parameterizes a dispatcher.
+type DispatcherConfig struct {
+	// Transport and Addr select the fabric and bind address.
+	Transport Transport
+	Addr      string
+	// JournalPath, when set, write-ahead journals submitted jobs and
+	// their outcomes so a restarted dispatcher resumes the queue.
+	JournalPath string
+	// HeartbeatTimeout is the liveness deadline: a worker silent for
+	// longer is declared dead and its jobs requeue (default 10s).
+	HeartbeatTimeout time.Duration
+	// SweepInterval is the deadline-check cadence (default 1s).
+	SweepInterval time.Duration
+	// MaxAttempts bounds assignments per job before it fails (default
+	// 5) — the backstop against a job that kills every worker.
+	MaxAttempts int
+	// Logf, when set, receives control-plane events.
+	Logf func(format string, args ...any)
+}
+
+func (c DispatcherConfig) withDefaults() DispatcherConfig {
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+type jobEntry struct {
+	spec     JobSpec
+	state    JobState
+	worker   string
+	attempts int
+	result   *JobResult
+	errMsg   string
+	done     int
+	total    int
+}
+
+type workerEntry struct {
+	name     string
+	conn     Conn
+	capacity int
+	inflight map[JobID]struct{}
+	lastBeat time.Time
+}
+
+// Dispatcher owns all job state: the queue of defined jobs, worker
+// registration and liveness, assignment, result collection and the
+// journal. One dispatcher serves workers and control clients over any
+// Transport.
+type Dispatcher struct {
+	cfg DispatcherConfig
+	ln  Listener
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[JobID]*jobEntry
+	order     []JobID // submission order (merge order)
+	queue     []JobID // runnable, FIFO; requeues go to the front
+	workers   map[string]*workerEntry
+	telemetry map[JobID][]byte
+	nextJob   JobID
+	nextName  int
+	draining  bool
+	closed    bool
+
+	dupResults    int
+	reassigned    int
+	workersLost   int
+	corruptFrames int
+
+	journal   *journal
+	stopSweep chan struct{}
+	loops     sync.WaitGroup
+}
+
+// NewDispatcher replays the journal (when configured), binds the
+// listener and starts serving. Close releases everything.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, errors.New("cluster: DispatcherConfig.Transport is nil")
+	}
+	d := &Dispatcher{
+		cfg:       cfg,
+		jobs:      make(map[JobID]*jobEntry),
+		workers:   make(map[string]*workerEntry),
+		telemetry: make(map[JobID][]byte),
+		stopSweep: make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	if cfg.JournalPath != "" {
+		entries, err := replayJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		d.restore(entries)
+		j, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		d.journal = j
+	}
+	ln, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		if d.journal != nil {
+			d.journal.close()
+		}
+		return nil, err
+	}
+	d.ln = ln
+	d.loops.Add(2)
+	go d.acceptLoop()
+	go d.sweepLoop()
+	return d, nil
+}
+
+// restore rebuilds job state from journal entries: defined jobs whose
+// outcome was journaled come back done/failed; the rest re-queue.
+func (d *Dispatcher) restore(entries []journalEntry) {
+	for _, e := range entries {
+		switch e.Op {
+		case "job":
+			if e.Job == nil {
+				continue
+			}
+			spec := *e.Job
+			d.jobs[spec.ID] = &jobEntry{spec: spec, total: 1}
+			d.order = append(d.order, spec.ID)
+			if spec.ID >= d.nextJob {
+				d.nextJob = spec.ID
+			}
+		case "done":
+			if e.Result == nil {
+				continue
+			}
+			if j, ok := d.jobs[e.Result.Job]; ok {
+				res := *e.Result
+				j.state, j.result, j.done = JobDone, &res, j.total
+			}
+		case "failed":
+			if j, ok := d.jobs[e.ID]; ok {
+				j.state, j.errMsg = JobFailed, e.Err
+			}
+		}
+	}
+	for _, id := range d.order {
+		if j := d.jobs[id]; j.state != JobDone && j.state != JobFailed {
+			j.state = JobQueued
+			d.queue = append(d.queue, id)
+		}
+	}
+	if n := len(d.order); n > 0 {
+		d.cfg.Logf("cluster: journal restored %d jobs (%d still queued)", n, len(d.queue))
+	}
+}
+
+// Addr is the bound listen address (for TCP with port 0, the resolved
+// one).
+func (d *Dispatcher) Addr() string { return d.ln.Addr() }
+
+// Submit defines jobs: IDs are assigned in submission order, specs are
+// journaled write-ahead, and assignment to idle workers starts
+// immediately. It is the in-process twin of a wire msgSubmit.
+func (d *Dispatcher) Submit(jobs []JobSpec) ([]JobID, error) {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, errors.New("cluster: dispatcher closed")
+	}
+	ids := make([]JobID, 0, len(jobs))
+	for _, spec := range jobs {
+		d.nextJob++
+		spec.ID = d.nextJob
+		if err := d.journal.append(journalEntry{Op: "job", Job: &spec}); err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
+		d.jobs[spec.ID] = &jobEntry{spec: spec, total: 1}
+		d.order = append(d.order, spec.ID)
+		d.queue = append(d.queue, spec.ID)
+		ids = append(ids, spec.ID)
+	}
+	d.mu.Unlock()
+	d.pump()
+	return ids, nil
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (d *Dispatcher) acceptLoop() {
+	defer d.loops.Done()
+	for {
+		c, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.handleConn(c)
+	}
+}
+
+// sweepLoop enforces heartbeat deadlines.
+func (d *Dispatcher) sweepLoop() {
+	defer d.loops.Done()
+	t := time.NewTicker(d.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.ExpireWorkers(time.Now())
+		case <-d.stopSweep:
+			return
+		}
+	}
+}
+
+// ExpireWorkers declares workers dead whose last heartbeat is older
+// than the liveness deadline, requeueing their in-flight jobs. The
+// sweeper calls it with the wall clock; tests call it directly with a
+// synthetic now.
+func (d *Dispatcher) ExpireWorkers(now time.Time) {
+	d.mu.Lock()
+	var dead []string
+	for name, w := range d.workers {
+		if now.Sub(w.lastBeat) > d.cfg.HeartbeatTimeout {
+			dead = append(dead, name)
+		}
+	}
+	d.mu.Unlock()
+	sort.Strings(dead)
+	for _, name := range dead {
+		d.cfg.Logf("cluster: worker %s missed its heartbeat deadline", name)
+		d.workerLost(name)
+	}
+}
+
+// handleConn classifies a connection by its first frame: workers say
+// hello and stay; control clients issue one request.
+func (d *Dispatcher) handleConn(c Conn) {
+	f, err := c.ReadFrame()
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch f.Type {
+	case msgHello:
+		hello, err := decodeMsg[helloMsg](f)
+		if err != nil {
+			c.Close()
+			return
+		}
+		d.serveWorker(c, hello)
+	case msgSubmit:
+		sub, err := decodeMsg[submitMsg](f)
+		if err != nil {
+			c.Close()
+			return
+		}
+		d.serveSubmit(c, sub)
+	case msgStatus:
+		sendMsg(c, msgStatusReply, d.Snapshot())
+		c.Close()
+	case msgDrainAll:
+		d.Drain()
+		sendMsg(c, msgOK, struct{}{})
+		c.Close()
+	default:
+		sendMsg(c, msgError, errorMsg{Err: fmt.Sprintf("unexpected first frame type %d", f.Type)})
+		c.Close()
+	}
+}
+
+// serveSubmit defines the jobs and, for a waiting submit, holds the
+// connection until they complete and ships the merged report.
+func (d *Dispatcher) serveSubmit(c Conn, sub submitMsg) {
+	ids, err := d.Submit(sub.Jobs)
+	if err != nil {
+		sendMsg(c, msgError, errorMsg{Err: err.Error()})
+		c.Close()
+		return
+	}
+	if err := sendMsg(c, msgSubmitAck, submitAckMsg{IDs: ids}); err != nil {
+		c.Close()
+		return
+	}
+	if !sub.Wait {
+		c.Close()
+		return
+	}
+	rep, failed, errMsg := d.waitFor(ids)
+	sendMsg(c, msgReport, reportMsg{Report: rep, Failed: failed, Err: errMsg})
+	c.Close()
+}
+
+// waitFor blocks until every listed job is done or failed (or the
+// dispatcher closes) and merges their results in ID order.
+func (d *Dispatcher) waitFor(ids []JobID) (MergedReport, int, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		settled := 0
+		for _, id := range ids {
+			if j, ok := d.jobs[id]; ok && (j.state == JobDone || j.state == JobFailed) {
+				settled++
+			}
+		}
+		if settled == len(ids) || d.closed {
+			break
+		}
+		d.cond.Wait()
+	}
+	return d.mergeLocked(ids)
+}
+
+func (d *Dispatcher) mergeLocked(ids []JobID) (MergedReport, int, string) {
+	var results []JobResult
+	failed, errMsg := 0, ""
+	for _, id := range ids {
+		j, ok := d.jobs[id]
+		if !ok {
+			continue
+		}
+		switch j.state {
+		case JobDone:
+			results = append(results, *j.result)
+		case JobFailed:
+			failed++
+			if errMsg == "" {
+				errMsg = fmt.Sprintf("job %d %s: %s", id, j.spec.Name, j.errMsg)
+			}
+		default:
+			failed++
+			if errMsg == "" {
+				errMsg = fmt.Sprintf("job %d %s: dispatcher closed while %s", id, j.spec.Name, j.state)
+			}
+		}
+	}
+	return MergeResults(results), failed, errMsg
+}
+
+// WaitAll blocks until every submitted job settles (or the timeout
+// passes, or the dispatcher closes) and returns the merged report. A
+// zero timeout waits forever.
+func (d *Dispatcher) WaitAll(timeout time.Duration) (MergedReport, error) {
+	var timer *time.Timer
+	expired := false
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			d.mu.Lock()
+			expired = true
+			d.mu.Unlock()
+			d.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
+	d.mu.Lock()
+	for !d.allSettledLocked() && !d.closed && !expired {
+		d.cond.Wait()
+	}
+	if !d.allSettledLocked() {
+		ids := append([]JobID(nil), d.order...)
+		d.mu.Unlock()
+		if expired {
+			return MergedReport{}, fmt.Errorf("cluster: %d jobs unsettled after %v", d.unsettled(ids), timeout)
+		}
+		return MergedReport{}, errors.New("cluster: dispatcher closed with jobs unsettled")
+	}
+	ids := append([]JobID(nil), d.order...)
+	rep, failed, errMsg := d.mergeLocked(ids)
+	d.mu.Unlock()
+	if failed > 0 {
+		return rep, fmt.Errorf("cluster: %d jobs failed (first: %s)", failed, errMsg)
+	}
+	return rep, nil
+}
+
+func (d *Dispatcher) allSettledLocked() bool {
+	if len(d.order) == 0 {
+		return false
+	}
+	for _, id := range d.order {
+		if j := d.jobs[id]; j.state != JobDone && j.state != JobFailed {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Dispatcher) unsettled(ids []JobID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if j, ok := d.jobs[id]; ok && j.state != JobDone && j.state != JobFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// serveWorker registers the worker and processes its frames until the
+// connection dies or drains.
+func (d *Dispatcher) serveWorker(c Conn, hello helloMsg) {
+	if hello.Capacity <= 0 {
+		hello.Capacity = 1
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		c.Close()
+		return
+	}
+	name := hello.Name
+	if name == "" {
+		name = "worker"
+	}
+	if _, taken := d.workers[name]; taken {
+		d.nextName++
+		name = fmt.Sprintf("%s#%d", name, d.nextName)
+	}
+	w := &workerEntry{
+		name: name, conn: c, capacity: hello.Capacity,
+		inflight: make(map[JobID]struct{}), lastBeat: time.Now(),
+	}
+	d.workers[name] = w
+	draining := d.draining
+	d.mu.Unlock()
+	d.cfg.Logf("cluster: worker %s joined (capacity %d)", name, hello.Capacity)
+	if err := sendMsg(c, msgWelcome, welcomeMsg{Worker: name}); err != nil {
+		d.workerLost(name)
+		return
+	}
+	if draining {
+		sendMsg(c, msgDrain, struct{}{})
+	}
+	d.pump()
+	for {
+		f, err := c.ReadFrame()
+		if err != nil {
+			if errors.Is(err, proto.ErrFrameCorrupt) || errors.Is(err, proto.ErrFrameOversize) {
+				d.mu.Lock()
+				d.corruptFrames++
+				d.mu.Unlock()
+				d.cfg.Logf("cluster: worker %s sent a corrupt frame: %v", name, err)
+			}
+			d.workerLost(name)
+			return
+		}
+		d.touch(name)
+		switch f.Type {
+		case msgHeartbeat:
+			// touch above is the whole effect
+		case msgProgress:
+			if p, err := decodeMsg[progressMsg](f); err == nil {
+				d.onProgress(p)
+			}
+		case msgTelemetry:
+			if tm, err := decodeMsg[telemetryMsg](f); err == nil {
+				d.mu.Lock()
+				d.telemetry[tm.Job] = append(d.telemetry[tm.Job], tm.Chunk...)
+				d.mu.Unlock()
+			}
+		case msgResult:
+			if r, err := decodeMsg[resultMsg](f); err == nil {
+				d.onResult(name, r)
+			}
+		}
+	}
+}
+
+// touch refreshes a worker's liveness deadline — any frame counts as a
+// heartbeat.
+func (d *Dispatcher) touch(name string) {
+	d.mu.Lock()
+	if w, ok := d.workers[name]; ok {
+		w.lastBeat = time.Now()
+	}
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) onProgress(p progressMsg) {
+	d.mu.Lock()
+	if j, ok := d.jobs[p.Job]; ok && j.state == JobAssigned {
+		j.state = JobRunning
+	}
+	if j, ok := d.jobs[p.Job]; ok {
+		j.done, j.total = p.Done, p.Total
+	}
+	d.mu.Unlock()
+}
+
+// onResult settles a job. Duplicate deliveries (reassignment races,
+// retransmitting workers) are counted and dropped — results are pure
+// functions of the spec, so first-wins is also any-wins.
+func (d *Dispatcher) onResult(worker string, r resultMsg) {
+	d.mu.Lock()
+	if w, ok := d.workers[worker]; ok {
+		delete(w.inflight, r.Result.Job)
+	}
+	j, ok := d.jobs[r.Result.Job]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	if j.state == JobDone || j.state == JobFailed {
+		d.dupResults++
+		d.mu.Unlock()
+		d.pump()
+		return
+	}
+	var jerr error
+	if r.Failed {
+		j.state, j.errMsg = JobFailed, r.Err
+		jerr = d.journal.append(journalEntry{Op: "failed", ID: j.spec.ID, Err: r.Err})
+		d.cfg.Logf("cluster: job %d %s failed on %s: %s", j.spec.ID, j.spec.Name, worker, r.Err)
+	} else {
+		res := r.Result
+		j.state, j.result, j.done = JobDone, &res, j.total
+		jerr = d.journal.append(journalEntry{Op: "done", Result: &res})
+	}
+	if jerr != nil {
+		d.cfg.Logf("cluster: journal append: %v", jerr)
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+	d.pump()
+}
+
+// workerLost deregisters a worker and requeues its in-flight jobs (to
+// the queue front, so interrupted work resumes first). Jobs that have
+// burned MaxAttempts fail instead of cycling forever.
+func (d *Dispatcher) workerLost(name string) {
+	d.mu.Lock()
+	w, ok := d.workers[name]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.workers, name)
+	requeued := 0
+	var ids []JobID
+	for id := range w.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := len(ids) - 1; i >= 0; i-- { // reversed: front-push keeps ID order
+		id := ids[i]
+		j, ok := d.jobs[id]
+		if !ok || (j.state != JobAssigned && j.state != JobRunning) || j.worker != name {
+			continue
+		}
+		if j.attempts >= d.cfg.MaxAttempts {
+			j.state = JobFailed
+			j.errMsg = fmt.Sprintf("gave up after %d assignments (workers keep dying under it)", j.attempts)
+			if err := d.journal.append(journalEntry{Op: "failed", ID: id, Err: j.errMsg}); err != nil {
+				d.cfg.Logf("cluster: journal append: %v", err)
+			}
+			continue
+		}
+		j.state, j.worker, j.done = JobQueued, "", 0
+		d.queue = append([]JobID{id}, d.queue...)
+		requeued++
+	}
+	if !d.draining || requeued > 0 {
+		d.workersLost++
+	}
+	d.reassigned += requeued
+	conn := w.conn
+	d.mu.Unlock()
+	conn.Close()
+	if requeued > 0 {
+		d.cfg.Logf("cluster: worker %s lost, %d jobs requeued", name, requeued)
+	}
+	d.cond.Broadcast()
+	d.pump()
+}
+
+// pump assigns queued jobs to workers with spare capacity, workers in
+// name order. Sends happen outside the lock; a failed send surfaces as
+// a lost worker, which requeues and pumps again.
+func (d *Dispatcher) pump() {
+	type assignment struct {
+		conn Conn
+		name string
+		spec JobSpec
+	}
+	d.mu.Lock()
+	if d.draining || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	var sends []assignment
+	names := make([]string, 0, len(d.workers))
+	for name := range d.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := d.workers[name]
+		for len(w.inflight) < w.capacity && len(d.queue) > 0 {
+			id := d.queue[0]
+			d.queue = d.queue[1:]
+			j := d.jobs[id]
+			j.state, j.worker = JobAssigned, name
+			j.attempts++
+			w.inflight[id] = struct{}{}
+			sends = append(sends, assignment{conn: w.conn, name: name, spec: j.spec})
+		}
+	}
+	d.mu.Unlock()
+	var failed []string
+	for _, a := range sends {
+		if err := sendMsg(a.conn, msgAssign, assignMsg{Job: a.spec}); err != nil {
+			failed = append(failed, a.name)
+		}
+	}
+	for _, name := range failed {
+		d.workerLost(name)
+	}
+}
+
+// Telemetry returns the chunks streamed back for a job so far,
+// concatenated — a complete trace-event document per traced workload.
+func (d *Dispatcher) Telemetry(id JobID) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.telemetry[id]...)
+}
+
+// Snapshot reports the dispatcher's observable state.
+func (d *Dispatcher) Snapshot() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Status{
+		Jobs:          len(d.jobs),
+		DupResults:    d.dupResults,
+		Reassigned:    d.reassigned,
+		WorkersLost:   d.workersLost,
+		CorruptFrames: d.corruptFrames,
+		Draining:      d.draining,
+	}
+	for _, j := range d.jobs {
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobAssigned:
+			st.Assigned++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		}
+	}
+	names := make([]string, 0, len(d.workers))
+	for name := range d.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := d.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name: name, Capacity: w.capacity, Inflight: len(w.inflight),
+		})
+	}
+	return st
+}
+
+// Drain stops assigning and tells every worker to finish in-flight
+// jobs and disconnect. Queued jobs stay defined (and journaled) for a
+// later dispatcher.
+func (d *Dispatcher) Drain() {
+	d.mu.Lock()
+	d.draining = true
+	conns := make([]Conn, 0, len(d.workers))
+	for _, w := range d.workers {
+		conns = append(conns, w.conn)
+	}
+	d.mu.Unlock()
+	for _, c := range conns {
+		sendMsg(c, msgDrain, struct{}{})
+	}
+	d.cond.Broadcast()
+}
+
+// Close shuts the dispatcher down: listener, sweeper, worker
+// connections, journal. Unsettled jobs remain journaled.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	conns := make([]Conn, 0, len(d.workers))
+	for _, w := range d.workers {
+		conns = append(conns, w.conn)
+	}
+	d.workers = make(map[string]*workerEntry)
+	d.mu.Unlock()
+	close(d.stopSweep)
+	d.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	d.cond.Broadcast()
+	d.loops.Wait()
+	return d.journal.close()
+}

@@ -1,0 +1,451 @@
+// Package cluster is the distributed runner: a dispatcher that owns a
+// queue of defined jobs and mpxd worker daemons that announce capacity,
+// execute jobs, and stream progress, telemetry chunks and typed result
+// records back over a length-prefixed checksummed frame protocol
+// (internal/proto) — real TCP in production, an in-memory loopback
+// transport in tests and CI.
+//
+// Every job is a pure function of its spec: bench sweep cells,
+// chaos/persistent conformance shards (seed ranges) and soak profiles
+// are all deterministic per seed, so jobs are idempotent — the
+// dispatcher reassigns work from dead workers at-least-once and merges
+// whichever result arrives first, and a sharded run's merged records
+// are byte-identical to the same jobs run in-process (RunLocal). The
+// dispatcher/worker split follows the SIMQ scheduler design: the
+// dispatcher maintains all job state, workers contact it, announce
+// capacity, and report back with results.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"simtmp/internal/bench"
+	"simtmp/internal/conformance"
+	"simtmp/internal/mpx"
+	"simtmp/internal/soak"
+	"simtmp/internal/telemetry"
+)
+
+// JobID identifies one job within a dispatcher (assigned at submit in
+// submission order, 1-based; results merge in ID order).
+type JobID int64
+
+// Job kinds.
+const (
+	// KindBench runs one bench sweep cell (a whole figure or table)
+	// and emits its simulated-rate records with regress-compatible
+	// names.
+	KindBench = "bench"
+	// KindChaos runs a contiguous seed range of chaos-conformance
+	// workloads at one semantic level.
+	KindChaos = "chaos"
+	// KindPersistent runs a seed range of persistent differential
+	// conformance workloads at one semantic level.
+	KindPersistent = "persistent"
+	// KindSoak runs one tracked soak profile as a 3-seed suite.
+	KindSoak = "soak"
+)
+
+// Bench cell names for KindBench.
+const (
+	BenchFig4   = "fig4"
+	BenchFig5   = "fig5"
+	BenchFig6b  = "fig6b"
+	BenchTable2 = "table2"
+)
+
+// JobSpec is one pure, deterministic unit of work. The zero fields of
+// kinds that don't apply are omitted on the wire.
+type JobSpec struct {
+	ID   JobID  `json:"id"`
+	Kind string `json:"kind"`
+	// Name prefixes the job's verdict records and labels it in status
+	// output; job-set builders make it unique within a submission.
+	Name string `json:"name"`
+
+	// KindBench: which cell.
+	Bench string `json:"bench,omitempty"`
+
+	// KindChaos / KindPersistent: semantic level and seed range
+	// [Start, Start+Count).
+	Level int   `json:"level,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	Start int   `json:"start,omitempty"`
+	Count int   `json:"count,omitempty"`
+	// Backpressure selects the bounded-queue chaos contract
+	// (ChaosBackpressureWorkload) instead of the plain reliable-wire
+	// one.
+	Backpressure bool `json:"backpressure,omitempty"`
+	// Trace streams each workload's flight-recorder trace back to the
+	// dispatcher as telemetry chunks (KindChaos only).
+	Trace bool `json:"trace,omitempty"`
+
+	// KindSoak: tracked profile name plus per-seed message count.
+	Profile  string `json:"profile,omitempty"`
+	Messages int    `json:"messages,omitempty"`
+}
+
+// Validate rejects specs no worker could run.
+func (s JobSpec) Validate() error {
+	switch s.Kind {
+	case KindBench:
+		switch s.Bench {
+		case BenchFig4, BenchFig5, BenchFig6b, BenchTable2:
+		default:
+			return fmt.Errorf("cluster: job %q: unknown bench cell %q", s.Name, s.Bench)
+		}
+	case KindChaos, KindPersistent:
+		if s.Count <= 0 {
+			return fmt.Errorf("cluster: job %q: shard count %d must be positive", s.Name, s.Count)
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("cluster: job %q: shard start %d must be non-negative", s.Name, s.Start)
+		}
+		if lv := mpx.Level(s.Level); lv < mpx.FullMPI || lv > mpx.Unordered {
+			return fmt.Errorf("cluster: job %q: unknown level %d", s.Name, s.Level)
+		}
+	case KindSoak:
+		if s.Profile == "" {
+			return fmt.Errorf("cluster: job %q: soak job needs a profile name", s.Name)
+		}
+	default:
+		return fmt.Errorf("cluster: job %q: unknown kind %q", s.Name, s.Kind)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("cluster: job of kind %q needs a name", s.Kind)
+	}
+	return nil
+}
+
+// JobResult is a job's typed outcome — a pure function of the spec, so
+// duplicate deliveries and reassigned re-executions are byte-identical
+// and the dispatcher can keep whichever arrives first. Wall-clock
+// quantities are deliberately absent: every field is simulated or
+// counted, which is what makes cluster runs replayable and mergeable.
+type JobResult struct {
+	Job JobID `json:"job"`
+	// Records are regression-shaped metrics (the same BenchRecord rows
+	// a BENCH_*.json baseline holds).
+	Records []bench.BenchRecord `json:"records,omitempty"`
+	// Verdict summary for conformance shards.
+	Workloads int      `json:"workloads,omitempty"`
+	Messages  int      `json:"messages,omitempty"`
+	Failures  []string `json:"failures,omitempty"`
+}
+
+// JobHooks carries a running job's live feedback channels. Either hook
+// may be nil.
+type JobHooks struct {
+	// Progress reports completed work units out of a total.
+	Progress func(done, total int)
+	// Telemetry receives chunked trace-event JSON (the wire bytes of a
+	// telemetry.Streamer); concatenated chunks form complete trace
+	// documents.
+	Telemetry func(chunk []byte)
+}
+
+func (h JobHooks) progress(done, total int) {
+	if h.Progress != nil {
+		h.Progress(done, total)
+	}
+}
+
+// RunJob executes one job spec to completion — the worker daemon's
+// runner, and (via RunLocal) the in-process reference arm the cluster
+// equivalence tests compare against. A returned error is a job
+// failure (conformance violation or bad spec), not a transport fault;
+// retrying cannot change it.
+func RunJob(spec JobSpec, h JobHooks) (JobResult, error) {
+	if err := spec.Validate(); err != nil {
+		return JobResult{}, err
+	}
+	res := JobResult{Job: spec.ID}
+	h.progress(0, 1)
+	switch spec.Kind {
+	case KindBench:
+		res.Records = benchCellRecords(spec.Bench)
+	case KindChaos:
+		if err := runChaosShard(spec, h, &res); err != nil {
+			return res, err
+		}
+	case KindPersistent:
+		if err := runPersistentShard(spec, h, &res); err != nil {
+			return res, err
+		}
+	case KindSoak:
+		if err := runSoakJob(spec, &res); err != nil {
+			return res, err
+		}
+	}
+	h.progress(1, 1)
+	return res, nil
+}
+
+// benchCellRecords runs one sweep cell single-threaded (sim values are
+// worker-count independent; single keeps worker processes predictable)
+// and names records exactly as RunRegress does, so merged cluster
+// reports compare against the same baselines.
+func benchCellRecords(cell string) []bench.BenchRecord {
+	var recs []bench.BenchRecord
+	switch cell {
+	case BenchFig4:
+		for _, p := range bench.Figure4Workers(1) {
+			recs = append(recs, bench.SimRecord(fmt.Sprintf("fig4/%s/len%d", p.Arch, p.QueueLen), p.RateM))
+		}
+	case BenchFig5:
+		for _, p := range bench.Figure5Workers(1) {
+			recs = append(recs, bench.SimRecord(fmt.Sprintf("fig5/q%d/len%d", p.Queues, p.TotalLen), p.RateM))
+		}
+	case BenchFig6b:
+		for _, p := range bench.Figure6bWorkers(1) {
+			recs = append(recs, bench.SimRecord(fmt.Sprintf("fig6b/%s/cta%d/n%d", p.Arch, p.CTAs, p.Elements), p.RateM))
+		}
+	case BenchTable2:
+		for _, r := range bench.TableII() {
+			recs = append(recs, bench.SimRecord(fmt.Sprintf("table2/%s/wild%v/ord%v/unexp%v",
+				r.DataStructure, r.Wildcards, r.Ordering, r.Unexpected), r.RateM))
+		}
+	}
+	return recs
+}
+
+// chunkForward adapts a Telemetry hook into the io.Writer a
+// telemetry.Streamer flushes chunks to: every Write is one wire chunk,
+// so forwarding them preserves chunk boundaries and the concatenation
+// property.
+type chunkForward struct{ emit func([]byte) }
+
+func (c chunkForward) Write(p []byte) (int, error) {
+	chunk := make([]byte, len(p))
+	copy(chunk, p)
+	c.emit(chunk)
+	return len(p), nil
+}
+
+// runChaosShard executes workloads [Start, Start+Count) of a seeded
+// chaos run at one level, merging stats exactly as RunChaos does.
+func runChaosShard(spec JobSpec, h JobHooks, res *JobResult) error {
+	level := mpx.Level(spec.Level)
+	mix := conformance.ChaosMix()
+	workload := conformance.ChaosWorkload
+	if spec.Backpressure {
+		mix = conformance.ChaosBackpressureMix()
+		workload = conformance.ChaosBackpressureWorkload
+	}
+	var cum mpx.Stats
+	step := progressStep(spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		i := spec.Start + k
+		var st mpx.Stats
+		var n int
+		var err error
+		if spec.Trace && h.Telemetry != nil && !spec.Backpressure {
+			var rec *telemetry.Recorder
+			st, n, rec, err = conformance.ChaosWorkloadTraced(level, spec.Seed, i, mix, telemetry.Config{
+				BufferSize: 4096,
+				Stream:     &telemetry.StreamConfig{W: chunkForward{h.Telemetry}},
+			})
+			// Close emits the partial final chunk — the stream must
+			// terminate cleanly at the job boundary, not at a batch one.
+			if cerr := rec.CloseStream(); cerr != nil && err == nil {
+				err = cerr
+			}
+		} else {
+			st, n, err = workload(level, spec.Seed, i, mix)
+		}
+		if err != nil {
+			f := conformance.ChaosFailure{
+				Level: level, Index: i, Seed: spec.Seed,
+				Backpressure: spec.Backpressure, Err: err,
+			}
+			res.Failures = append(res.Failures, f.String())
+		}
+		conformance.MergeStats(&cum, st)
+		res.Messages += n
+		res.Workloads++
+		if (k+1)%step == 0 || k+1 == spec.Count {
+			h.progress(k+1, spec.Count)
+		}
+	}
+	res.Records = shardRecords(spec.Name, res, cum)
+	return nil
+}
+
+// runPersistentShard executes workloads [Start, Start+Count) of the
+// persistent differential suite at one level.
+func runPersistentShard(spec JobSpec, h JobHooks, res *JobResult) error {
+	level := mpx.Level(spec.Level)
+	var cum mpx.Stats
+	step := progressStep(spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		i := spec.Start + k
+		cached, _, err := conformance.PersistentWorkload(level, spec.Seed, i)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%v: workload %d (replay: conformance.PersistentWorkload(%v, %d, %d)): %v",
+				level, i, level, spec.Seed, i, err))
+		}
+		conformance.MergeStats(&cum, cached)
+		res.Workloads++
+		if (k+1)%step == 0 || k+1 == spec.Count {
+			h.progress(k+1, spec.Count)
+		}
+	}
+	res.Messages = cum.Matches
+	recs := shardRecords(spec.Name, res, cum)
+	recs = append(recs,
+		countRecord(spec.Name+"/cache_hits", cum.CacheHits),
+		countRecord(spec.Name+"/cache_seals", cum.CacheSeals),
+		countRecord(spec.Name+"/persistent_sends", cum.PersistentSends),
+	)
+	res.Records = recs
+	return nil
+}
+
+// runSoakJob runs one tracked soak profile as a single-worker 3-seed
+// suite and emits the standard soak/* regression records.
+func runSoakJob(spec JobSpec, res *JobResult) error {
+	var prof *bench.SoakProfile
+	for _, p := range bench.SoakProfiles(spec.Messages, spec.Seed, false) {
+		if p.Name == spec.Profile {
+			p := p
+			prof = &p
+			break
+		}
+	}
+	if prof == nil {
+		return fmt.Errorf("cluster: unknown soak profile %q", spec.Profile)
+	}
+	sr, err := soak.RunSuite(soak.SuiteConfig{Base: prof.Base, Workers: 1, MaxSpread: prof.MaxSpread})
+	if err != nil {
+		return fmt.Errorf("cluster: soak profile %s: %w", prof.Name, err)
+	}
+	res.Records = bench.SoakRecords([]bench.SoakResult{{Profile: prof.Name, Suite: sr}}, 1)
+	return nil
+}
+
+// shardRecords projects a conformance shard's deterministic counters
+// into regression-shaped records. Wall-clock stats fields are excluded
+// by construction — only counted or simulated quantities appear, which
+// is what keeps sharded and in-process runs byte-identical.
+func shardRecords(name string, res *JobResult, cum mpx.Stats) []bench.BenchRecord {
+	return []bench.BenchRecord{
+		countRecord(name+"/workloads", res.Workloads),
+		countRecord(name+"/messages", res.Messages),
+		countRecord(name+"/matches", cum.Matches),
+		countRecord(name+"/retries", cum.Retries),
+		countRecord(name+"/drops", cum.Drops),
+		{Name: name + "/failures", Kind: bench.KindSim, Value: float64(len(res.Failures)), Unit: "count"},
+	}
+}
+
+func countRecord(name string, v int) bench.BenchRecord {
+	return bench.BenchRecord{Name: name, Kind: bench.KindSim, Value: float64(v), Unit: "count", HigherIsBetter: true}
+}
+
+func progressStep(count int) int {
+	step := count / 10
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// --- job-set builders (shared by mpxcluster, tests and CI) ---
+
+// BenchSweepJobs defines one job per named bench cell.
+func BenchSweepJobs(cells []string) []JobSpec {
+	jobs := make([]JobSpec, 0, len(cells))
+	for _, c := range cells {
+		jobs = append(jobs, JobSpec{Kind: KindBench, Bench: c, Name: "bench/" + c})
+	}
+	return jobs
+}
+
+// ChaosFleetJobs shards n seeded chaos workloads per level into jobs
+// of at most shard workloads each — the sharded equivalent of
+// conformance.RunChaos(seed, n, ChaosMix()).
+func ChaosFleetJobs(levels []mpx.Level, seed int64, n, shard int) []JobSpec {
+	return fleetJobs(KindChaos, "chaos", levels, seed, n, shard)
+}
+
+// PersistentFleetJobs shards the persistent differential suite, the
+// sharded equivalent of conformance.RunPersistent(seed, n, workers).
+func PersistentFleetJobs(levels []mpx.Level, seed int64, n, shard int) []JobSpec {
+	return fleetJobs(KindPersistent, "persist", levels, seed, n, shard)
+}
+
+func fleetJobs(kind, prefix string, levels []mpx.Level, seed int64, n, shard int) []JobSpec {
+	if shard <= 0 {
+		shard = 50
+	}
+	var jobs []JobSpec
+	for _, lv := range levels {
+		for start := 0; start < n; start += shard {
+			count := shard
+			if start+count > n {
+				count = n - start
+			}
+			jobs = append(jobs, JobSpec{
+				Kind: kind, Level: int(lv), Seed: seed, Start: start, Count: count,
+				Name: fmt.Sprintf("%s/%s/seed%d/%05d+%d", prefix, lv, seed, start, count),
+			})
+		}
+	}
+	return jobs
+}
+
+// SoakJobs defines one job per tracked soak profile name.
+func SoakJobs(profiles []string, messages int, seed int64) []JobSpec {
+	jobs := make([]JobSpec, 0, len(profiles))
+	for _, p := range profiles {
+		jobs = append(jobs, JobSpec{
+			Kind: KindSoak, Profile: p, Messages: messages, Seed: seed,
+			Name: "soakjob/" + p,
+		})
+	}
+	return jobs
+}
+
+// AssignIDs stamps 1-based sequential IDs in submission order — the
+// same numbering the dispatcher applies at Submit, so RunLocal and a
+// cluster run agree on result identity.
+func AssignIDs(jobs []JobSpec) []JobSpec {
+	out := make([]JobSpec, len(jobs))
+	for i, j := range jobs {
+		j.ID = JobID(i + 1)
+		out[i] = j
+	}
+	return out
+}
+
+// RunLocal executes a job set in-process, sequentially, and merges the
+// results — the reference arm every sharded run must match
+// byte-for-byte. w, when non-nil, receives one progress line per job.
+func RunLocal(jobs []JobSpec, w io.Writer) (MergedReport, error) {
+	jobs = AssignIDs(jobs)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return MergedReport{}, err
+		}
+	}
+	results := make([]JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		if w != nil {
+			fmt.Fprintf(w, "local: job %d/%d %s\n", j.ID, len(jobs), j.Name)
+		}
+		res, err := RunJob(j, JobHooks{})
+		if err != nil {
+			return MergedReport{}, fmt.Errorf("cluster: local job %s: %w", j.Name, err)
+		}
+		results = append(results, res)
+	}
+	return MergeResults(results), nil
+}
+
+// sortResults orders results by job ID (merge order).
+func sortResults(results []JobResult) {
+	sort.Slice(results, func(i, j int) bool { return results[i].Job < results[j].Job })
+}

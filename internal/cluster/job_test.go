@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"simtmp/internal/conformance"
+	"simtmp/internal/mpx"
+)
+
+func TestRunJobIsPure(t *testing.T) {
+	specs := []JobSpec{
+		{ID: 1, Kind: KindBench, Bench: BenchFig4, Name: "bench/fig4"},
+		{ID: 2, Kind: KindBench, Bench: BenchTable2, Name: "bench/table2"},
+		{ID: 3, Kind: KindChaos, Level: int(mpx.Unordered), Seed: 7, Start: 10, Count: 20, Name: "chaos/u"},
+		{ID: 4, Kind: KindChaos, Level: int(mpx.FullMPI), Seed: 7, Start: 0, Count: 10, Backpressure: true, Name: "chaos/bp"},
+		{ID: 5, Kind: KindPersistent, Level: int(mpx.NoUnexpected), Seed: 3, Start: 5, Count: 15, Name: "persist/nu"},
+	}
+	for _, spec := range specs {
+		a, errA := RunJob(spec, JobHooks{})
+		b, errB := RunJob(spec, JobHooks{})
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: RunJob errs %v / %v", spec.Name, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two executions of the same spec differ:\n%+v\n%+v", spec.Name, a, b)
+		}
+		if len(a.Records) == 0 {
+			t.Errorf("%s: no records", spec.Name)
+		}
+	}
+}
+
+func TestRunJobChaosShardsComposeToFullRun(t *testing.T) {
+	// Two shards of the same seeded run must sum to the unsharded
+	// whole: workload and message counts are per-index deterministic.
+	const seed, n = 11, 40
+	level := mpx.NoSourceWildcard
+	whole, err := RunJob(JobSpec{ID: 1, Kind: KindChaos, Level: int(level), Seed: seed, Start: 0, Count: n, Name: "w"}, JobHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := RunJob(JobSpec{ID: 2, Kind: KindChaos, Level: int(level), Seed: seed, Start: 0, Count: n / 2, Name: "lo"}, JobHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RunJob(JobSpec{ID: 3, Kind: KindChaos, Level: int(level), Seed: seed, Start: n / 2, Count: n / 2, Name: "hi"}, JobHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lo.Workloads+hi.Workloads, whole.Workloads; got != want {
+		t.Errorf("sharded workloads %d != whole %d", got, want)
+	}
+	if got, want := lo.Messages+hi.Messages, whole.Messages; got != want {
+		t.Errorf("sharded messages %d != whole %d", got, want)
+	}
+}
+
+func TestRunJobProgressReachesTotal(t *testing.T) {
+	var last, total int
+	calls := 0
+	_, err := RunJob(
+		JobSpec{ID: 1, Kind: KindChaos, Level: int(mpx.Unordered), Seed: 1, Count: 30, Name: "p"},
+		JobHooks{Progress: func(d, tot int) { last, total = d, tot; calls++ }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < 3 {
+		t.Errorf("want several progress calls, got %d", calls)
+	}
+	if last != total {
+		t.Errorf("final progress %d/%d should be complete", last, total)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	bad := []JobSpec{
+		{Kind: "mystery", Name: "x"},
+		{Kind: KindBench, Bench: "fig9", Name: "x"},
+		{Kind: KindChaos, Level: int(mpx.Unordered), Count: 0, Name: "x"},
+		{Kind: KindChaos, Level: int(mpx.Unordered), Start: -1, Count: 5, Name: "x"},
+		{Kind: KindChaos, Level: 9, Count: 5, Name: "x"},
+		{Kind: KindSoak, Name: "x"},
+		{Kind: KindBench, Bench: BenchFig4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected a validation error", i, s)
+		}
+	}
+	if err := (JobSpec{Kind: KindBench, Bench: BenchFig4, Name: "ok"}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestFleetJobBuilders(t *testing.T) {
+	jobs := ChaosFleetJobs(conformance.ChaosLevels(), 42, 120, 50)
+	// 120 workloads at shard 50 → shards of 50+50+20 per level.
+	if want := 3 * len(conformance.ChaosLevels()); len(jobs) != want {
+		t.Fatalf("got %d jobs, want %d", len(jobs), want)
+	}
+	perLevel := make(map[int]int)
+	names := make(map[string]bool)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("built job invalid: %v", err)
+		}
+		perLevel[j.Level] += j.Count
+		if names[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		names[j.Name] = true
+	}
+	for lv, n := range perLevel {
+		if n != 120 {
+			t.Errorf("level %d covers %d workloads, want 120", lv, n)
+		}
+	}
+	if got := len(BenchSweepJobs([]string{BenchFig4, BenchFig5, BenchFig6b, BenchTable2})); got != 4 {
+		t.Errorf("bench sweep: %d jobs", got)
+	}
+	if got := len(PersistentFleetJobs([]mpx.Level{mpx.FullMPI}, 1, 100, 25)); got != 4 {
+		t.Errorf("persistent fleet: %d jobs", got)
+	}
+}
+
+func TestRunLocalMergesInSubmissionOrder(t *testing.T) {
+	jobs := append(
+		BenchSweepJobs([]string{BenchFig4, BenchTable2}),
+		ChaosFleetJobs([]mpx.Level{mpx.Unordered}, 5, 30, 15)...,
+	)
+	var buf bytes.Buffer
+	rep, err := RunLocal(jobs, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("merged %d jobs, want %d", rep.Jobs, len(jobs))
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("conformance failures in local run: %v", rep.Failures)
+	}
+	// Records appear grouped by job in submission order: all fig4
+	// records strictly before table2, before the chaos shards.
+	idx := func(prefix string) int {
+		for i, r := range rep.Records {
+			if strings.HasPrefix(r.Name, prefix) {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("fig4/") < idx("table2/") && idx("table2/") < idx("chaos/")) {
+		t.Errorf("records out of submission order: fig4@%d table2@%d chaos@%d",
+			idx("fig4/"), idx("table2/"), idx("chaos/"))
+	}
+	rep2, err := RunLocal(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.CanonicalJSON(), rep2.CanonicalJSON()) {
+		t.Error("two local runs of the same job set differ")
+	}
+	if got := strings.Count(buf.String(), "local: job "); got != len(jobs) {
+		t.Errorf("progress lines: %d, want %d", got, len(jobs))
+	}
+}
+
+func TestMergedReportBenchReportShape(t *testing.T) {
+	rep, err := RunLocal(BenchSweepJobs([]string{BenchTable2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := rep.BenchReport()
+	if br.Date == "" || len(br.Records) != len(rep.Records) {
+		t.Fatalf("bench report not populated: date %q, %d records", br.Date, len(br.Records))
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// journalEntry is one append-only line of the dispatcher's write-ahead
+// journal: jobs are journaled at submit (before any assignment) and
+// outcomes at completion, so a restarted dispatcher resumes with every
+// defined job either restored-done or re-queued — at-least-once, which
+// is sound because jobs are pure functions of their specs.
+type journalEntry struct {
+	Op     string     `json:"op"` // "job" | "done" | "failed"
+	Job    *JobSpec   `json:"job,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+	ID     JobID      `json:"id,omitempty"`
+	Err    string     `json:"err,omitempty"`
+}
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// replayJournal reads an existing journal file; a missing file is an
+// empty history. Entries are newline-framed: a trailing partial line
+// (dispatcher died mid-append) is tolerated and dropped, but any
+// malformed *complete* line is an error — a corrupt journal must not
+// silently shrink a job set.
+func replayJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	defer f.Close()
+	var entries []journalEntry
+	r := bufio.NewReader(f)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("cluster: replay journal %s: %w", path, err)
+		}
+		torn := errors.Is(err, io.EOF) && len(line) > 0 // no trailing newline
+		if len(bytes.TrimSpace(line)) > 0 && !torn {
+			var e journalEntry
+			if jerr := json.Unmarshal(line, &e); jerr != nil {
+				return nil, fmt.Errorf("cluster: replay journal %s line %d: %w", path, lineNo, jerr)
+			}
+			entries = append(entries, e)
+		}
+		if err != nil {
+			return entries, nil
+		}
+	}
+}
+
+// openJournal opens the journal for appending, creating it if needed.
+// A torn final line (the same one replayJournal drops) is truncated
+// away first so new appends don't concatenate onto it and corrupt the
+// next record.
+func openJournal(path string) (*journal, error) {
+	if err := repairJournalTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal for append: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// repairJournalTail truncates an existing journal after its last
+// complete (newline-terminated) record.
+func repairJournalTail(path string) error {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: repair journal: %w", err)
+	}
+	if len(b) == 0 || b[len(b)-1] == '\n' {
+		return nil
+	}
+	keep := int64(bytes.LastIndexByte(b, '\n') + 1)
+	if err := os.Truncate(path, keep); err != nil {
+		return fmt.Errorf("cluster: truncate torn journal line: %w", err)
+	}
+	return nil
+}
+
+// append writes one entry as a JSON line. Each append is a single
+// Write syscall of a complete line, so concurrent appends never tear
+// and a crash can only lose the line being written.
+func (j *journal) append(e journalEntry) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal journal entry: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

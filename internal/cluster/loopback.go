@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Loopback is the in-memory transport: named listeners, unbounded
+// buffered byte pipes, and the same frame codec real TCP uses — so the
+// whole dispatcher/worker control plane is testable (including frame
+// corruption and abrupt connection death) without sockets.
+type Loopback struct {
+	mu        sync.Mutex
+	listeners map[string]*loopListener
+	next      int
+}
+
+// NewLoopback returns an empty in-memory fabric.
+func NewLoopback() *Loopback {
+	return &Loopback{listeners: make(map[string]*loopListener)}
+}
+
+// Listen binds a named in-memory listener. An empty addr allocates
+// "loop-N".
+func (l *Loopback) Listen(addr string) (Listener, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if addr == "" {
+		l.next++
+		addr = fmt.Sprintf("loop-%d", l.next)
+	}
+	if _, ok := l.listeners[addr]; ok {
+		return nil, fmt.Errorf("cluster: loopback address %q already bound", addr)
+	}
+	ln := &loopListener{lb: l, addr: addr, accept: make(chan io.ReadWriteCloser, 64), closed: make(chan struct{})}
+	l.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to a bound loopback listener.
+func (l *Loopback) Dial(addr string) (Conn, error) {
+	rw, err := l.DialBytes(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newFrameConn(rw, 0), nil
+}
+
+// DialBytes connects at the byte level, below the frame codec — the
+// hook protocol-chaos tests use to write truncated or bit-flipped
+// frames straight onto the wire.
+func (l *Loopback) DialBytes(addr string) (io.ReadWriteCloser, error) {
+	l.mu.Lock()
+	ln, ok := l.listeners[addr]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: loopback dial %q: no listener", addr)
+	}
+	client, server := memPipe()
+	select {
+	case ln.accept <- server:
+		return client, nil
+	case <-ln.closed:
+		return nil, fmt.Errorf("cluster: loopback dial %q: listener closed", addr)
+	}
+}
+
+type loopListener struct {
+	lb     *Loopback
+	addr   string
+	accept chan io.ReadWriteCloser
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (ln *loopListener) Accept() (Conn, error) {
+	select {
+	case rw := <-ln.accept:
+		return newFrameConn(rw, 0), nil
+	case <-ln.closed:
+		return nil, io.ErrClosedPipe
+	}
+}
+
+func (ln *loopListener) Close() error {
+	ln.once.Do(func() {
+		close(ln.closed)
+		ln.lb.mu.Lock()
+		delete(ln.lb.listeners, ln.addr)
+		ln.lb.mu.Unlock()
+	})
+	return nil
+}
+
+func (ln *loopListener) Addr() string { return ln.addr }
+
+// memStream is one direction of an in-memory pipe: an unbounded
+// buffered byte queue. Unbounded keeps the control plane free of
+// cross-connection write deadlocks (the volumes are control messages
+// and telemetry chunks, bounded by job count).
+type memStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newMemStream() *memStream {
+	s := &memStream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *memStream) write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, io.ErrClosedPipe
+	}
+	s.buf = append(s.buf, p...)
+	s.cond.Broadcast()
+	return len(p), nil
+}
+
+func (s *memStream) read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil
+	}
+	return n, nil
+}
+
+func (s *memStream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// memEnd is one end of a duplex in-memory connection.
+type memEnd struct {
+	r, w *memStream
+	once sync.Once
+}
+
+func (e *memEnd) Read(p []byte) (int, error)  { return e.r.read(p) }
+func (e *memEnd) Write(p []byte) (int, error) { return e.w.write(p) }
+
+// Close severs both directions: the peer's pending reads drain then
+// EOF, and writes from either side fail — the same observable behavior
+// as a TCP connection dying.
+func (e *memEnd) Close() error {
+	e.once.Do(func() {
+		e.r.close()
+		e.w.close()
+	})
+	return nil
+}
+
+// memPipe builds a connected duplex pair.
+func memPipe() (a, b io.ReadWriteCloser) {
+	ab, ba := newMemStream(), newMemStream()
+	return &memEnd{r: ba, w: ab}, &memEnd{r: ab, w: ba}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"simtmp/internal/bench"
+)
+
+// MergedReport is a job set's combined outcome: every job's records
+// concatenated in job-ID (submission) order plus the summed
+// conformance verdict. Because each JobResult is a pure function of
+// its spec and the merge order is fixed, a sharded cluster run and an
+// in-process RunLocal of the same job set produce byte-identical
+// CanonicalJSON — regardless of worker placement, reassignment after
+// worker death, or duplicate result delivery.
+type MergedReport struct {
+	Jobs      int                 `json:"jobs"`
+	Workloads int                 `json:"workloads,omitempty"`
+	Messages  int                 `json:"messages,omitempty"`
+	Failures  []string            `json:"failures,omitempty"`
+	Records   []bench.BenchRecord `json:"records"`
+}
+
+// MergeResults combines job results in job-ID order. The input slice
+// is reordered in place.
+func MergeResults(results []JobResult) MergedReport {
+	sortResults(results)
+	m := MergedReport{Jobs: len(results)}
+	for _, r := range results {
+		m.Workloads += r.Workloads
+		m.Messages += r.Messages
+		m.Failures = append(m.Failures, r.Failures...)
+		m.Records = append(m.Records, r.Records...)
+	}
+	return m
+}
+
+// CanonicalJSON renders the report deterministically (no timestamps,
+// no host identity) — the byte-identity witness the equivalence tests
+// and the cluster-smoke CI job compare.
+func (m MergedReport) CanonicalJSON() []byte {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		// MergedReport contains only marshalable fields.
+		panic("cluster: marshal merged report: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// BenchReport converts the merged records into the dated,
+// fingerprinted report shape -regress consumes, so a sharded sweep can
+// be written as a BENCH_*.json baseline with bench.WriteBaseline or
+// compared with bench.Compare.
+func (m MergedReport) BenchReport() bench.BenchReport {
+	rep := bench.BenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Records:    m.Records,
+	}
+	rep.Fingerprint()
+	return rep
+}

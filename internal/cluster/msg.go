@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"simtmp/internal/proto"
+)
+
+// Frame types of the control-plane protocol. One JSON body per frame;
+// the frame layer (internal/proto) supplies length prefixing and
+// corruption detection underneath.
+const (
+	// Worker → dispatcher.
+	msgHello     uint8 = 1 // register: name + capacity announcement
+	msgHeartbeat uint8 = 2 // liveness beacon
+	msgProgress  uint8 = 3 // job progress update
+	msgTelemetry uint8 = 4 // one telemetry chunk (trace-event JSON wire bytes)
+	msgResult    uint8 = 5 // job outcome (typed records or failure)
+	// Dispatcher → worker.
+	msgWelcome uint8 = 6 // registration ack with the canonical worker name
+	msgAssign  uint8 = 7 // run this job
+	msgDrain   uint8 = 8 // finish in-flight jobs, then disconnect
+	// Client ↔ dispatcher (mpxcluster).
+	msgSubmit      uint8 = 9  // define jobs (optionally wait for the merged report)
+	msgSubmitAck   uint8 = 10 // assigned job IDs
+	msgStatus      uint8 = 11 // status request
+	msgStatusReply uint8 = 12 // status snapshot
+	msgReport      uint8 = 13 // merged report (after a waiting submit)
+	msgDrainAll    uint8 = 14 // drain every worker, stop assigning
+	msgOK          uint8 = 15 // generic ack
+	msgError       uint8 = 16 // request-level failure
+)
+
+type helloMsg struct {
+	Name     string `json:"name"`
+	Capacity int    `json:"capacity"`
+}
+
+type welcomeMsg struct {
+	Worker string `json:"worker"`
+}
+
+type heartbeatMsg struct{}
+
+type assignMsg struct {
+	Job JobSpec `json:"job"`
+}
+
+type progressMsg struct {
+	Job   JobID `json:"job"`
+	Done  int   `json:"done"`
+	Total int   `json:"total"`
+}
+
+type telemetryMsg struct {
+	Job   JobID  `json:"job"`
+	Chunk []byte `json:"chunk"` // base64 via encoding/json
+}
+
+type resultMsg struct {
+	Result JobResult `json:"result"`
+	Failed bool      `json:"failed,omitempty"`
+	Err    string    `json:"err,omitempty"`
+}
+
+type submitMsg struct {
+	Jobs []JobSpec `json:"jobs"`
+	Wait bool      `json:"wait,omitempty"`
+}
+
+type submitAckMsg struct {
+	IDs []JobID `json:"ids"`
+}
+
+type reportMsg struct {
+	Report MergedReport `json:"report"`
+	Failed int          `json:"failed,omitempty"`
+	Err    string       `json:"err,omitempty"`
+}
+
+type errorMsg struct {
+	Err string `json:"err"`
+}
+
+// WorkerStatus is one registered worker in a status snapshot.
+type WorkerStatus struct {
+	Name     string `json:"name"`
+	Capacity int    `json:"capacity"`
+	Inflight int    `json:"inflight"`
+}
+
+// Status is the dispatcher's observable state.
+type Status struct {
+	Jobs     int `json:"jobs"`
+	Queued   int `json:"queued"`
+	Assigned int `json:"assigned"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	// Control-plane resilience counters.
+	DupResults    int            `json:"dup_results"`
+	Reassigned    int            `json:"reassigned"`
+	WorkersLost   int            `json:"workers_lost"`
+	CorruptFrames int            `json:"corrupt_frames"`
+	Draining      bool           `json:"draining,omitempty"`
+	Workers       []WorkerStatus `json:"workers,omitempty"`
+}
+
+// sendMsg marshals v and writes it as one frame of the given type.
+func sendMsg(c Conn, typ uint8, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal message type %d: %w", typ, err)
+	}
+	return c.WriteFrame(proto.Frame{Type: typ, Payload: body})
+}
+
+// decodeMsg unmarshals a frame body into the expected message struct.
+func decodeMsg[T any](f proto.Frame) (T, error) {
+	var v T
+	if err := json.Unmarshal(f.Payload, &v); err != nil {
+		return v, fmt.Errorf("cluster: decode message type %d: %w", f.Type, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+
+	"simtmp/internal/proto"
+)
+
+// Conn is one framed, bidirectional control-plane connection. Frames
+// are written atomically (safe for concurrent writers); reading is
+// single-consumer — each peer runs exactly one reader loop per conn.
+type Conn interface {
+	WriteFrame(proto.Frame) error
+	ReadFrame() (proto.Frame, error)
+	Close() error
+}
+
+// Listener accepts inbound connections on a bound address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address a Dial reaches this listener at (for
+	// TCP with port 0, the resolved port).
+	Addr() string
+}
+
+// Transport abstracts the byte fabric: TCP for real clusters, the
+// in-memory loopback for tests and CI. Both carry the identical frame
+// bytes, so the protocol — including its corruption detection — is
+// exercised the same way on either.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// frameConn adapts any byte stream to the framed Conn contract.
+type frameConn struct {
+	rw  io.ReadWriteCloser
+	fr  *proto.FrameReader
+	wmu sync.Mutex
+}
+
+// newFrameConn wraps a byte stream. maxPayload bounds inbound frames
+// (0 = protocol max).
+func newFrameConn(rw io.ReadWriteCloser, maxPayload int) *frameConn {
+	return &frameConn{rw: rw, fr: proto.NewFrameReader(bufio.NewReaderSize(rw, 32<<10), maxPayload)}
+}
+
+func (c *frameConn) WriteFrame(f proto.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return proto.WriteFrame(c.rw, f)
+}
+
+func (c *frameConn) ReadFrame() (proto.Frame, error) { return c.fr.Read() }
+
+func (c *frameConn) Close() error { return c.rw.Close() }
+
+// TCPTransport is the real-socket fabric. MaxPayload, when positive,
+// bounds accepted frame payloads.
+type TCPTransport struct {
+	MaxPayload int
+}
+
+// Listen binds a TCP listener ("127.0.0.1:0" picks a free port).
+func (t TCPTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{ln: ln, max: t.MaxPayload}, nil
+}
+
+// Dial connects to a dispatcher address.
+func (t TCPTransport) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newFrameConn(c, t.MaxPayload), nil
+}
+
+type tcpListener struct {
+	ln  net.Listener
+	max int
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newFrameConn(c, l.max), nil
+}
+
+func (l *tcpListener) Close() error { return l.ln.Close() }
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }

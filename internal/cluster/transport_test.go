@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"simtmp/internal/proto"
+)
+
+// echoOnce accepts one connection, echoes every frame back, and exits
+// on connection close.
+func echoOnce(t *testing.T, ln Listener, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				return
+			}
+			if err := c.WriteFrame(f); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func transportRoundTrip(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	echoOnce(t, ln, &wg)
+	c, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatalf("Dial(%s): %v", ln.Addr(), err)
+	}
+	frames := []proto.Frame{
+		{Type: msgHello, Payload: []byte(`{"name":"w0","capacity":2}`)},
+		{Type: msgHeartbeat, Payload: []byte(`{}`)},
+		{Type: msgTelemetry, Payload: bytes.Repeat([]byte{0x00, 0xff, 0x5a}, 4096)},
+		{Type: msgResult, Payload: nil},
+	}
+	for i, f := range frames {
+		if err := c.WriteFrame(f); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	for i, want := range frames {
+		got, err := c.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: got type %d len %d, want type %d len %d",
+				i, got.Type, len(got.Payload), want.Type, len(want.Payload))
+		}
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestLoopbackFrameRoundTrip(t *testing.T) {
+	transportRoundTrip(t, NewLoopback(), "hub")
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	transportRoundTrip(t, TCPTransport{}, "127.0.0.1:0")
+}
+
+func TestLoopbackConcurrentWriters(t *testing.T) {
+	lb := NewLoopback()
+	ln, err := lb.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	echoOnce(t, ln, &wg)
+	c, err := lb.Dial("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var send sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		send.Add(1)
+		go func(g int) {
+			defer send.Done()
+			for i := 0; i < per; i++ {
+				payload := []byte(fmt.Sprintf("writer %d frame %d", g, i))
+				if err := c.WriteFrame(proto.Frame{Type: msgProgress, Payload: payload}); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	send.Wait()
+	// Frame writes are atomic, so every echoed frame must decode
+	// intact — interleaved partial writes would trip the checksum.
+	for i := 0; i < writers*per; i++ {
+		f, err := c.ReadFrame()
+		if err != nil {
+			t.Fatalf("echo frame %d: %v", i, err)
+		}
+		if f.Type != msgProgress {
+			t.Fatalf("echo frame %d: type %d", i, f.Type)
+		}
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestLoopbackCloseSemantics(t *testing.T) {
+	lb := NewLoopback()
+	ln, err := lb.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := lb.Dial("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if err := c.WriteFrame(proto.Frame{Type: msgHeartbeat, Payload: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Pending bytes drain first, then the peer sees clean EOF — the
+	// same observable order a closed TCP connection gives.
+	if f, err := server.ReadFrame(); err != nil || f.Type != msgHeartbeat {
+		t.Fatalf("pre-close frame: type %d err %v", f.Type, err)
+	}
+	if _, err := server.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after close want io.EOF, got %v", err)
+	}
+	if err := c.WriteFrame(proto.Frame{Type: msgHeartbeat}); err == nil {
+		t.Fatal("write on closed conn should fail")
+	}
+}
+
+func TestLoopbackDialUnbound(t *testing.T) {
+	if _, err := NewLoopback().Dial("nowhere"); err == nil {
+		t.Fatal("dialing an unbound loopback address should fail")
+	}
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WorkerConfig parameterizes a worker daemon.
+type WorkerConfig struct {
+	// Transport and Addr locate the dispatcher.
+	Transport Transport
+	Addr      string
+	// Name is the announced worker name; the dispatcher may uniquify
+	// it (the welcome carries the canonical one).
+	Name string
+	// Capacity is the announced concurrent-job capacity (default 1).
+	Capacity int
+	// HeartbeatInterval paces liveness beacons (default 1s). Must be
+	// comfortably under the dispatcher's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// Logf, when set, receives worker events.
+	Logf func(format string, args ...any)
+}
+
+// Worker is one connected mpxd daemon: it registers with a capacity
+// announcement, heartbeats, executes assigned jobs concurrently up to
+// capacity, and streams progress, telemetry chunks and results back.
+type Worker struct {
+	cfg  WorkerConfig
+	conn Conn
+	name string
+
+	jobs     sync.WaitGroup
+	stopBeat chan struct{}
+	beatDone chan struct{}
+	done     chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	killed   bool
+	runErr   error
+}
+
+// StartWorker dials the dispatcher, registers, and starts serving
+// assignments until drained, killed, or disconnected.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("cluster: WorkerConfig.Transport is nil")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := cfg.Transport.Dial(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker dial %s: %w", cfg.Addr, err)
+	}
+	if err := sendMsg(conn, msgHello, helloMsg{Name: cfg.Name, Capacity: cfg.Capacity}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: worker hello: %w", err)
+	}
+	f, err := conn.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: worker awaiting welcome: %w", err)
+	}
+	if f.Type != msgWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: worker expected welcome, got frame type %d", f.Type)
+	}
+	welcome, err := decodeMsg[welcomeMsg](f)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w := &Worker{
+		cfg:      cfg,
+		conn:     conn,
+		name:     welcome.Worker,
+		stopBeat: make(chan struct{}),
+		beatDone: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.heartbeatLoop()
+	go w.readLoop()
+	return w, nil
+}
+
+// Name is the canonical name the dispatcher registered this worker
+// under.
+func (w *Worker) Name() string { return w.name }
+
+// readLoop processes dispatcher frames: assignments spawn job
+// goroutines, drain finishes in-flight work then disconnects cleanly.
+func (w *Worker) readLoop() {
+	defer close(w.done)
+	defer close(w.stopBeat)
+	for {
+		f, err := w.conn.ReadFrame()
+		if err != nil {
+			w.mu.Lock()
+			clean := w.draining || w.killed
+			if !clean && w.runErr == nil {
+				w.runErr = fmt.Errorf("cluster: worker %s: connection lost: %w", w.name, err)
+			}
+			w.mu.Unlock()
+			w.jobs.Wait()
+			w.conn.Close()
+			return
+		}
+		switch f.Type {
+		case msgAssign:
+			a, err := decodeMsg[assignMsg](f)
+			if err != nil {
+				w.cfg.Logf("mpxd %s: bad assign frame: %v", w.name, err)
+				continue
+			}
+			w.jobs.Add(1)
+			go w.runJob(a.Job)
+		case msgDrain:
+			w.mu.Lock()
+			w.draining = true
+			w.mu.Unlock()
+			w.cfg.Logf("mpxd %s: draining", w.name)
+			// Let in-flight jobs finish and ship results, then close;
+			// the reader then exits via the closed connection.
+			go func() {
+				w.jobs.Wait()
+				w.conn.Close()
+			}()
+		}
+	}
+}
+
+// heartbeatLoop sends liveness beacons until the worker stops.
+func (w *Worker) heartbeatLoop() {
+	defer close(w.beatDone)
+	t := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := sendMsg(w.conn, msgHeartbeat, heartbeatMsg{}); err != nil {
+				return
+			}
+		case <-w.stopBeat:
+			return
+		}
+	}
+}
+
+// runJob executes one assignment, streaming progress and telemetry,
+// and ships the typed result (or the failure) back.
+func (w *Worker) runJob(spec JobSpec) {
+	defer w.jobs.Done()
+	w.cfg.Logf("mpxd %s: job %d %s", w.name, spec.ID, spec.Name)
+	hooks := JobHooks{
+		Progress: func(done, total int) {
+			sendMsg(w.conn, msgProgress, progressMsg{Job: spec.ID, Done: done, Total: total})
+		},
+		Telemetry: func(chunk []byte) {
+			sendMsg(w.conn, msgTelemetry, telemetryMsg{Job: spec.ID, Chunk: chunk})
+		},
+	}
+	res, err := RunJob(spec, hooks)
+	msg := resultMsg{Result: res}
+	if err != nil {
+		msg.Failed, msg.Err = true, err.Error()
+	}
+	if serr := sendMsg(w.conn, msgResult, msg); serr != nil {
+		// Connection gone: the dispatcher will detect the loss and
+		// reassign; re-execution is safe because jobs are pure.
+		w.cfg.Logf("mpxd %s: job %d result undeliverable: %v", w.name, spec.ID, serr)
+	}
+}
+
+// Kill severs the connection abruptly — mid-job, without draining —
+// simulating a worker crash. Running jobs finish in the background but
+// their results are undeliverable; the dispatcher reassigns.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.killed = true
+	w.mu.Unlock()
+	w.conn.Close()
+}
+
+// Drained reports whether the worker exited via a drain (vs. a lost
+// connection or kill).
+func (w *Worker) Drained() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// Wait blocks until the worker has fully stopped (drained, killed, or
+// disconnected) and returns nil for clean exits.
+func (w *Worker) Wait() error {
+	<-w.done
+	<-w.beatDone
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runErr
+}

