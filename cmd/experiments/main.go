@@ -64,6 +64,8 @@ func fullReport(w io.Writer) {
 	fmt.Fprintln(w)
 	simtmp.ChartTableII(w, tab2)
 	fmt.Fprintln(w)
+	simtmp.PrintStreamScaling(w, simtmp.StreamScaling())
+	fmt.Fprintln(w)
 	simtmp.PrintApplicability(w, simtmp.Applicability(1))
 	fmt.Fprintln(w)
 	simtmp.PrintStreaming(w, simtmp.Streaming())

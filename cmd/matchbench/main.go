@@ -85,6 +85,10 @@ func sections() []section {
 			rows := simtmp.CommParallel()
 			return csvOr(rows, func(w io.Writer) { simtmp.PrintCommParallel(w, rows) })(w, csv)
 		}},
+		{"streams", "MPIX stream scaling: stream-concurrent engine vs full-MPI matrix", func(w io.Writer, csv bool) error {
+			rows := simtmp.StreamScaling()
+			return csvOr(rows, func(w io.Writer) { simtmp.PrintStreamScaling(w, rows) })(w, csv)
+		}},
 		{"chaos", "chaos conformance: exactly-once delivery under fault injection", func(w io.Writer, csv bool) error {
 			rows := simtmp.Chaos(1, 250)
 			return csvOr(rows, func(w io.Writer) { simtmp.PrintChaos(w, rows) })(w, csv)

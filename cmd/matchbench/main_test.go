@@ -68,8 +68,8 @@ func TestRunChaosCSV(t *testing.T) {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 5 {
-		t.Fatalf("want header + 4 level rows, got %d lines:\n%s", len(lines), out.String())
+	if len(lines) != 6 {
+		t.Fatalf("want header + 5 level rows, got %d lines:\n%s", len(lines), out.String())
 	}
 	if !strings.Contains(strings.ToLower(lines[0]), "failures") {
 		t.Fatalf("header missing failures column: %q", lines[0])
@@ -228,8 +228,8 @@ func TestRunSoakCSV(t *testing.T) {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 47 {
-		t.Fatalf("want header + 46 record rows, got %d:\n%s", len(lines), out.String())
+	if len(lines) != 53 {
+		t.Fatalf("want header + 52 record rows, got %d:\n%s", len(lines), out.String())
 	}
 	for _, want := range []string{
 		"soak/steady/p50_us", "soak/bursty/p99_us", "soak/faulty/p999_us",

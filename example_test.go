@@ -18,6 +18,27 @@ func ExampleNewRuntime() {
 	// Output: hello from GPU 0
 }
 
+// ExampleRuntime_Endpoint shows the endpoint-handle entry point with
+// stream ordering contexts: under StreamOrdered each stream's traffic
+// is ordered among itself, and a receive on a stream only matches
+// sends on the same stream.
+func ExampleRuntime_Endpoint() {
+	rt := simtmp.NewRuntime(simtmp.RuntimeConfig{Level: simtmp.StreamOrdered, GPUs: 2})
+	src, _ := rt.Endpoint(0)
+	dst, _ := rt.Endpoint(1)
+
+	stSend, _ := src.Open(3) // ordering context 3 on GPU 0
+	stRecv, _ := dst.Open(3) // same context id on GPU 1
+	stSend.Send(1, 42, 0, []byte("stream hello"))
+	src.Send(1, 42, 0, []byte("default hello")) // default stream: separate context
+
+	recv, _ := stRecv.PostRecv(0, 42, 0) // matches only stream-3 sends
+	rt.Drain(100)
+	msg, _ := recv.Message()
+	fmt.Printf("%s on stream %d\n", msg.Payload, msg.Env.Stream)
+	// Output: stream hello on stream 3
+}
+
 // ExampleNewMatrixMatcher runs the paper's MPI-compliant matching
 // algorithm on a small batch and verifies against the oracle.
 func ExampleNewMatrixMatcher() {

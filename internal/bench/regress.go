@@ -128,6 +128,10 @@ func RunRegressOpt(workers int, persistNoCache bool) BenchReport {
 			r.DataStructure, r.Wildcards, r.Ordering, r.Unexpected), r.RateM))
 	}
 
+	// MPIX Stream relaxation: per-stream-count rates plus the gated
+	// 8-stream speedup over the full-MPI matrix on identical input.
+	add(StreamScalingRecords(StreamScaling())...)
+
 	// Host micro-benchmarks: steady-state MatchInto on each engine.
 	// ns/op is machine-dependent (wall); allocs/op is the zero-alloc
 	// contract and must stay exactly zero.

@@ -68,6 +68,11 @@ func SoakProfiles(messages int, seed int64, uncap bool) []SoakProfile {
 	steady.Process = soak.Poisson
 	steady.Utilization = 0.5
 
+	stream := base
+	stream.Level = mpx.StreamOrdered
+	stream.Process = soak.Poisson
+	stream.Utilization = 0.5
+
 	bursty := base
 	bursty.Process = soak.Bursty
 	bursty.Utilization = 0.7
@@ -112,6 +117,12 @@ func SoakProfiles(messages int, seed int64, uncap bool) []SoakProfile {
 	return []SoakProfile{
 		// Poisson at half capacity: the baseline SLO, beads 10% gate.
 		{"steady", steady, 0.10},
+		// Same arrivals under StreamOrdered: the soak driver keeps all
+		// traffic on the default stream, so this pins the stream engine's
+		// latency when the relaxation is available but unused. The wire
+		// is fault-free here, so frames arrive in per-flow order and the
+		// SLO should track the steady profile closely.
+		{"stream", stream, 0.15},
 		// MMPP-2 at 70%: tail latency under bursts. ~8 burst episodes
 		// per seed make the tail legitimately seed-sensitive (measured
 		// spread ≈0.30); the budget allows 1.5× that.

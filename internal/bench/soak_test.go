@@ -19,7 +19,7 @@ func soakOnce(t *testing.T) []SoakResult {
 
 // soakProfileNames is the tracked inventory, in emission order.
 var soakProfileNames = []string{
-	"steady", "bursty", "faulty",
+	"steady", "stream", "bursty", "faulty",
 	"overload/1.5x", "overload/2x", "overload/slow",
 }
 
@@ -29,14 +29,14 @@ var soakProfileNames = []string{
 // gates. All deterministic sim records.
 func TestSoakRecordsShape(t *testing.T) {
 	res := soakOnce(t)
-	if len(res) != 6 {
-		t.Fatalf("profiles = %d, want 6", len(res))
+	if len(res) != 7 {
+		t.Fatalf("profiles = %d, want 7", len(res))
 	}
 	recs := SoakRecords(res, 1)
 	// 6 per profile, plus caps_ok+shed_total for each overload profile
 	// and recovery_ok+recovery_s for the two rate-excursion profiles.
-	if len(recs) != 46 {
-		t.Fatalf("records = %d, want 46", len(recs))
+	if len(recs) != 52 {
+		t.Fatalf("records = %d, want 52", len(recs))
 	}
 	byName := map[string]BenchRecord{}
 	for _, r := range recs {
@@ -158,8 +158,8 @@ func TestSoakInjectedRegression(t *testing.T) {
 			}
 		}
 	}
-	if len(regs) != 18 {
-		t.Errorf("regressions = %d (%v), want exactly the 18 latency records", len(regs), regs)
+	if len(regs) != 21 {
+		t.Errorf("regressions = %d (%v), want exactly the 21 latency records", len(regs), regs)
 	}
 }
 

@@ -103,7 +103,7 @@ func (s JobSpec) Validate() error {
 		if s.Start < 0 {
 			return fmt.Errorf("cluster: job %q: shard start %d must be non-negative", s.Name, s.Start)
 		}
-		if lv := mpx.Level(s.Level); lv < mpx.FullMPI || lv > mpx.Unordered {
+		if lv := mpx.Level(s.Level); lv < mpx.FullMPI || lv > mpx.StreamOrdered {
 			return fmt.Errorf("cluster: job %q: unknown level %d", s.Name, s.Level)
 		}
 	case KindSoak:

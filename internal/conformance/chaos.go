@@ -11,7 +11,9 @@
 //     it was matched to (corruption never leaks through);
 //   - per-flow ordering (ordered levels): messages of one
 //     (src,dst,tag) class are delivered in send order despite wire
-//     reordering;
+//     reordering — under StreamOrdered the stream id joins the class
+//     key, so per-stream order stays load-bearing while cross-stream
+//     reordering is the sanctioned relaxation;
 //   - liveness: the drain converges instead of stalling or spinning.
 //
 // Workloads are deterministic per (seed, index, level): a failure
@@ -54,10 +56,10 @@ func ChaosBackpressureMix() fault.Config {
 }
 
 // ChaosLevels returns the semantic levels a chaos run covers — all
-// four, so the matrix, partitioned and hash engines all sit under the
-// faulty wire.
+// five, so the matrix, partitioned, hash and stream engines all sit
+// under the faulty wire.
 func ChaosLevels() []mpx.Level {
-	return []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered}
+	return []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered, mpx.StreamOrdered}
 }
 
 // ChaosFailure records one violated workload with its replay handle.
@@ -140,6 +142,15 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 
 	gpus := 2 + rng.Intn(3)
 	n := 4 + rng.Intn(29)
+	// StreamOrdered workloads spread their traffic over several ordering
+	// contexts opened through the endpoint API, so chaos doubles as the
+	// endpoint/stream handles' fault-injection coverage. The sub-seed
+	// already mixes in the level, so these extra draws cannot perturb the
+	// other levels' seeded workloads.
+	nStreams := 1
+	if level == mpx.StreamOrdered {
+		nStreams = 1 + rng.Intn(4)
+	}
 	cfg := mpx.Config{
 		Level: level, GPUs: gpus, QueueCap: 8 + rng.Intn(24),
 		Fault: &mix, Telemetry: tcfg,
@@ -164,13 +175,34 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 	rt := mpx.New(cfg)
 	rec := rt.Recorder()
 
+	// streams[g][s] is GPU g's handle for stream s (StreamOrdered only);
+	// index 0 is the endpoint's default stream.
+	var streams [][]*mpx.Stream
+	if level == mpx.StreamOrdered {
+		streams = make([][]*mpx.Stream, gpus)
+		for g := range streams {
+			ep, err := rt.Endpoint(g)
+			if err != nil {
+				return mpx.Stats{}, n, rec, err
+			}
+			streams[g] = append(streams[g], ep.Default())
+			for s := 1; s < nStreams; s++ {
+				h, err := ep.Open(envelope.Stream(s))
+				if err != nil {
+					return mpx.Stats{}, n, rec, fmt.Errorf("open stream %d on GPU %d: %w", s, g, err)
+				}
+				streams[g] = append(streams[g], h)
+			}
+		}
+	}
+
 	// Receive shape per destination, uniform so that class counts stay
 	// balanced and any arrival interleaving admits a perfect matching:
 	// 0 = concrete (src,tag), 1 = anyTag (src,ANY), 2 = anySrc (ANY,tag).
 	modes := make([]int, gpus)
 	for g := range modes {
 		switch level {
-		case mpx.FullMPI:
+		case mpx.FullMPI, mpx.StreamOrdered:
 			modes[g] = rng.Intn(3)
 		case mpx.NoSourceWildcard, mpx.NoUnexpected:
 			modes[g] = rng.Intn(2)
@@ -182,6 +214,7 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 	type send struct {
 		src, dst int
 		tag      envelope.Tag
+		stream   envelope.Stream
 	}
 	sends := make([]send, n)
 	for k := range sends {
@@ -191,25 +224,38 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 		} else {
 			s.tag = envelope.Tag(rng.Intn(3))
 		}
+		if level == mpx.StreamOrdered {
+			s.stream = envelope.Stream(rng.Intn(nStreams))
+		}
 		sends[k] = s
 	}
 	reqFor := func(s send) envelope.Request {
+		var req envelope.Request
 		switch modes[s.dst] {
 		case 1:
-			return envelope.Request{Src: envelope.Rank(s.src), Tag: envelope.AnyTag}
+			req = envelope.Request{Src: envelope.Rank(s.src), Tag: envelope.AnyTag}
 		case 2:
-			return envelope.Request{Src: envelope.AnySource, Tag: s.tag}
+			req = envelope.Request{Src: envelope.AnySource, Tag: s.tag}
 		default:
-			return envelope.Request{Src: envelope.Rank(s.src), Tag: s.tag}
+			req = envelope.Request{Src: envelope.Rank(s.src), Tag: s.tag}
 		}
+		req.Stream = s.stream // wildcards range within the stream
+		return req
 	}
 	post := func(k int) (chaosRecv, error) {
-		req := reqFor(sends[k])
-		h, err := rt.PostRecv(sends[k].dst, req.Src, req.Tag, req.Comm)
+		s := sends[k]
+		req := reqFor(s)
+		var h *mpx.Recv
+		var err error
+		if streams != nil {
+			h, err = streams[s.dst][s.stream].PostRecv(req.Src, req.Tag, req.Comm)
+		} else {
+			h, err = rt.PostRecv(s.dst, req.Src, req.Tag, req.Comm)
+		}
 		if err != nil {
 			return chaosRecv{}, fmt.Errorf("post recv %d: %w", k, err)
 		}
-		return chaosRecv{handle: h, req: req, dst: sends[k].dst}, nil
+		return chaosRecv{handle: h, req: req, dst: s.dst}, nil
 	}
 
 	// NoUnexpected requires every receive on the wall before the first
@@ -231,7 +277,13 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 	rejects := 0
 	for k, s := range sends {
 		payload := []byte{byte(k)}
-		if err := rt.Send(s.src, s.dst, s.tag, 0, payload); err != nil {
+		var err error
+		if streams != nil {
+			err = streams[s.src][s.stream].Send(s.dst, s.tag, 0, payload)
+		} else {
+			err = rt.Send(s.src, s.dst, s.tag, 0, payload)
+		}
+		if err != nil {
 			if bp && errors.Is(err, mpx.ErrBackpressure) {
 				// Typed refusal (ShedReject at the staging cap): legal
 				// under overload. The message was never accepted, so no
@@ -279,7 +331,7 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 	// Exactly-once: the delivered payload indices must be precisely
 	// {0..n-1}, each message satisfying the receive it landed on.
 	seen := make([]int, n)
-	perFlow := make(map[[3]int][]int) // (dst, src, tag) -> send indices in recv-posted order
+	perFlow := make(map[[4]int][]int) // (dst, src, tag, stream) -> send indices in recv-posted order
 	for ri, r := range recvs {
 		m, err := r.handle.Message()
 		if err != nil {
@@ -296,10 +348,10 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 		if !r.req.Matches(m.Env) {
 			return rt.Stats(), n, rec, fmt.Errorf("recv %d: delivered %v does not satisfy %v", ri, m.Env, r.req)
 		}
-		if sends[k].src != int(m.Env.Src) || sends[k].tag != m.Env.Tag {
+		if sends[k].src != int(m.Env.Src) || sends[k].tag != m.Env.Tag || sends[k].stream != m.Env.Stream {
 			return rt.Stats(), n, rec, fmt.Errorf("recv %d: envelope %v does not match send %d", ri, m.Env, k)
 		}
-		fk := [3]int{r.dst, int(m.Env.Src), int(m.Env.Tag)}
+		fk := [4]int{r.dst, int(m.Env.Src), int(m.Env.Tag), int(m.Env.Stream)}
 		perFlow[fk] = append(perFlow[fk], k)
 	}
 	for k, c := range seen {
@@ -313,6 +365,10 @@ func chaosWorkload(level mpx.Level, seed int64, i int, mix fault.Config, tcfg *t
 	}
 	// Per-flow ordering: under the ordered levels, same-class messages
 	// must reach their receives in send order despite wire reordering.
+	// The stream id is part of the class key, so under StreamOrdered
+	// this asserts exactly the per-stream guarantee and nothing more —
+	// cross-stream reorderings pass (and CheckChaosCoverage demands the
+	// runtime actually produced some).
 	if level != mpx.Unordered {
 		for fk, ks := range perFlow {
 			for j := 1; j < len(ks); j++ {
@@ -372,6 +428,8 @@ func addStats(a *mpx.Stats, b mpx.Stats) {
 	a.CreditStalls += b.CreditStalls
 	a.StateTransitions += b.StateTransitions
 	a.SlowDrains += b.SlowDrains
+	a.StreamSends += b.StreamSends
+	a.CrossStreamReleases += b.CrossStreamReleases
 	a.PersistentSends += b.PersistentSends
 	a.PersistentRecvs += b.PersistentRecvs
 	a.CacheHits += b.CacheHits
@@ -470,6 +528,13 @@ func CheckChaosCoverage(rep ChaosReport, mix fault.Config) error {
 		{"Corrupt", mix.Corrupt > 0, rep.Stats.Corrupt},
 		{"StallSteps", mix.Stall > 0, rep.Stats.StallSteps},
 		{"Acks", true, rep.Stats.Acks},
+		// Stream coverage (StreamOrdered reports only): the workloads
+		// actually used non-default streams, and — whenever the mix can
+		// reorder the wire — the relaxed release path actually freed
+		// frames past another stream's gap instead of degenerating into
+		// the strict path.
+		{"StreamSends", rep.Level == mpx.StreamOrdered, rep.Stats.StreamSends},
+		{"CrossStreamReleases", rep.Level == mpx.StreamOrdered && (mix.Delay > 0 || mix.Drop > 0), rep.Stats.CrossStreamReleases},
 	}
 	for _, c := range checks {
 		if c.enabled && c.count == 0 {

@@ -27,6 +27,7 @@ func Engines() []Engine {
 		{"commpar", func() match.Matcher { return match.NewCommParallelMatcher(match.MatrixConfig{Compact: true}) }},
 		{"partitioned", func() match.Matcher { return match.NewPartitionedMatcher(match.PartitionedConfig{Queues: 8}) }},
 		{"hashmatch", func() match.Matcher { return match.MustHashMatcher(match.HashConfig{}) }},
+		{"stream", func() match.Matcher { return match.NewStreamMatcher(match.StreamConfig{Streams: 8}) }},
 		{"reference", func() match.Matcher { return match.ReferenceMatcher{} }},
 	}
 }

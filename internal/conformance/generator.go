@@ -44,6 +44,11 @@ type GenConfig struct {
 	// generated message (so matches actually occur) rather than drawn
 	// independently.
 	HitRate float64
+	// Streams is the number of distinct ordering contexts (MPIX
+	// streams) to spread envelopes over. 0 or 1 keeps every envelope on
+	// the default stream — and, crucially, draws nothing extra from the
+	// rng, so pre-stream seeded workloads replay bit-identically.
+	Streams int
 }
 
 // depthBuckets reflects the paper's queue-depth distribution: §IV
@@ -121,6 +126,8 @@ func Generate(rng *rand.Rand, cfg GenConfig) Workload {
 	}
 	for i := range w.Msgs {
 		if i > 0 && rng.Float64() < cfg.DupRate {
+			// A duplicate repeats the full tuple, stream included — the
+			// case that separates per-stream from global ordering.
 			w.Msgs[i] = w.Msgs[rng.Intn(i)]
 			continue
 		}
@@ -129,10 +136,15 @@ func Generate(rng *rand.Rand, cfg GenConfig) Workload {
 			rng.Int31n(tagLim),
 			int32(rng.Intn(cfg.Comms)),
 		)
+		if cfg.Streams > 1 {
+			w.Msgs[i].Stream = envelope.Stream(rng.Intn(cfg.Streams)) & envelope.MaxStream
+		}
 	}
 	for i := range w.Reqs {
 		var e envelope.Envelope
 		if len(w.Msgs) > 0 && rng.Float64() < cfg.HitRate {
+			// Derived requests inherit the message's stream: there is no
+			// stream wildcard, so a hit must name the stream exactly.
 			e = w.Msgs[rng.Intn(len(w.Msgs))]
 		} else {
 			e = envelope.SanitizeEnvelope(
@@ -140,6 +152,9 @@ func Generate(rng *rand.Rand, cfg GenConfig) Workload {
 				rng.Int31n(tagLim),
 				int32(rng.Intn(cfg.Comms)),
 			)
+			if cfg.Streams > 1 {
+				e.Stream = envelope.Stream(rng.Intn(cfg.Streams)) & envelope.MaxStream
+			}
 		}
 		var wild uint8
 		if rng.Float64() < cfg.SrcWild {
@@ -148,7 +163,9 @@ func Generate(rng *rand.Rand, cfg GenConfig) Workload {
 		if rng.Float64() < cfg.TagWild {
 			wild |= 2
 		}
-		w.Reqs[i] = envelope.SanitizeRequest(int32(e.Src), int32(e.Tag), int32(e.Comm), wild)
+		r := envelope.SanitizeRequest(int32(e.Src), int32(e.Tag), int32(e.Comm), wild)
+		r.Stream = e.Stream
+		w.Reqs[i] = r
 	}
 	return w
 }
@@ -160,6 +177,20 @@ func WorkloadAt(seed int64, i int) Workload {
 	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier (2^64/φ)
 	rng := rand.New(rand.NewSource(seed ^ int64(i)*mix))
 	return Generate(rng, DrawConfig(rng))
+}
+
+// StreamWorkloadAt is WorkloadAt over stream-qualified workloads:
+// the sampled config additionally spreads envelopes across 2..8 MPIX
+// streams (always more than one, so every workload actually exercises
+// the stream dimension of the match predicate). It is the replay
+// handle of the stream conformance suite; the seed domain is disjoint
+// from WorkloadAt's so the two runs never share instances.
+func StreamWorkloadAt(seed int64, i int) Workload {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier (2^64/φ)
+	rng := rand.New(rand.NewSource(seed ^ int64(i)*mix ^ 0x5B957EA)) // domain salt: disjoint from WorkloadAt
+	cfg := DrawConfig(rng)
+	cfg.Streams = 2 + rng.Intn(7)
+	return Generate(rng, cfg)
 }
 
 // DecodeWorkload turns raw fuzzer bytes into a workload: one byte each

@@ -1,0 +1,94 @@
+package conformance
+
+import (
+	"testing"
+
+	"simtmp/internal/envelope"
+)
+
+// TestStreamWorkloadConformance is the stream-qualified differential
+// suite: ≥1000 seeded workloads whose envelopes spread over 2..8 MPIX
+// streams, every engine checked on each. The stream id has no wildcard,
+// so for the strict engines it must act as a pure extra discriminator —
+// bit-identical to the oracle — while the stream engine's partitioned
+// matching must verify under its per-stream (StreamQualified) contract.
+func TestStreamWorkloadConformance(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 200
+	}
+	workloads := make([]Workload, n)
+	for i := range workloads {
+		workloads[i] = StreamWorkloadAt(*confSeed, i)
+	}
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			m := e.New()
+			failures := 0
+			for i, w := range workloads {
+				if err := Check(m, w); err != nil {
+					failures++
+					t.Errorf("workload %d (replay: conformance.StreamWorkloadAt(%d, %d)): %v",
+						i, *confSeed, i, err)
+					if failures >= 5 {
+						t.Fatalf("aborting after %d failures", failures)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamWorkloadAtShape pins the generator's contract: replays are
+// deterministic, everything emitted validates, and the workloads
+// actually exercise the stream dimension — non-default streams appear
+// throughout, and same-{src,tag,comm} tuples recur on different
+// streams (the case that separates per-stream from global ordering).
+func TestStreamWorkloadAtShape(t *testing.T) {
+	nonDefault, crossStreamDup := 0, 0
+	for i := 0; i < 300; i++ {
+		w := StreamWorkloadAt(7, i)
+		r := StreamWorkloadAt(7, i)
+		if len(w.Msgs) != len(r.Msgs) || len(w.Reqs) != len(r.Reqs) {
+			t.Fatalf("workload %d: replay shapes differ", i)
+		}
+		byTuple := make(map[[3]int]map[envelope.Stream]bool)
+		for j, m := range w.Msgs {
+			if m != r.Msgs[j] {
+				t.Fatalf("workload %d: message %d differs on replay", i, j)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("workload %d: invalid message %v: %v", i, m, err)
+			}
+			if m.Stream != envelope.DefaultStream {
+				nonDefault++
+			}
+			tk := [3]int{int(m.Src), int(m.Tag), int(m.Comm)}
+			if byTuple[tk] == nil {
+				byTuple[tk] = make(map[envelope.Stream]bool)
+			}
+			byTuple[tk][m.Stream] = true
+		}
+		for _, streams := range byTuple {
+			if len(streams) > 1 {
+				crossStreamDup++
+			}
+		}
+		for j, q := range w.Reqs {
+			if q != r.Reqs[j] {
+				t.Fatalf("workload %d: request %d differs on replay", i, j)
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatalf("workload %d: invalid request %v: %v", i, q, err)
+			}
+		}
+	}
+	if nonDefault == 0 {
+		t.Fatal("300 stream workloads never produced a non-default stream")
+	}
+	if crossStreamDup == 0 {
+		t.Fatal("300 stream workloads never repeated a {src,tag,comm} tuple across streams")
+	}
+}

@@ -5,8 +5,9 @@
 // the entire header — source, 16-bit tag, communicator and flags —
 // fits into a single 64-bit word, which is what the GPU matchers load.
 //
-// The source field is 24 bits (16M ranks; the traced applications use
-// at most a few thousand), which leaves room for an 8-bit checksum
+// The source field is 20 bits (1M ranks; the traced applications use
+// at most a few thousand), followed by a 4-bit stream id (the MPIX
+// Stream ordering context, DESIGN.md §17) and an 8-bit checksum
 // sealed into every packed word. The checksum makes each wire word
 // self-checking: the GAS transport verifies it on receive, so a
 // bit-flipped header is detected and counted instead of silently
@@ -26,6 +27,13 @@ type Tag int32
 // representable in the packed header.
 type Comm int32
 
+// Stream identifies an ordering context within an endpoint (MPIX
+// Stream). Matching order is guaranteed only among messages and
+// requests carrying the same stream; there is no stream wildcard, so
+// the stream always participates in the match predicate, like the
+// communicator.
+type Stream int32
+
 // Wildcards. They are valid only in receive requests, never in
 // message envelopes.
 const (
@@ -37,27 +45,37 @@ const (
 
 // Limits of the packed representation.
 const (
-	MaxRank Rank = 1<<24 - 1
-	MaxTag  Tag  = 1<<16 - 1
-	MaxComm Comm = 1<<12 - 1
+	MaxRank   Rank   = 1<<20 - 1
+	MaxTag    Tag    = 1<<16 - 1
+	MaxComm   Comm   = 1<<12 - 1
+	MaxStream Stream = 1<<4 - 1
 )
+
+// DefaultStream is the ordering context used by the flat (non-stream)
+// API. Packed words with a zero stream are bit-identical to the
+// pre-stream encoding.
+const DefaultStream Stream = 0
 
 // Envelope is the matching header carried by a message. All fields are
 // concrete (wildcards are illegal on the send side).
 type Envelope struct {
-	Src  Rank
-	Tag  Tag
-	Comm Comm
+	Src    Rank
+	Tag    Tag
+	Comm   Comm
+	Stream Stream
 }
 
 // String formats the envelope for diagnostics.
 func (e Envelope) String() string {
+	if e.Stream != DefaultStream {
+		return fmt.Sprintf("{src:%d tag:%d comm:%d stream:%d}", e.Src, e.Tag, e.Comm, e.Stream)
+	}
 	return fmt.Sprintf("{src:%d tag:%d comm:%d}", e.Src, e.Tag, e.Comm)
 }
 
 // Validate reports whether the envelope is legal to send: concrete
-// non-negative source within 24 bits, tag within 16 bits, communicator
-// within 12 bits.
+// non-negative source within 20 bits, tag within 16 bits, communicator
+// within 12 bits, stream within 4 bits.
 func (e Envelope) Validate() error {
 	if e.Src < 0 {
 		return fmt.Errorf("envelope: source %d is negative (wildcards are receive-only)", e.Src)
@@ -71,15 +89,20 @@ func (e Envelope) Validate() error {
 	if e.Comm < 0 || e.Comm > MaxComm {
 		return fmt.Errorf("envelope: communicator %d outside [0,%d]", e.Comm, MaxComm)
 	}
+	if e.Stream < 0 || e.Stream > MaxStream {
+		return fmt.Errorf("envelope: stream %d outside [0,%d]", e.Stream, MaxStream)
+	}
 	return nil
 }
 
 // Request is a posted receive request's matching criteria. Src may be
-// AnySource and Tag may be AnyTag.
+// AnySource and Tag may be AnyTag. Stream is always concrete: MPIX
+// Stream defines no stream wildcard.
 type Request struct {
-	Src  Rank
-	Tag  Tag
-	Comm Comm
+	Src    Rank
+	Tag    Tag
+	Comm   Comm
+	Stream Stream
 }
 
 // String formats the request, spelling out wildcards.
@@ -90,6 +113,9 @@ func (r Request) String() string {
 	}
 	if r.Tag == AnyTag {
 		tag = "ANY"
+	}
+	if r.Stream != DefaultStream {
+		return fmt.Sprintf("{src:%s tag:%s comm:%d stream:%d}", src, tag, r.Comm, r.Stream)
 	}
 	return fmt.Sprintf("{src:%s tag:%s comm:%d}", src, tag, r.Comm)
 }
@@ -108,6 +134,9 @@ func (r Request) Validate() error {
 	if r.Comm < 0 || r.Comm > MaxComm {
 		return fmt.Errorf("request: communicator %d outside [0,%d]", r.Comm, MaxComm)
 	}
+	if r.Stream < 0 || r.Stream > MaxStream {
+		return fmt.Errorf("request: stream %d outside [0,%d] (streams admit no wildcard)", r.Stream, MaxStream)
+	}
 	return nil
 }
 
@@ -115,10 +144,13 @@ func (r Request) Validate() error {
 func (r Request) HasWildcard() bool { return r.Src == AnySource || r.Tag == AnyTag }
 
 // Matches reports whether message envelope e satisfies request r,
-// honoring wildcards. The communicator always participates (it admits
-// no wildcard in MPI).
+// honoring wildcards. The communicator and the stream always
+// participate (neither admits a wildcard).
 func (r Request) Matches(e Envelope) bool {
 	if r.Comm != e.Comm {
+		return false
+	}
+	if r.Stream != e.Stream {
 		return false
 	}
 	if r.Src != AnySource && r.Src != e.Src {
@@ -132,7 +164,8 @@ func (r Request) Matches(e Envelope) bool {
 
 // Packed header layout (64 bits):
 //
-//	bits  0..23  source rank (24 bits)
+//	bits  0..19  source rank (20 bits)
+//	bits 20..23  stream id (4 bits)
 //	bits 24..31  checksum (8-bit XOR fold of the other 7 bytes)
 //	bits 32..47  tag (16 bits)
 //	bits 48..59  communicator (12 bits)
@@ -141,17 +174,19 @@ func (r Request) Matches(e Envelope) bool {
 //	bit  62      valid (distinguishes a header from a zeroed slot)
 //	bit  63      reserved
 const (
-	srcShift   = 0
-	cksShift   = 24
-	tagShift   = 32
-	commShift  = 48
-	anySrcBit  = 1 << 60
-	anyTagBit  = 1 << 61
-	validBit   = 1 << 62
-	srcMask64  = 0xFFFFFF
-	cksMask64  = 0xFF
-	tagMask64  = 0xFFFF
-	commMask64 = 0xFFF
+	srcShift     = 0
+	streamShift  = 20
+	cksShift     = 24
+	tagShift     = 32
+	commShift    = 48
+	anySrcBit    = 1 << 60
+	anyTagBit    = 1 << 61
+	validBit     = 1 << 62
+	srcMask64    = 0xFFFFF
+	streamMask64 = 0xF
+	cksMask64    = 0xFF
+	tagMask64    = 0xFFFF
+	commMask64   = 0xFFF
 )
 
 // Checksum returns the 8-bit XOR fold of w's seven non-checksum bytes.
@@ -189,6 +224,7 @@ func (e Envelope) Pack() uint64 {
 	}
 	return Seal(validBit |
 		(uint64(e.Src)&srcMask64)<<srcShift |
+		(uint64(e.Stream)&streamMask64)<<streamShift |
 		(uint64(e.Tag)&tagMask64)<<tagShift |
 		(uint64(e.Comm)&commMask64)<<commShift)
 }
@@ -201,9 +237,10 @@ func UnpackEnvelope(w uint64) (Envelope, bool) {
 		return Envelope{}, false
 	}
 	return Envelope{
-		Src:  Rank((w >> srcShift) & srcMask64),
-		Tag:  Tag((w >> tagShift) & tagMask64),
-		Comm: Comm((w >> commShift) & commMask64),
+		Src:    Rank((w >> srcShift) & srcMask64),
+		Tag:    Tag((w >> tagShift) & tagMask64),
+		Comm:   Comm((w >> commShift) & commMask64),
+		Stream: Stream((w >> streamShift) & streamMask64),
 	}, true
 }
 
@@ -224,6 +261,7 @@ func (r Request) Pack() uint64 {
 	} else {
 		w |= (uint64(r.Tag) & tagMask64) << tagShift
 	}
+	w |= (uint64(r.Stream) & streamMask64) << streamShift
 	w |= (uint64(r.Comm) & commMask64) << commShift
 	return Seal(w)
 }
@@ -235,9 +273,10 @@ func UnpackRequest(w uint64) (Request, bool) {
 		return Request{}, false
 	}
 	r := Request{
-		Src:  Rank((w >> srcShift) & srcMask64),
-		Tag:  Tag((w >> tagShift) & tagMask64),
-		Comm: Comm((w >> commShift) & commMask64),
+		Src:    Rank((w >> srcShift) & srcMask64),
+		Tag:    Tag((w >> tagShift) & tagMask64),
+		Comm:   Comm((w >> commShift) & commMask64),
+		Stream: Stream((w >> streamShift) & streamMask64),
 	}
 	if w&anySrcBit != 0 {
 		r.Src = AnySource
@@ -251,11 +290,15 @@ func UnpackRequest(w uint64) (Request, bool) {
 // MatchesPacked evaluates the match predicate directly on two packed
 // words — the comparison the GPU scan phase executes (a handful of
 // mask-and-compare ALU operations on a single 64-bit register each).
+// The stream field compares unconditionally: no stream wildcard exists.
 func MatchesPacked(req, env uint64) bool {
 	if req&validBit == 0 || env&validBit == 0 {
 		return false
 	}
 	if (req>>commShift)&commMask64 != (env>>commShift)&commMask64 {
+		return false
+	}
+	if (req>>streamShift)&streamMask64 != (env>>streamShift)&streamMask64 {
 		return false
 	}
 	if req&anySrcBit == 0 && (req>>srcShift)&srcMask64 != (env>>srcShift)&srcMask64 {
@@ -267,17 +310,32 @@ func MatchesPacked(req, env uint64) bool {
 	return true
 }
 
+// StreamOf extracts the stream id from a packed header without a full
+// unpack — the field the stream-concurrent matcher partitions on.
+func StreamOf(w uint64) Stream {
+	return Stream((w >> streamShift) & streamMask64)
+}
+
 // SanitizeEnvelope deterministically maps arbitrary raw values into a
 // valid Envelope: the source is forced non-negative, the tag and
 // communicator masked into their packed-field widths. Generators and
 // fuzzers use it to turn untrusted bytes into legal send-side
-// envelopes without rejection sampling.
+// envelopes without rejection sampling. The stream is DefaultStream;
+// use SanitizeEnvelopeStream for stream-qualified traffic.
 func SanitizeEnvelope(src, tag, comm int32) Envelope {
 	return Envelope{
 		Src:  Rank(src) & MaxRank,
 		Tag:  Tag(tag) & MaxTag,
 		Comm: Comm(comm) & MaxComm,
 	}
+}
+
+// SanitizeEnvelopeStream is SanitizeEnvelope with an untrusted stream
+// id, masked into the 4-bit packed field like the other coordinates.
+func SanitizeEnvelopeStream(src, tag, comm, stream int32) Envelope {
+	e := SanitizeEnvelope(src, tag, comm)
+	e.Stream = Stream(stream) & MaxStream
+	return e
 }
 
 // SanitizeRequest is SanitizeEnvelope for receive requests: the low
@@ -295,9 +353,18 @@ func SanitizeRequest(src, tag, comm int32, wild uint8) Request {
 	return r
 }
 
-// Key returns the hash key for the envelope's {src, tag, comm} tuple —
-// the value the relaxed (unordered) matcher hashes. Wildcard-free
-// requests produce the same key for equal tuples.
+// SanitizeRequestStream is SanitizeRequest with an untrusted stream id
+// masked into range. There is no stream wildcard bit: streams are
+// always concrete.
+func SanitizeRequestStream(src, tag, comm, stream int32, wild uint8) Request {
+	r := SanitizeRequest(src, tag, comm, wild)
+	r.Stream = Stream(stream) & MaxStream
+	return r
+}
+
+// Key returns the hash key for the envelope's {src, tag, comm, stream}
+// tuple — the value the relaxed (unordered) matcher hashes.
+// Wildcard-free requests produce the same key for equal tuples.
 func (e Envelope) Key() uint64 { return e.Pack() }
 
 // Key returns the hash key for a wildcard-free request. It panics if

@@ -175,6 +175,7 @@ type delayedFrame struct {
 	payload []byte
 	seq     uint64
 	flow    uint64
+	sseq    uint64
 	due     int // step at which it is released
 }
 
@@ -228,9 +229,18 @@ func (in *Injector) Pending(dst int) int { return in.c.Pending(dst) }
 // running stalls expire on their own and hold no data.)
 func (in *Injector) Idle() bool { return len(in.delayed) == 0 && in.c.Idle() }
 
-// Put is the faulty wire write. One roll decides the frame's fate;
-// the fault classes are mutually exclusive per frame.
+// Put is the faulty wire write with no stream sequencing; see
+// PutStream.
 func (in *Injector) Put(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error {
+	return in.PutStream(dst, env, payload, seq, flow, 0)
+}
+
+// PutStream is the faulty wire write. One roll decides the frame's
+// fate; the fault classes are mutually exclusive per frame. sseq is
+// the per-(flow,stream) sequence number and rides the side channel
+// untouched — a delayed or duplicated frame keeps it, so stream
+// reassembly sees the same dedup/reorder surface as flow reassembly.
+func (in *Injector) PutStream(dst int, env envelope.Envelope, payload []byte, seq, flow, sseq uint64) error {
 	if src := int(env.Src); src < in.c.Size() && in.step < in.pauseUntil[src] {
 		return fmt.Errorf("%w (source GPU %d)", ErrPaused, src)
 	}
@@ -248,30 +258,30 @@ func (in *Injector) Put(dst int, env envelope.Envelope, payload []byte, seq, flo
 		in.rec.Instant(dst, evDrop, argSrc, int64(env.Src), 0, 0)
 		return nil // vanished on the wire; the sender sees success
 	case roll < cfg.Drop+cfg.Duplicate:
-		if err := in.c.PutWord(dst, w, payload, seq, flow); err != nil {
+		if err := in.c.PutWordStream(dst, w, payload, seq, flow, sseq); err != nil {
 			return err
 		}
 		in.ctr.Duplicates++
 		in.rec.Instant(dst, evDuplicate, argSrc, int64(env.Src), 0, 0)
 		// The copy is best-effort: a full ring drops it silently.
-		_ = in.c.PutWord(dst, w, payload, seq, flow)
+		_ = in.c.PutWordStream(dst, w, payload, seq, flow, sseq)
 		return nil
 	case roll < cfg.Drop+cfg.Duplicate+cfg.Corrupt:
 		in.ctr.Corrupts++
 		in.rec.Instant(dst, evCorrupt, argSrc, int64(env.Src), 0, 0)
 		w ^= 1 << uint(in.rng.Intn(64)) // single-bit flip: always checksum-detectable
-		return in.c.PutWord(dst, w, payload, seq, flow)
+		return in.c.PutWordStream(dst, w, payload, seq, flow, sseq)
 	case roll < cfg.Drop+cfg.Duplicate+cfg.Corrupt+cfg.Delay:
 		in.ctr.Delays++
 		due := in.step + 1 + in.rng.Intn(in.cfg.MaxDelaySteps)
 		in.rec.Instant(dst, evDelay, argSrc, int64(env.Src), argSteps, int64(due-in.step))
 		in.delayed = append(in.delayed, delayedFrame{
-			dst: dst, word: w, payload: payload, seq: seq, flow: flow,
+			dst: dst, word: w, payload: payload, seq: seq, flow: flow, sseq: sseq,
 			due: due,
 		})
 		return nil
 	default:
-		return in.c.PutWord(dst, w, payload, seq, flow)
+		return in.c.PutWordStream(dst, w, payload, seq, flow, sseq)
 	}
 }
 
@@ -354,7 +364,7 @@ func (in *Injector) Step() {
 		}
 		// Release; a full ring keeps the frame on the wire for the
 		// next step (delay, not loss).
-		if err := in.c.PutWord(d.dst, d.word, d.payload, d.seq, d.flow); err != nil {
+		if err := in.c.PutWordStream(d.dst, d.word, d.payload, d.seq, d.flow, d.sseq); err != nil {
 			kept = append(kept, d)
 		}
 	}

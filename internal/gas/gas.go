@@ -26,11 +26,15 @@ import (
 // runtime uses to decide whether the matching receive was pre-posted;
 // Flow is the per-(src,dst) wire sequence number the reliable layer
 // uses for deduplication and reordering.
+// SSeq is the per-(flow,stream) sequence number the stream-ordered
+// relaxation releases on: contiguous within a stream, independent
+// across streams (zero for non-stream traffic).
 type Message struct {
 	Env     envelope.Envelope
 	Payload []byte
 	Seq     uint64
 	Flow    uint64
+	SSeq    uint64
 }
 
 // LinkStats counts the transport-level anomalies one GPU's receive
@@ -63,6 +67,7 @@ type sideEntry struct {
 	payload []byte
 	seq     uint64
 	flow    uint64
+	sseq    uint64
 }
 
 // Pending returns the number of undelivered messages in the GPU's
@@ -130,7 +135,7 @@ func (g *GPU) DrainUpToKeepingCredits(max int) []Message {
 		case !envelope.ChecksumOK(w):
 			g.stats.Corrupt++
 		default:
-			out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq, Flow: side.flow})
+			out = append(out, Message{Env: env, Payload: side.payload, Seq: side.seq, Flow: side.flow, SSeq: side.sseq})
 		}
 	}
 	if g.sideHead == len(g.side) {
@@ -202,10 +207,17 @@ func (c *Cluster) Put(dst int, env envelope.Envelope, payload []byte) error {
 // surfaces. seq is the sender's logical timestamp and flow the
 // per-peer wire sequence number, both delivered with the message.
 func (c *Cluster) PutSeq(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error {
+	return c.PutStream(dst, env, payload, seq, flow, 0)
+}
+
+// PutStream is PutSeq carrying a per-(flow,stream) sequence number —
+// the wire form of a stream-qualified send. sseq 0 marks non-stream
+// traffic (PutSeq delegates here).
+func (c *Cluster) PutStream(dst int, env envelope.Envelope, payload []byte, seq, flow, sseq uint64) error {
 	if err := env.Validate(); err != nil {
 		return fmt.Errorf("gas: %w", err)
 	}
-	return c.PutWord(dst, env.Pack(), payload, seq, flow)
+	return c.PutWordStream(dst, env.Pack(), payload, seq, flow, sseq)
 }
 
 // PutWord is the raw wire path under PutSeq: it enqueues an arbitrary
@@ -213,6 +225,12 @@ func (c *Cluster) PutSeq(dst int, env envelope.Envelope, payload []byte, seq, fl
 // uses it to inject corrupted headers; tests use it for malformed
 // words. Every word still consumes a ring slot and credit.
 func (c *Cluster) PutWord(dst int, w uint64, payload []byte, seq, flow uint64) error {
+	return c.PutWordStream(dst, w, payload, seq, flow, 0)
+}
+
+// PutWordStream is PutWord with the per-(flow,stream) sequence number
+// in the side entry.
+func (c *Cluster) PutWordStream(dst int, w uint64, payload []byte, seq, flow, sseq uint64) error {
 	if dst < 0 || dst >= len(c.gpus) {
 		return fmt.Errorf("gas: destination GPU %d outside [0,%d)", dst, len(c.gpus))
 	}
@@ -225,6 +243,6 @@ func (c *Cluster) PutWord(dst int, w uint64, payload []byte, seq, flow uint64) e
 		g.side = g.side[:0]
 		g.sideHead = 0
 	}
-	g.side = append(g.side, sideEntry{payload: payload, seq: seq, flow: flow})
+	g.side = append(g.side, sideEntry{payload: payload, seq: seq, flow: flow, sseq: sseq})
 	return nil
 }

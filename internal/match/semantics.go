@@ -53,6 +53,14 @@ type Contract struct {
 	SrcWildcard bool
 	// TagWildcard reports whether MPI_ANY_TAG requests are admitted.
 	TagWildcard bool
+	// StreamQualified weakens Ordered semantics to per-stream ordering
+	// (MPIX Stream, DESIGN.md §17): the engine must reproduce the
+	// posted-order oracle within each stream, but owes nothing about
+	// the relative order of different streams. Because the stream field
+	// admits no wildcard, streams partition the matching domain, so the
+	// weaker obligation is checked by running the oracle stream by
+	// stream (VerifyStreamOrdered).
+	StreamQualified bool
 }
 
 // Admits reports whether the contract admits the request.
@@ -92,6 +100,9 @@ func (c Contract) RejectionError(r envelope.Request) error {
 func (c Contract) Verify(msgs []envelope.Envelope, reqs []envelope.Request, a Assignment) error {
 	switch c.Semantics {
 	case Ordered:
+		if c.StreamQualified {
+			return VerifyStreamOrdered(msgs, reqs, a)
+		}
 		return VerifyOrdered(msgs, reqs, a)
 	case Unordered:
 		return VerifyUnordered(msgs, reqs, a)

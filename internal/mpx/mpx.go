@@ -1,17 +1,24 @@
 // Package mpx ("message passing, relaxed") is the runtime tying the
 // substrates together: a GAS cluster of simulated GPUs, a matching
-// engine per GPU, and a send/recv API offering the paper's four
-// semantic levels. Each level corresponds to one row group of
-// Table II:
+// engine per GPU, and a send/recv API offering the paper's semantic
+// levels. Each level corresponds to one row group of Table II (plus
+// the MPIX Stream extension):
 //
 //	FullMPI          wildcards + ordering + unexpected msgs   matrix engine
 //	NoSourceWildcard rank partitioning possible               partitioned engine
 //	NoUnexpected     every message must find a posted recv    matrix/partitioned
 //	Unordered        no wildcards, no ordering                hash engine
+//	StreamOrdered    ordering only within each stream          stream engine
 //
 // The runtime validates at the API boundary what each relaxation
 // prohibits, so a program written against a level is guaranteed to be
 // portable to the corresponding hardware matcher.
+//
+// Endpoints and streams (endpoint.go): Endpoint is the per-GPU handle
+// owning the communication verbs; Open carves stream-qualified
+// ordering contexts out of it. The flat Runtime methods (Send,
+// PostRecv, SendInit, RecvInit) remain as thin wrappers over the
+// default stream of the addressed endpoint.
 package mpx
 
 import (
@@ -49,6 +56,14 @@ const (
 	// enabling hash matching (§VI-C). Tags must uniquely identify
 	// messages within a source.
 	Unordered
+	// StreamOrdered keeps wildcards and unexpected messages but
+	// guarantees matching order only within each endpoint stream (the
+	// MPIX Stream relaxation): sends on one stream match posted
+	// receives of that stream in posted order, while independent
+	// streams progress concurrently — both on the wire (per-stream
+	// release, no head-of-line blocking across streams) and in the
+	// matcher (one ordered sub-problem per stream).
+	StreamOrdered
 )
 
 // String names the level.
@@ -62,6 +77,8 @@ func (l Level) String() string {
 		return "no-unexpected"
 	case Unordered:
 		return "unordered"
+	case StreamOrdered:
+		return "stream-ordered"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}
@@ -75,6 +92,12 @@ var (
 	// ErrNotDelivered reports reading a receive handle before its
 	// message was matched.
 	ErrNotDelivered = errors.New("mpx: receive not yet delivered")
+	// ErrStreamClosed reports a stream-qualified operation on a stream
+	// the endpoint has not opened (or has closed).
+	ErrStreamClosed = errors.New("mpx: stream not open")
+	// ErrBadConfig is the typed sentinel Config.Normalize wraps when a
+	// field is nonsensical (negative sizes, unknown level or policy).
+	ErrBadConfig = errors.New("mpx: invalid config")
 )
 
 // Config parameterizes a runtime.
@@ -87,6 +110,11 @@ type Config struct {
 	GPUs int
 	// Queues is the partition count for NoSourceWildcard (default 8).
 	Queues int
+	// Streams is the number of concurrent matching lanes the
+	// StreamOrdered engine runs (default 8, capped at the wire's
+	// 16-stream namespace). Ignored by the other levels; an endpoint
+	// may always open any of the 16 wire streams regardless.
+	Streams int
 	// QueueCap bounds each GPU's message queue (default 4096).
 	QueueCap int
 	// Link models the interconnect for payload movement (zero value:
@@ -281,6 +309,15 @@ type Stats struct {
 	// lossless wire).
 	SlowDrains int
 
+	// Stream-ordered contexts (the MPIX Stream relaxation; all zero
+	// unless streams are in use — see endpoint.go).
+	StreamSends int // sends on a non-default stream
+	// CrossStreamReleases counts frames the receiver released to
+	// matching while a lower flow sequence was still missing — the
+	// cross-stream overtakes the strict levels would have held back.
+	// Nonzero only under Level == StreamOrdered with wire reordering.
+	CrossStreamReleases int
+
 	// Persistent matching (the sealed match-handle cache; see
 	// persistent.go — all zero unless SendInit/RecvInit channels are in
 	// use).
@@ -391,6 +428,12 @@ type Runtime struct {
 	invScratch  []match.HandleID
 	persistSec  float64
 
+	// openStreams tracks each endpoint's open ordering contexts as a
+	// 16-bit set (bit s = stream s open; bit 0, the default stream, is
+	// always set). Endpoint.Open and Stream.Close flip the bits; the
+	// stream-qualified verbs check them (see endpoint.go).
+	openStreams []uint16
+
 	// seq is the logical clock ordering sends against receive posts,
 	// deciding pre-postedness per message.
 	seq   uint64
@@ -418,31 +461,81 @@ type Runtime struct {
 	mCacheInvalids *telemetry.Counter
 }
 
-// New creates a runtime. It panics only on programmer errors (bad
-// sizes); user-level misuses surface as errors from Send/PostRecv.
+// Normalize validates the config and applies every construction-time
+// default in one place: unset (zero) fields take their documented
+// defaults, nonsensical fields (negative sizes, unknown level or shed
+// policy, inverted health watermarks) return an error wrapping
+// ErrBadConfig. Normalize is idempotent — re-normalizing a normalized
+// config changes nothing — and New applies it implicitly, panicking on
+// error; callers that want the error instead call Normalize first.
+func (c Config) Normalize() (Config, error) {
+	if c.Level < FullMPI || c.Level > StreamOrdered {
+		return c, fmt.Errorf("%w: unknown level %d", ErrBadConfig, int(c.Level))
+	}
+	if c.Shed < ShedReject || c.Shed > ShedDropNewest {
+		return c, fmt.Errorf("%w: unknown shed policy %d", ErrBadConfig, int(c.Shed))
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"GPUs", c.GPUs}, {"Queues", c.Queues}, {"QueueCap", c.QueueCap},
+		{"Streams", c.Streams}, {"Window", c.Window}, {"RetryLimit", c.RetryLimit},
+		{"StallPatience", c.StallPatience}, {"EngineWorkers", c.EngineWorkers},
+		{"UMQCap", c.UMQCap}, {"PRQCap", c.PRQCap}, {"StagingCap", c.StagingCap},
+	} {
+		if f.v < 0 {
+			return c, fmt.Errorf("%w: negative %s (%d)", ErrBadConfig, f.name, f.v)
+		}
+	}
+	if c.Health.HighWater < 0 || c.Health.LowWater < 0 || c.Health.RecoverySteps < 0 {
+		return c, fmt.Errorf("%w: negative health watermark or recovery steps", ErrBadConfig)
+	}
+	// Validate the hysteresis band after defaults resolve, so a lone
+	// LowWater above the default HighWater is caught too.
+	if h := c.Health.withDefaults(); h.LowWater >= h.HighWater {
+		return c, fmt.Errorf("%w: health LowWater %.3g must stay below HighWater %.3g (the hysteresis band)",
+			ErrBadConfig, h.LowWater, h.HighWater)
+	}
+	if c.Arch == nil {
+		c.Arch = arch.PascalGTX1080()
+	}
+	if c.GPUs == 0 {
+		c.GPUs = 2
+	}
+	if c.Queues == 0 {
+		c.Queues = 8
+	}
+	if c.Streams == 0 {
+		c.Streams = 8
+	}
+	if c.Streams > int(envelope.MaxStream)+1 {
+		c.Streams = int(envelope.MaxStream) + 1
+	}
+	if c.Link.BandwidthGBs <= 0 {
+		c.Link = proto.NVLink()
+	}
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 16
+	}
+	if c.StallPatience == 0 {
+		c.StallPatience = 100
+	}
+	c.Health = c.Health.withDefaults()
+	return c, nil
+}
+
+// New creates a runtime. It panics only on programmer errors (a config
+// Normalize rejects); user-level misuses surface as errors from
+// Send/PostRecv.
 func New(cfg Config) *Runtime {
-	if cfg.Arch == nil {
-		cfg.Arch = arch.PascalGTX1080()
+	var err error
+	if cfg, err = cfg.Normalize(); err != nil {
+		panic(err)
 	}
-	if cfg.GPUs <= 0 {
-		cfg.GPUs = 2
-	}
-	if cfg.Queues <= 0 {
-		cfg.Queues = 8
-	}
-	if cfg.Link.BandwidthGBs <= 0 {
-		cfg.Link = proto.NVLink()
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 64
-	}
-	if cfg.RetryLimit <= 0 {
-		cfg.RetryLimit = 16
-	}
-	if cfg.StallPatience <= 0 {
-		cfg.StallPatience = 100
-	}
-	cfg.Health = cfg.Health.withDefaults()
 	rt := &Runtime{
 		cfg:          cfg,
 		cluster:      gas.NewCluster(cfg.GPUs, cfg.Arch, cfg.QueueCap),
@@ -455,10 +548,12 @@ func New(cfg Config) *Runtime {
 		pcaches:      make([]*match.PersistentCache, cfg.GPUs),
 		openPersist:  make([]int, cfg.GPUs),
 		sealCand:     make([][]*PersistentRecv, cfg.GPUs),
+		openStreams:  make([]uint16, cfg.GPUs),
 	}
 	for g := 0; g < cfg.GPUs; g++ {
 		rt.tx[g] = make([]*txFlow, cfg.GPUs)
 		rt.rx[g] = make([]*rxFlow, cfg.GPUs)
+		rt.openStreams[g] = 1 // the default stream is always open
 	}
 	if cfg.Fault != nil {
 		rt.injector = fault.New(rt.cluster, *cfg.Fault)
@@ -518,6 +613,11 @@ func (rt *Runtime) newEngine(g int) match.Matcher {
 		})
 	case Unordered:
 		return match.MustHashMatcher(match.HashConfig{Arch: rt.cfg.Arch, Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g})
+	case StreamOrdered:
+		return match.NewStreamMatcher(match.StreamConfig{
+			Arch: rt.cfg.Arch, Streams: rt.cfg.Streams,
+			Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g,
+		})
 	default:
 		return match.NewMatrixMatcher(match.MatrixConfig{Arch: rt.cfg.Arch, Compact: true, Workers: rt.cfg.EngineWorkers, Recorder: rt.rec, Track: g})
 	}
@@ -530,24 +630,34 @@ func (rt *Runtime) Level() Level { return rt.cfg.Level }
 func (rt *Runtime) GPUs() int { return rt.cluster.Size() }
 
 // Send transmits payload from GPU src to GPU dst with the given tag
-// and communicator — a direct GAS write into dst's message queue via
-// the reliable layer. Validation happens before any state changes, so
-// a rejected send burns no sequence number; an accepted send never
-// fails on transient back-pressure (the frame queues in the flow's
-// outbox and Progress transmits it when the wire has room).
+// and communicator on the default stream — a thin wrapper over the
+// endpoint verb (see endpoint.go for the handle-based API).
 func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payload []byte) error {
+	return rt.sendStream(src, envelope.DefaultStream, dst, tag, comm, payload)
+}
+
+// sendStream is the send core: a direct GAS write into dst's message
+// queue via the reliable layer, stamped with the source endpoint's
+// stream. Validation happens before any state changes, so a rejected
+// send burns no sequence number; an accepted send never fails on
+// transient back-pressure (the frame queues in the flow's outbox and
+// Progress transmits it when the wire has room).
+func (rt *Runtime) sendStream(src int, stream envelope.Stream, dst int, tag envelope.Tag, comm envelope.Comm, payload []byte) error {
 	if src < 0 || src >= rt.cluster.Size() {
 		return fmt.Errorf("mpx: source GPU %d outside [0,%d)", src, rt.cluster.Size())
 	}
 	if dst < 0 || dst >= rt.cluster.Size() {
 		return fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
 	}
-	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm}
+	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm, Stream: stream}
 	if err := env.Validate(); err != nil {
 		return fmt.Errorf("mpx: %w", err)
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.streamOpenLocked(src, stream); err != nil {
+		return err
+	}
 	fl := rt.txFlowFor(src, dst)
 	if rt.cfg.StagingCap > 0 && fl.staged() >= rt.cfg.StagingCap {
 		// The staging buffer is full: shed per policy. The new frame is
@@ -556,37 +666,60 @@ func (rt *Runtime) Send(src, dst int, tag envelope.Tag, comm envelope.Comm, payl
 		accepted, err := rt.shedSendLocked(fl, func() *frame {
 			rt.seq++
 			fl.nextFlow++
-			return &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow}
+			return &frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow, sseq: fl.stampSSeq(stream)}
 		})
 		if !accepted {
 			return err
 		}
-		rt.stats.Sends++
-		rt.mSends.Add(1)
-		rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
+		rt.noteSendLocked(src, dst, stream, fl)
 		_, err = rt.flushOutbox(fl)
 		return err
 	}
 	rt.seq++
 	fl.nextFlow++
-	fl.push(&frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow})
-	rt.stats.Sends++
-	rt.mSends.Add(1)
-	rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
+	fl.push(&frame{env: env, payload: payload, seq: rt.seq, flow: fl.nextFlow, sseq: fl.stampSSeq(stream)})
+	rt.noteSendLocked(src, dst, stream, fl)
 	// Eagerly push what the window and wire allow, so a send is on the
 	// wire before the next progress step on an uncongested cluster.
 	_, err := rt.flushOutbox(fl)
 	return err
 }
 
-// PostRecv posts a receive on GPU dst. The level's contract is
-// enforced here: NoSourceWildcard and stricter reject AnySource;
-// Unordered rejects both wildcards.
+// noteSendLocked does the accounting every accepted send shares.
+func (rt *Runtime) noteSendLocked(src, dst int, stream envelope.Stream, fl *txFlow) {
+	rt.stats.Sends++
+	if stream != envelope.DefaultStream {
+		rt.stats.StreamSends++
+	}
+	rt.mSends.Add(1)
+	rt.rec.Instant(src, evSend, argDst, int64(dst), argFlow, int64(fl.nextFlow))
+}
+
+// streamOpenLocked checks that endpoint g holds stream open (the
+// default stream always is).
+func (rt *Runtime) streamOpenLocked(g int, stream envelope.Stream) error {
+	if rt.openStreams[g]&(1<<stream) == 0 {
+		return fmt.Errorf("%w: stream %d on GPU %d", ErrStreamClosed, stream, g)
+	}
+	return nil
+}
+
+// PostRecv posts a receive on GPU dst for the default stream — a thin
+// wrapper over the endpoint verb (see endpoint.go).
 func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm envelope.Comm) (*Recv, error) {
+	return rt.postRecvStream(dst, envelope.DefaultStream, src, tag, comm)
+}
+
+// postRecvStream is the receive-post core. The level's contract is
+// enforced here: NoSourceWildcard and stricter reject AnySource;
+// Unordered rejects both wildcards; FullMPI and StreamOrdered admit
+// everything (a stream-qualified wildcard ranges only within its
+// stream — the stream field itself has no wildcard).
+func (rt *Runtime) postRecvStream(dst int, stream envelope.Stream, src envelope.Rank, tag envelope.Tag, comm envelope.Comm) (*Recv, error) {
 	if dst < 0 || dst >= rt.cluster.Size() {
 		return nil, fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
 	}
-	req := envelope.Request{Src: src, Tag: tag, Comm: comm}
+	req := envelope.Request{Src: src, Tag: tag, Comm: comm, Stream: stream}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -602,6 +735,9 @@ func (rt *Runtime) PostRecv(dst int, src envelope.Rank, tag envelope.Tag, comm e
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.streamOpenLocked(dst, stream); err != nil {
+		return nil, err
+	}
 	if rt.cfg.PRQCap > 0 && len(rt.pendingRecvs[dst]) >= rt.cfg.PRQCap {
 		rt.stats.RecvRejects++
 		rt.healthNoteShedLocked(dst)

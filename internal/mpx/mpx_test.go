@@ -14,7 +14,8 @@ func TestLevelString(t *testing.T) {
 	levels := map[Level]string{
 		FullMPI: "full-mpi", NoSourceWildcard: "no-src-wildcard",
 		NoUnexpected: "no-unexpected", Unordered: "unordered",
-		Level(9): "Level(9)",
+		StreamOrdered: "stream-ordered",
+		Level(9):      "Level(9)",
 	}
 	for l, want := range levels {
 		if got := l.String(); got != want {

@@ -81,7 +81,7 @@ type PersistentSend struct {
 // The payload is bound by reference, like Send: the caller may rewrite
 // its contents between iterations (or swap the buffer via Bind).
 func (rt *Runtime) SendInit(src, dst int, tag envelope.Tag, comm envelope.Comm, payload []byte) (*PersistentSend, error) {
-	h, err := rt.sendInit(src, dst, tag, comm, 1, false)
+	h, err := rt.sendInit(src, envelope.DefaultStream, dst, tag, comm, 1, false)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func (rt *Runtime) SendInitPartitioned(src, dst int, tag envelope.Tag, comm enve
 	if len(partitions) < 1 || len(partitions) > MaxPartitions {
 		return nil, fmt.Errorf("mpx: %d partitions outside [1,%d]", len(partitions), MaxPartitions)
 	}
-	h, err := rt.sendInit(src, dst, tag, comm, len(partitions), true)
+	h, err := rt.sendInit(src, envelope.DefaultStream, dst, tag, comm, len(partitions), true)
 	if err != nil {
 		return nil, err
 	}
@@ -110,16 +110,22 @@ func (rt *Runtime) SendInitPartitioned(src, dst int, tag envelope.Tag, comm enve
 	return h, nil
 }
 
-func (rt *Runtime) sendInit(src, dst int, tag envelope.Tag, comm envelope.Comm, parts int, partitioned bool) (*PersistentSend, error) {
+func (rt *Runtime) sendInit(src int, stream envelope.Stream, dst int, tag envelope.Tag, comm envelope.Comm, parts int, partitioned bool) (*PersistentSend, error) {
 	if src < 0 || src >= rt.cluster.Size() {
 		return nil, fmt.Errorf("mpx: source GPU %d outside [0,%d)", src, rt.cluster.Size())
 	}
 	if dst < 0 || dst >= rt.cluster.Size() {
 		return nil, fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
 	}
-	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm}
+	env := envelope.Envelope{Src: envelope.Rank(src), Tag: tag, Comm: comm, Stream: stream}
 	if err := env.Validate(); err != nil {
 		return nil, fmt.Errorf("mpx: %w", err)
+	}
+	rt.mu.Lock()
+	err := rt.streamOpenLocked(src, stream)
+	rt.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return &PersistentSend{
 		rt: rt, src: src, dst: dst, env: env,
@@ -207,7 +213,7 @@ func (h *PersistentSend) fireLocked(i int) error {
 		accepted, err := rt.shedSendLocked(fl, func() *frame {
 			rt.seq++
 			fl.nextFlow++
-			return h.frameLocked(i, rt.seq, fl.nextFlow)
+			return h.frameLocked(i, rt.seq, fl.nextFlow, fl.stampSSeq(h.env.Stream))
 		})
 		if !accepted {
 			return err
@@ -215,7 +221,7 @@ func (h *PersistentSend) fireLocked(i int) error {
 	} else {
 		rt.seq++
 		fl.nextFlow++
-		fl.push(h.frameLocked(i, rt.seq, fl.nextFlow))
+		fl.push(h.frameLocked(i, rt.seq, fl.nextFlow, fl.stampSSeq(h.env.Stream)))
 	}
 	h.fired[i] = true
 	h.firedCount++
@@ -229,7 +235,7 @@ func (h *PersistentSend) fireLocked(i int) error {
 
 // frameLocked builds partition i's frame, reusing a retired one from
 // the handle's pool when available (the zero-allocation re-fire path).
-func (h *PersistentSend) frameLocked(i int, seq, flow uint64) *frame {
+func (h *PersistentSend) frameLocked(i int, seq, flow, sseq uint64) *frame {
 	var fr *frame
 	if n := len(h.pool); n > 0 {
 		fr = h.pool[n-1]
@@ -242,6 +248,7 @@ func (h *PersistentSend) frameLocked(i int, seq, flow uint64) *frame {
 	fr.payload = h.wire[i]
 	fr.seq = seq
 	fr.flow = flow
+	fr.sseq = sseq
 	fr.attempts = 0
 	fr.deadline = 0
 	return fr
@@ -329,7 +336,7 @@ type PersistentRecv struct {
 // RecvInit creates a persistent receive channel on GPU dst for the
 // (src, tag, comm) tuple. Wildcards follow the level's PostRecv rules.
 func (rt *Runtime) RecvInit(dst int, src envelope.Rank, tag envelope.Tag, comm envelope.Comm) (*PersistentRecv, error) {
-	return rt.recvInit(dst, src, tag, comm, 1, false)
+	return rt.recvInit(dst, envelope.DefaultStream, src, tag, comm, 1, false)
 }
 
 // RecvInitPartitioned creates a partitioned persistent receive channel
@@ -339,16 +346,22 @@ func (rt *Runtime) RecvInitPartitioned(dst int, src envelope.Rank, tag envelope.
 	if parts < 1 || parts > MaxPartitions {
 		return nil, fmt.Errorf("mpx: %d partitions outside [1,%d]", parts, MaxPartitions)
 	}
-	return rt.recvInit(dst, src, tag, comm, parts, true)
+	return rt.recvInit(dst, envelope.DefaultStream, src, tag, comm, parts, true)
 }
 
-func (rt *Runtime) recvInit(dst int, src envelope.Rank, tag envelope.Tag, comm envelope.Comm, parts int, partitioned bool) (*PersistentRecv, error) {
+func (rt *Runtime) recvInit(dst int, stream envelope.Stream, src envelope.Rank, tag envelope.Tag, comm envelope.Comm, parts int, partitioned bool) (*PersistentRecv, error) {
 	if dst < 0 || dst >= rt.cluster.Size() {
 		return nil, fmt.Errorf("mpx: destination GPU %d outside [0,%d)", dst, rt.cluster.Size())
 	}
-	req := envelope.Request{Src: src, Tag: tag, Comm: comm}
+	req := envelope.Request{Src: src, Tag: tag, Comm: comm, Stream: stream}
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	rt.mu.Lock()
+	serr := rt.streamOpenLocked(dst, stream)
+	rt.mu.Unlock()
+	if serr != nil {
+		return nil, serr
 	}
 	switch rt.cfg.Level {
 	case NoSourceWildcard, NoUnexpected:
@@ -372,7 +385,7 @@ func (rt *Runtime) recvInit(dst int, src envelope.Rank, tag envelope.Tag, comm e
 		payloads:    make([][]byte, parts),
 	}
 	if !h.wildcard {
-		h.env = envelope.Envelope{Src: src, Tag: tag, Comm: comm}
+		h.env = envelope.Envelope{Src: src, Tag: tag, Comm: comm, Stream: stream}
 		if !rt.cfg.DisablePersistentCache {
 			rt.mu.Lock()
 			if rt.pcaches[dst] == nil {

@@ -26,9 +26,11 @@ import (
 type Transport interface {
 	// Size returns the number of GPUs on the wire.
 	Size() int
-	// Put writes one frame into dst's ring; retryable back-pressure
-	// errors wrap ring.ErrNoCredits or fault.ErrPaused.
-	Put(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error
+	// PutStream writes one frame into dst's ring, carrying both the
+	// per-flow wire sequence and the per-(flow,stream) sub-sequence;
+	// retryable back-pressure errors wrap ring.ErrNoCredits or
+	// fault.ErrPaused.
+	PutStream(dst int, env envelope.Envelope, payload []byte, seq, flow, sseq uint64) error
 	// Drain removes dst's arrived messages in wire order.
 	Drain(dst int) []gas.Message
 	// Pending returns dst's undrained depth.
@@ -45,8 +47,8 @@ type Transport interface {
 type lossless struct{ c *gas.Cluster }
 
 func (l lossless) Size() int { return l.c.Size() }
-func (l lossless) Put(dst int, env envelope.Envelope, payload []byte, seq, flow uint64) error {
-	return l.c.PutSeq(dst, env, payload, seq, flow)
+func (l lossless) PutStream(dst int, env envelope.Envelope, payload []byte, seq, flow, sseq uint64) error {
+	return l.c.PutStream(dst, env, payload, seq, flow, sseq)
 }
 func (l lossless) Drain(dst int) []gas.Message     { return l.c.Drain(dst) }
 func (l lossless) Pending(dst int) int             { return l.c.Pending(dst) }
@@ -61,14 +63,20 @@ func retryable(err error) bool {
 	return errors.Is(err, ring.ErrNoCredits) || errors.Is(err, fault.ErrPaused)
 }
 
+// numStreams is the number of per-endpoint ordering contexts the wire
+// can name (the envelope's 4-bit stream field).
+const numStreams = int(envelope.MaxStream) + 1
+
 // frame is one send in flight: the envelope and payload plus the
-// global logical timestamp (seq, pre-postedness) and the per-flow wire
-// sequence number (flow, dedup/ordering).
+// global logical timestamp (seq, pre-postedness), the per-flow wire
+// sequence number (flow, dedup/ordering), and the per-(flow,stream)
+// sub-sequence (sseq, release order under StreamOrdered).
 type frame struct {
 	env      envelope.Envelope
 	payload  []byte
 	seq      uint64
 	flow     uint64
+	sseq     uint64
 	attempts int     // transmissions so far
 	deadline float64 // simulated time of the next retransmission
 	// owner, when non-nil, is the persistent send channel this frame
@@ -86,6 +94,10 @@ type frame struct {
 type txFlow struct {
 	src, dst int
 	nextFlow uint64 // last wire sequence number assigned
+	// nextSSeq holds the last per-stream sub-sequence assigned, one
+	// counter per ordering context. Stream 0 carries all traffic of the
+	// strict levels, so the counters cost nothing there.
+	nextSSeq [numStreams]uint64
 	// outbox is the staging queue, consumed from outHead: popping
 	// advances the head instead of re-slicing, and draining rewinds to
 	// the buffer's start, so steady-state traffic reuses one backing
@@ -119,6 +131,13 @@ func (fl *txFlow) popHead() *frame {
 		fl.outHead = 0
 	}
 	return fr
+}
+
+// stampSSeq assigns the next per-stream sub-sequence for a frame on
+// stream s.
+func (fl *txFlow) stampSSeq(s envelope.Stream) uint64 {
+	fl.nextSSeq[s]++
+	return fl.nextSSeq[s]
 }
 
 // pushOrdered inserts a frame into the staging queue keeping ascending
@@ -177,6 +196,24 @@ type rxFlow struct {
 	// each missing sequence is signalled exactly once.
 	matched     uint64
 	nackedBelow uint64
+	// streams holds the per-stream release frontiers used only under
+	// StreamOrdered (lazily allocated per stream). When they are in
+	// play, next/held keep doing dedup and gap detection on the dense
+	// flow sequence, but held entries become zero-Message tombstones:
+	// the payload-carrying copy lives in its stream's held map until
+	// its per-stream sub-sequence is contiguous.
+	streams [numStreams]*rxStream
+}
+
+// rxStream is the receiver half of one (dst,src,stream) ordering
+// context under StreamOrdered: the next expected per-stream
+// sub-sequence and the out-of-order frames of that stream held back
+// until the gap before them fills. Frames of different streams
+// overtake each other freely — that reordering is exactly what the
+// MPIX Stream relaxation permits.
+type rxStream struct {
+	next uint64
+	held map[uint64]gas.Message
 }
 
 // StallError reports a Drain that stopped making progress while
@@ -254,7 +291,7 @@ func (rt *Runtime) flushOutbox(fl *txFlow) (int, error) {
 			rt.rec.Instant(fl.src, evCreditStall, argDst, int64(fl.dst), argQueued, int64(fl.staged()))
 			break
 		}
-		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
+		if err := rt.transport.PutStream(fl.dst, fr.env, fr.payload, fr.seq, fr.flow, fr.sseq); err != nil {
 			if retryable(err) {
 				rt.stats.CreditStalls++
 				rt.mCreditStalls.Add(1)
@@ -285,7 +322,7 @@ func (rt *Runtime) checkRetransmits(fl *txFlow) (int, error) {
 		if fr.attempts >= rt.cfg.RetryLimit {
 			return moved, &DropError{Src: fl.src, Dst: fl.dst, Flow: fr.flow, Attempts: fr.attempts}
 		}
-		if err := rt.transport.Put(fl.dst, fr.env, fr.payload, fr.seq, fr.flow); err != nil {
+		if err := rt.transport.PutStream(fl.dst, fr.env, fr.payload, fr.seq, fr.flow, fr.sseq); err != nil {
 			if retryable(err) {
 				fr.deadline = rt.now + rt.poll
 				continue
@@ -380,6 +417,10 @@ func (rt *Runtime) receiveLocked() int {
 				rt.stats.Duplicates++
 				continue
 			}
+			if rt.cfg.Level == StreamOrdered {
+				progress += rt.releaseStreamLocked(g, rx, m)
+				continue
+			}
 			rx.held[m.Flow] = m
 			for {
 				mm, ok := rx.held[rx.next]
@@ -408,6 +449,57 @@ func (rt *Runtime) receiveLocked() int {
 	return progress
 }
 
+// releaseStreamLocked lands one non-duplicate frame under the
+// StreamOrdered contract. The flow-sequence ledger (rx.next/rx.held)
+// keeps doing duplicate suppression and NACK gap detection exactly as
+// under the strict levels — but its entries become zero-Message
+// tombstones, because delivery no longer waits for flow contiguity:
+// each frame is released in contiguous per-stream sub-sequence order
+// instead, so one stream never stalls behind another stream's wire
+// gap. A frame released while a lower flow sequence is still missing
+// is precisely the reordering the relaxation permits and the strict
+// path would have held back; Stats.CrossStreamReleases counts them.
+func (rt *Runtime) releaseStreamLocked(g int, rx *rxFlow, m gas.Message) int {
+	progress := 0
+	// Arrival tombstone: dedup and the gap scan still key on the dense
+	// flow sequence, and the frontier advance reclaims the entries.
+	rx.held[m.Flow] = gas.Message{}
+	for {
+		if _, ok := rx.held[rx.next]; !ok {
+			break
+		}
+		delete(rx.held, rx.next)
+		rx.next++
+	}
+	st := rx.streams[m.Env.Stream]
+	if st == nil {
+		st = &rxStream{next: 1, held: make(map[uint64]gas.Message)}
+		rx.streams[m.Env.Stream] = st
+	}
+	st.held[m.SSeq] = m
+	for {
+		mm, ok := st.held[st.next]
+		if !ok {
+			break
+		}
+		delete(st.held, st.next)
+		st.next++
+		if mm.Flow >= rx.next {
+			rt.stats.CrossStreamReleases++
+		}
+		if rt.persistDeliverLocked(g, mm) {
+			if rt.creditWindow > 0 {
+				rx.matched++
+			}
+			progress++
+			continue
+		}
+		rt.pendingMsgs[g] = append(rt.pendingMsgs[g], mm)
+		progress++
+	}
+	return progress
+}
+
 // flowsIdleLocked reports whether every sender flow delivered all its
 // frames and no receiver holds an out-of-order fragment — i.e. the
 // reliable layer itself has nothing left to do.
@@ -421,8 +513,17 @@ func (rt *Runtime) flowsIdleLocked() bool {
 	}
 	for dst := range rt.rx {
 		for src := range rt.rx[dst] {
-			if rx := rt.rx[dst][src]; rx != nil && len(rx.held) > 0 {
+			rx := rt.rx[dst][src]
+			if rx == nil {
+				continue
+			}
+			if len(rx.held) > 0 {
 				return false
+			}
+			for _, st := range rx.streams {
+				if st != nil && len(st.held) > 0 {
+					return false
+				}
 			}
 		}
 	}

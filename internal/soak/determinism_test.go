@@ -92,7 +92,7 @@ func TestSoakDeterministicAcrossSuiteWorkers(t *testing.T) {
 // TestSoakDeterministicLevels replays each level and the fault plane to
 // make sure determinism is not an Unordered-only accident.
 func TestSoakDeterministicLevels(t *testing.T) {
-	for _, lvl := range []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered} {
+	for _, lvl := range []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered, mpx.StreamOrdered} {
 		cfg := Config{Level: lvl, Seed: 19, Messages: 4_000}
 		sameRecords(t, lvl.String(), soakRecords(t, cfg), soakRecords(t, cfg))
 	}

@@ -180,12 +180,13 @@ func TestSoakTagGuard(t *testing.T) {
 	t.Logf("got expected guard: %v", err)
 }
 
-// TestSoakLevels runs the soak across all four semantic levels to pin
+// TestSoakLevels runs the soak across all five semantic levels to pin
 // that the driver's traffic pattern is legal under each contract (the
 // receive is always posted before the message's first progress step, so
-// even NoUnexpected holds).
+// even NoUnexpected holds; under StreamOrdered all traffic rides the
+// default stream, which the relaxation keeps fully ordered).
 func TestSoakLevels(t *testing.T) {
-	for _, lvl := range []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered} {
+	for _, lvl := range []mpx.Level{mpx.FullMPI, mpx.NoSourceWildcard, mpx.NoUnexpected, mpx.Unordered, mpx.StreamOrdered} {
 		rep, err := Run(Config{
 			Level:    lvl,
 			Seed:     7,

@@ -40,6 +40,12 @@ type Config struct {
 	// friendly case, used for Figure 6b: "we chose random values for
 	// the {src,tag} tuple").
 	Unique bool
+	// Streams spreads the workload across this many MPIX streams
+	// (default 1: everything on the default stream). Tuples are
+	// stamped round-robin before shuffling, so the per-stream traffic
+	// stays balanced and no extra random draws perturb seeded
+	// workloads that predate the knob.
+	Streams int
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -56,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MatchFraction <= 0 {
 		c.MatchFraction = 1.0
+	}
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
+	if c.Streams > int(envelope.MaxStream)+1 {
+		c.Streams = int(envelope.MaxStream) + 1
 	}
 	return c
 }
@@ -86,6 +98,7 @@ func Generate(cfg Config) ([]envelope.Envelope, []envelope.Request) {
 				Comm: cfg.Comm,
 			}
 		}
+		tuples[i].Stream = envelope.Stream(i % cfg.Streams)
 	}
 
 	msgs := make([]envelope.Envelope, cfg.N)
@@ -101,7 +114,7 @@ func Generate(cfg Config) ([]envelope.Envelope, []envelope.Request) {
 		} else {
 			e = tuples[rng.Intn(len(tuples))]
 		}
-		r := envelope.Request{Src: e.Src, Tag: e.Tag, Comm: e.Comm}
+		r := envelope.Request{Src: e.Src, Tag: e.Tag, Comm: e.Comm, Stream: e.Stream}
 		if rng.Float64() >= cfg.MatchFraction {
 			r.Tag = unmatchableTag // guaranteed miss
 		}

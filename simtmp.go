@@ -8,12 +8,15 @@
 //   - A warp-accurate SIMT execution-model simulator with a calibrated
 //     per-architecture timing model (Kepler K80, Maxwell M40, Pascal
 //     GTX1080).
-//   - The paper's four message-matching engines: the CPU list baseline,
-//     the fully MPI-compliant matrix scan/reduce algorithm, the
-//     rank-partitioned "no source wildcard" relaxation and the
-//     two-level hash-table "no ordering" relaxation.
+//   - The paper's message-matching engines: the CPU list baseline, the
+//     fully MPI-compliant matrix scan/reduce algorithm, the
+//     rank-partitioned "no source wildcard" relaxation, the two-level
+//     hash-table "no ordering" relaxation, and the stream-concurrent
+//     engine of the MPIX Stream ordering relaxation.
 //   - A message-passing runtime (Runtime) over a simulated global
-//     address space with the paper's four semantic levels.
+//     address space with the paper's semantic levels plus the
+//     StreamOrdered relaxation (per-stream ordering contexts behind
+//     the Endpoint/Stream handle API).
 //   - The exascale proxy-application models and trace analysis of §IV,
 //     and the benchmark harness regenerating every table and figure.
 //
@@ -24,6 +27,13 @@
 //	recv, _ := rt.PostRecv(1, 0, 42, 0)
 //	rt.Progress()
 //	msg, _ := recv.Message()
+//
+// Or through the endpoint handles (required for stream-qualified
+// traffic, available under every level):
+//
+//	ep, _ := rt.Endpoint(0)
+//	st, _ := ep.Open(3) // ordering context 3
+//	st.Send(1, 42, 0, []byte("hello"))
 package simtmp
 
 import (
@@ -57,6 +67,10 @@ type (
 	Tag = envelope.Tag
 	// Comm identifies a communicator.
 	Comm = envelope.Comm
+	// StreamID identifies an ordering context within an endpoint (MPIX
+	// Stream). It participates unconditionally in the match predicate —
+	// there is no stream wildcard.
+	StreamID = envelope.Stream
 	// Assignment maps request indices to matched message indices.
 	Assignment = match.Assignment
 	// MatchResult reports one batch-matching run, including the
@@ -76,6 +90,12 @@ const (
 	AnyTag = envelope.AnyTag
 	// NoMatch marks an unsatisfied request in an Assignment.
 	NoMatch = match.NoMatch
+	// DefaultStream is the ordering context the flat (non-stream) API
+	// uses; packed headers with a zero stream are bit-identical to the
+	// pre-stream encoding.
+	DefaultStream = envelope.DefaultStream
+	// MaxStream is the largest stream id the 4-bit header field holds.
+	MaxStream = envelope.MaxStream
 )
 
 // Architectures the paper evaluates.
@@ -98,6 +118,9 @@ type (
 	PartitionedConfig = match.PartitionedConfig
 	// HashConfig configures the unordered hash-table matcher.
 	HashConfig = match.HashConfig
+	// StreamMatcherConfig configures the stream-concurrent matcher of
+	// the MPIX Stream relaxation (DESIGN.md §17).
+	StreamMatcherConfig = match.StreamConfig
 )
 
 // Matching engine constructors.
@@ -119,6 +142,10 @@ var (
 	NewCommParallelMatcher = match.NewCommParallelMatcher
 	// NewBinnedListMatcher is the §III hash-bin CPU optimization.
 	NewBinnedListMatcher = match.NewBinnedListMatcher
+	// NewStreamMatcher returns the stream-concurrent matcher: one
+	// ordered matrix sub-problem per ordering context, no cross-stream
+	// synchronization (DESIGN.md §17).
+	NewStreamMatcher = match.NewStreamMatcher
 	// ReferenceAssignment computes the ordered-matching oracle.
 	ReferenceAssignment = match.Reference
 )
@@ -133,6 +160,13 @@ var (
 	// ErrUnexpectedMessage reports an unexpected message under the
 	// NoUnexpected contract.
 	ErrUnexpectedMessage = mpx.ErrUnexpectedMessage
+	// ErrStreamClosed reports a stream-qualified operation on a stream
+	// that is not open.
+	ErrStreamClosed = mpx.ErrStreamClosed
+	// ErrBadConfig reports a RuntimeConfig rejected by validation
+	// (NewRuntime panics wrapping it; RuntimeConfig.Normalize returns
+	// it).
+	ErrBadConfig = mpx.ErrBadConfig
 )
 
 // Runtime: the message-passing layer.
@@ -143,6 +177,15 @@ type (
 	Runtime = mpx.Runtime
 	// RecvHandle is a posted receive.
 	RecvHandle = mpx.Recv
+	// Endpoint is one GPU's communication handle (Runtime.Endpoint):
+	// the redesigned entry point owning the send/recv verbs, from which
+	// stream ordering contexts are opened.
+	Endpoint = mpx.Endpoint
+	// Stream is one ordering context of an endpoint (Endpoint.Open /
+	// Endpoint.Default). Under StreamOrdered, matching order is owed
+	// only within a stream; under the strict levels the id is an extra
+	// envelope discriminator with ordering preserved.
+	Stream = mpx.Stream
 	// Level selects a semantic contract (one Table II row group).
 	Level = mpx.Level
 	// RuntimeStats is the runtime's merged statistics, including the
@@ -175,6 +218,10 @@ const (
 	NoUnexpected = mpx.NoUnexpected
 	// Unordered drops wildcards and ordering (hash matching).
 	Unordered = mpx.Unordered
+	// StreamOrdered owes matching order only within each MPIX stream
+	// (per-endpoint ordering contexts); wildcards stay admitted and
+	// range within their stream.
+	StreamOrdered = mpx.StreamOrdered
 )
 
 // NewRuntime creates a message-passing runtime.
@@ -438,9 +485,17 @@ var (
 	Figure4Workers        = bench.Figure4Workers
 	Figure5Workers        = bench.Figure5Workers
 	Figure6bWorkers       = bench.Figure6bWorkers
-	PrintAblations        = printAblations
-	VerifyOrderedResult   = match.VerifyOrdered
-	VerifyUnorderedResult = match.VerifyUnordered
+	// StreamScaling measures the MPIX Stream relaxation across stream
+	// counts against the full-MPI matrix on identical workloads.
+	StreamScaling      = bench.StreamScaling
+	PrintStreamScaling = bench.PrintStreamScaling
+	PrintAblations     = printAblations
+	// StreamWorkloadAt replays workload i of the stream-qualified
+	// conformance run (envelopes spread over 2..8 streams).
+	StreamWorkloadAt          = conformance.StreamWorkloadAt
+	VerifyOrderedResult       = match.VerifyOrdered
+	VerifyUnorderedResult     = match.VerifyUnordered
+	VerifyStreamOrderedResult = match.VerifyStreamOrdered
 )
 
 // Benchmark regression tracking (cmd/matchbench -regress).
